@@ -1,0 +1,82 @@
+"""Ablation A6 — initial routing-cell weight ``w_e``.
+
+The paper initialises every cell's weight to ``w_e = 10``.  The weight
+of a *fresh* cell relative to the wash-time weights of *used* cells
+(0.2–6 s here) controls how aggressively the A* shares already-used
+channels.  The sweep measures routed channel length and channel wash
+time on CPA for w_e ∈ {0, 2, 10, 50}.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.core.metrics import channel_wash_time
+from repro.core.problem import SynthesisProblem
+from repro.place.annealing import AnnealingParameters, anneal_placement
+from repro.place.energy import build_connection_priorities
+from repro.route.router import route_tasks
+from repro.schedule.list_scheduler import schedule_assay
+
+WEIGHTS = (0.0, 2.0, 10.0, 50.0)
+
+SWEEP_SA = AnnealingParameters(
+    initial_temperature=1000.0,
+    min_temperature=1.0,
+    cooling_rate=0.85,
+    iterations_per_temperature=60,
+)
+
+
+@pytest.fixture(scope="module")
+def cpa_layout():
+    case = get_benchmark("CPA")
+    problem = SynthesisProblem(assay=case.assay, allocation=case.allocation)
+    schedule = schedule_assay(case.assay, case.allocation)
+    priorities = build_connection_priorities(schedule)
+    annealed = anneal_placement(
+        problem.resolved_grid(), problem.footprints(), priorities,
+        SWEEP_SA, seed=1,
+    )
+    return annealed.placement, schedule
+
+
+@pytest.mark.parametrize("w_e", WEIGHTS)
+def test_cell_weight_sweep(benchmark, cpa_layout, w_e):
+    placement, schedule = cpa_layout
+    tasks = schedule.transport_tasks()
+    routing = benchmark.pedantic(
+        route_tasks,
+        args=(placement, tasks),
+        kwargs={"initial_weight": w_e},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(routing.paths) == len(tasks)
+
+
+def test_higher_weight_increases_sharing(cpa_layout):
+    """A large w_e makes fresh cells expensive, so paths share more:
+    the distinct-cell channel footprint should not grow with w_e."""
+    placement, schedule = cpa_layout
+    tasks = schedule.transport_tasks()
+    lengths = {
+        w_e: route_tasks(placement, tasks, initial_weight=w_e).total_length_cells
+        for w_e in WEIGHTS
+    }
+    assert lengths[50.0] <= lengths[0.0]
+
+
+def test_weight_guidance_reduces_wash(cpa_layout):
+    """With w_e = 0 the router has no reason to prefer cheap-to-wash
+    residues; the paper's w_e = 10 should wash no more than that."""
+    placement, schedule = cpa_layout
+    tasks = schedule.transport_tasks()
+    wash_unguided = channel_wash_time(
+        route_tasks(placement, tasks, initial_weight=0.0)
+    )
+    wash_paper = channel_wash_time(
+        route_tasks(placement, tasks, initial_weight=10.0)
+    )
+    assert wash_paper <= wash_unguided * 1.1  # small tolerance for detours

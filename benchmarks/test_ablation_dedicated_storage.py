@@ -1,0 +1,48 @@
+"""Ablation A4 — DCSA versus conventional dedicated storage.
+
+Quantifies the motivation of Section II-A: the dedicated storage unit's
+multiplexed port serialises every cache access, throttling execution;
+distributed channel storage removes the bottleneck.  Reports the
+slowdown factor per benchmark and checks it grows with assay size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks.registry import TABLE1_ORDER, get_benchmark
+from repro.schedule.dedicated import schedule_assay_dedicated
+from repro.schedule.list_scheduler import schedule_assay
+
+
+@pytest.mark.parametrize("name", TABLE1_ORDER)
+def test_dedicated_storage_slowdown(benchmark, name):
+    case = get_benchmark(name)
+    dedicated = benchmark.pedantic(
+        schedule_assay_dedicated,
+        args=(case.assay, case.allocation),
+        rounds=3,
+        iterations=1,
+    )
+    dcsa = schedule_assay(case.assay, case.allocation)
+    assert dcsa.makespan < dedicated.makespan, (
+        f"{name}: DCSA must beat the dedicated-storage architecture"
+    )
+
+
+def test_bottleneck_scales_with_assay_size():
+    ratios = {}
+    for name in ("PCR", "CPA"):
+        case = get_benchmark(name)
+        dedicated = schedule_assay_dedicated(case.assay, case.allocation)
+        dcsa = schedule_assay(case.assay, case.allocation)
+        ratios[name] = dedicated.makespan / dcsa.makespan
+    assert ratios["CPA"] > ratios["PCR"]
+
+
+def test_storage_capacity_pressure():
+    """A tighter storage unit can only slow the assay further."""
+    case = get_benchmark("Synthetic2")
+    roomy = schedule_assay_dedicated(case.assay, case.allocation, capacity=16)
+    tight = schedule_assay_dedicated(case.assay, case.allocation, capacity=2)
+    assert tight.makespan >= roomy.makespan - 1e-9

@@ -1,0 +1,72 @@
+"""Ablation A2 — simulated-annealing effort (Imax, cooling rate).
+
+Times the placement stage of Synthetic3 at increasing annealing effort
+and checks that more effort never *hurts* the achieved Eq. 3 energy
+beyond noise — i.e. the annealer actually converges.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.core.problem import SynthesisProblem
+from repro.place.annealing import AnnealingParameters, anneal_placement
+from repro.place.energy import build_connection_priorities
+from repro.schedule.list_scheduler import schedule_assay
+
+EFFORTS = {
+    "light": AnnealingParameters(
+        initial_temperature=100.0,
+        min_temperature=1.0,
+        cooling_rate=0.8,
+        iterations_per_temperature=20,
+    ),
+    "medium": AnnealingParameters(
+        initial_temperature=1000.0,
+        min_temperature=1.0,
+        cooling_rate=0.85,
+        iterations_per_temperature=60,
+    ),
+    "paper": AnnealingParameters(),  # T0=1e4, alpha=0.9, Imax=150
+}
+
+
+@pytest.fixture(scope="module")
+def synthetic3():
+    case = get_benchmark("Synthetic3")
+    problem = SynthesisProblem(assay=case.assay, allocation=case.allocation)
+    schedule = schedule_assay(case.assay, case.allocation)
+    priorities = build_connection_priorities(schedule)
+    return problem, priorities
+
+
+@pytest.mark.parametrize("effort", sorted(EFFORTS))
+def test_sa_effort(benchmark, synthetic3, effort):
+    problem, priorities = synthetic3
+    params = EFFORTS[effort]
+    result = benchmark.pedantic(
+        anneal_placement,
+        args=(problem.resolved_grid(), problem.footprints(), priorities),
+        kwargs={"parameters": params, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.placement.is_legal()
+    assert result.energy <= result.initial_energy
+
+
+def test_more_effort_helps(synthetic3):
+    problem, priorities = synthetic3
+    energies = {
+        name: anneal_placement(
+            problem.resolved_grid(),
+            problem.footprints(),
+            priorities,
+            parameters=params,
+            seed=1,
+        ).energy
+        for name, params in EFFORTS.items()
+    }
+    # The paper-effort run must at least match the light run.
+    assert energies["paper"] <= energies["light"] * 1.05

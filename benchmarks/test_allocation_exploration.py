@@ -1,0 +1,37 @@
+"""Experiment E5 — allocation exploration (architectural synthesis).
+
+Times the greedy marginal-gain explorer and asserts its contract:
+strictly improving trajectories, clean Pareto fronts, and — on CPA — a
+knee allocation at least as fast as the paper's inherited (8,0,0,2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.core.explore import explore_allocations, pareto_front
+from repro.schedule.list_scheduler import schedule_assay
+
+
+@pytest.mark.parametrize("name", ["IVD", "CPA", "Synthetic2"])
+def test_exploration(benchmark, name):
+    case = get_benchmark(name)
+    result = benchmark.pedantic(
+        explore_allocations,
+        args=(case.assay,),
+        kwargs={"max_components": 12},
+        rounds=1,
+        iterations=1,
+    )
+    makespans = [p.makespan for p in result.trajectory]
+    assert all(b < a for a, b in zip(makespans, makespans[1:]))
+    front = pareto_front(result)
+    assert front
+
+
+def test_explorer_matches_or_beats_paper_allocation_on_cpa():
+    case = get_benchmark("CPA")
+    result = explore_allocations(case.assay, max_components=12)
+    paper_makespan = schedule_assay(case.assay, case.allocation).makespan
+    assert result.best.makespan <= paper_makespan + 1e-9

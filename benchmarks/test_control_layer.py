@@ -1,0 +1,50 @@
+"""Ablation A5 — control-layer valve switching (future-work extension).
+
+Derives the control layer from every benchmark's routed layout and
+compares the naive valve controller against the Hamming-distance-based
+hold policy (ref [13] of the paper).  The hold policy must never switch
+more, and the multiplexed pin bound must undercut direct wiring on the
+larger chips.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks.registry import TABLE1_ORDER
+from repro.control.switching import optimise_switching
+from repro.control.valves import build_control_model
+
+
+@pytest.mark.parametrize("name", TABLE1_ORDER)
+def test_switching_policies(benchmark, comparisons, name):
+    routing = comparisons[name].ours.routing
+
+    def derive_and_optimise():
+        model = build_control_model(routing)
+        return model, optimise_switching(model)
+
+    model, report = benchmark.pedantic(derive_and_optimise, rounds=3, iterations=1)
+    assert report.hold_switches <= report.naive_switches
+    assert report.task_count == len(routing.paths)
+
+
+def test_multiplexing_pays_off_on_large_chips(comparisons):
+    model = build_control_model(comparisons["CPA"].ours.routing)
+    if model.valve_count > 8:
+        assert model.control_pins_multiplexed() < model.control_pins_direct()
+
+
+def test_print_control_summary(comparisons, capsys):
+    with capsys.disabled():
+        print()
+        print("== Control layer (valves / naive switches / hold switches) ==")
+        for name in TABLE1_ORDER:
+            model = build_control_model(comparisons[name].ours.routing)
+            report = optimise_switching(model)
+            print(
+                f"  {name:11s} valves={report.valve_count:4d} "
+                f"naive={report.naive_switches:5d} "
+                f"hold={report.hold_switches:5d} "
+                f"saving={report.saving_percent:5.1f}%"
+            )

@@ -1,0 +1,49 @@
+"""Experiment E2 — regenerate Fig. 8 (total cache time in flow channels).
+
+Asserts the figure's message — the proposed algorithm caches fluids for
+less total time than BA, with the reduction concentrated on the larger
+benchmarks — and prints the regenerated chart.  The timed body is the
+scheduling stage, which is where cache times are decided.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks.registry import TABLE1_ORDER, get_benchmark
+from repro.experiments.fig8 import render_fig8
+from repro.schedule.list_scheduler import schedule_assay
+
+
+@pytest.mark.parametrize("name", TABLE1_ORDER)
+def test_fig8_cache_time(benchmark, comparisons, name):
+    comparison = comparisons[name]
+    ours = comparison.ours.metrics.total_cache_time
+    base = comparison.baseline.metrics.total_cache_time
+    assert ours <= base + 1e-9, (
+        f"{name}: ours caches {ours:.1f}s vs BA {base:.1f}s"
+    )
+
+    case = get_benchmark(name)
+    benchmark.pedantic(
+        schedule_assay,
+        args=(case.assay, case.allocation),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_fig8_reduction_on_large_benchmarks(comparisons):
+    """The paper: cache time is 'effectively reduced ... particularly in
+    the benchmarks with large scale input'."""
+    for name in ("CPA", "Synthetic4"):
+        comparison = comparisons[name]
+        ours = comparison.ours.metrics.total_cache_time
+        base = comparison.baseline.metrics.total_cache_time
+        assert ours < base, f"{name}: expected a strict cache-time reduction"
+
+
+def test_print_fig8(comparisons, capsys):
+    with capsys.disabled():
+        print()
+        print(render_fig8(list(comparisons.values())))

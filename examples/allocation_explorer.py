@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Allocation exploration: how many components does an assay deserve?
+
+The paper takes Table I's component allocations as given.  Upstream of
+physical synthesis, a designer must pick them — this example runs the
+greedy marginal-gain exploration of :mod:`repro.core.explore` on a
+benchmark, prints the (components → makespan) trajectory and its Pareto
+front, and compares the knee point against the paper's allocation.
+
+Usage::
+
+    python examples/allocation_explorer.py [benchmark-name] [max-components]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import get_benchmark, schedule_assay
+from repro.core.explore import explore_allocations, pareto_front
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "CPA"
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 14
+    case = get_benchmark(name)
+
+    result = explore_allocations(case.assay, max_components=budget)
+    print(f"exploration of {name} (budget {budget} components)\n")
+    print(f"{'allocation':>12s} {'total':>5s} {'makespan':>9s} {'util':>6s}")
+    for point in result.trajectory:
+        print(
+            f"{str(point.allocation):>12s} {point.total_components:5d} "
+            f"{point.makespan:8.1f}s {point.utilisation * 100:5.1f}%"
+        )
+
+    front = pareto_front(result)
+    print(f"\nPareto front: {', '.join(str(p.allocation) for p in front)}")
+    knee = result.knee()
+    print(f"knee (within 5% of best): {knee.allocation} "
+          f"at {knee.makespan:.1f}s")
+
+    paper = schedule_assay(case.assay, case.allocation)
+    print(f"\npaper's Table I allocation {case.allocation}: "
+          f"{paper.makespan:.1f}s with {case.allocation.total} components")
+    if knee.makespan < paper.makespan:
+        print("the explorer finds a faster allocation than Table I's — "
+              "unsurprising: the paper inherited its allocations from "
+              "prior work rather than co-optimising them")
+
+
+if __name__ == "__main__":
+    main()

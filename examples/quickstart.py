@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: synthesise a benchmark bioassay end-to-end.
+
+Runs the proposed DCSA-aware flow and the baseline on the PCR benchmark,
+prints both summaries, the layout, and the per-component schedule.
+
+Usage::
+
+    python examples/quickstart.py [benchmark-name]
+
+Benchmark names: PCR (default), IVD, CPA, Synthetic1..Synthetic4, Fig2a.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import get_benchmark, synthesize, synthesize_baseline
+from repro.viz import render_routing, render_schedule
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "PCR"
+    case = get_benchmark(name)
+    print(f"Synthesising {case.name}: {len(case.assay)} operations on "
+          f"{case.allocation} components\n")
+
+    ours = synthesize(case.assay, case.allocation, seed=1)
+    baseline = synthesize_baseline(case.assay, case.allocation)
+
+    print("--- proposed flow (Algorithm 1 + SA placement + conflict-aware A*) ---")
+    print(ours.summary())
+    print()
+    print("--- baseline (BA: earliest-ready + construction-by-correction) ---")
+    print(baseline.summary())
+    print()
+
+    print("--- layout (ours) ---")
+    print(render_routing(ours.routing))
+    print()
+    print("--- schedule (ours) ---")
+    print(render_schedule(ours.schedule))
+
+    exec_gain = (
+        baseline.metrics.execution_time - ours.metrics.execution_time
+    )
+    print(f"\nThe DCSA-aware flow finishes {exec_gain:.1f} s earlier than "
+          "the baseline on this benchmark.")
+
+
+if __name__ == "__main__":
+    main()

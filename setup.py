@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``python setup.py develop`` on systems without the ``wheel``
+package (PEP 517 editable installs need it; this path does not).  All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

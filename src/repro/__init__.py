@@ -1,0 +1,57 @@
+"""repro — physical synthesis of flow-based microfluidic biochips with
+distributed channel storage.
+
+A from-scratch reproduction of Chen et al., *Physical Synthesis of
+Flow-Based Microfluidic Biochips Considering Distributed Channel
+Storage*, DATE 2019.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Typical use::
+
+    from repro import get_benchmark, synthesize
+
+    case = get_benchmark("CPA")
+    result = synthesize(case.assay, case.allocation, seed=7)
+    print(result.summary())
+"""
+
+from repro.assay import (
+    AssayBuilder,
+    Fluid,
+    Operation,
+    OperationType,
+    SequencingGraph,
+)
+from repro.benchmarks import BenchmarkCase, benchmark_names, get_benchmark
+from repro.components import Allocation, ComponentLibrary, DEFAULT_LIBRARY
+from repro.schedule import (
+    Schedule,
+    schedule_assay,
+    schedule_assay_baseline,
+    validate_schedule,
+)
+from repro.core import SynthesisResult, synthesize, synthesize_baseline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Allocation",
+    "AssayBuilder",
+    "BenchmarkCase",
+    "ComponentLibrary",
+    "DEFAULT_LIBRARY",
+    "Fluid",
+    "Operation",
+    "OperationType",
+    "Schedule",
+    "SequencingGraph",
+    "SynthesisResult",
+    "__version__",
+    "benchmark_names",
+    "get_benchmark",
+    "schedule_assay",
+    "schedule_assay_baseline",
+    "synthesize",
+    "synthesize_baseline",
+    "validate_schedule",
+]

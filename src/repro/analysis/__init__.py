@@ -1,0 +1,24 @@
+"""Post-synthesis analysis: storage demand, bottlenecks, congestion."""
+
+from repro.analysis.bottleneck import (
+    BottleneckLink,
+    BottleneckReport,
+    analyse_bottleneck,
+)
+from repro.analysis.congestion import (
+    CellCongestion,
+    CongestionReport,
+    analyse_congestion,
+)
+from repro.analysis.storage import StorageDemand, storage_demand
+
+__all__ = [
+    "BottleneckLink",
+    "BottleneckReport",
+    "CellCongestion",
+    "CongestionReport",
+    "StorageDemand",
+    "analyse_bottleneck",
+    "analyse_congestion",
+    "storage_demand",
+]

@@ -1,0 +1,133 @@
+"""Schedule bottleneck analysis.
+
+Explains *why* a schedule finishes when it does: reconstructs the chain
+of binding constraints that ends at the makespan-defining operation and
+classifies each link (dependency wait, transport, channel cache,
+component wash, component busy).  Designers use this to decide whether
+to allocate another component, shorten washes, or accept the critical
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schedule.schedule import Schedule
+from repro.units import Seconds, approx_eq
+
+__all__ = ["BottleneckLink", "BottleneckReport", "analyse_bottleneck"]
+
+
+@dataclass(frozen=True)
+class BottleneckLink:
+    """One step of the critical chain, ending at *op_id*'s start."""
+
+    op_id: str
+    start: Seconds
+    #: What the start time was waiting for.
+    reason: str
+    #: The operation (or component) on the other side of the wait.
+    blocker: str
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """The critical chain from a source operation to the makespan."""
+
+    makespan: Seconds
+    final_operation: str
+    chain: tuple[BottleneckLink, ...]
+
+    def summary(self) -> str:
+        lines = [
+            f"makespan {self.makespan:g}s set by {self.final_operation}",
+        ]
+        for link in self.chain:
+            lines.append(
+                f"  {link.op_id} starts at {link.start:g}s — {link.reason} "
+                f"({link.blocker})"
+            )
+        return "\n".join(lines)
+
+
+def _classify(schedule: Schedule, op_id: str) -> BottleneckLink:
+    """Find what pinned *op_id*'s start time."""
+    record = schedule.operation(op_id)
+    start = record.start
+    assay = schedule.assay
+    t_c = schedule.transport_time
+
+    # Incoming fluid arrivals.
+    for movement in schedule.movements:
+        if movement.consumer != op_id:
+            continue
+        if approx_eq(movement.consume, start):
+            if movement.in_place:
+                if approx_eq(schedule.operation(movement.producer).end, start):
+                    return BottleneckLink(
+                        op_id, start, "waits for its in-place parent",
+                        movement.producer,
+                    )
+            elif movement.cache_time > 0 and approx_eq(movement.arrive + movement.cache_time, start):
+                # Cached arrival: the *start* was limited by something
+                # else (cache absorbs slack) unless cache is zero.
+                pass
+            elif approx_eq(movement.arrive, start):
+                return BottleneckLink(
+                    op_id, start,
+                    f"waits for the {t_c:g}s transport of its input",
+                    movement.producer,
+                )
+
+    # Component predecessor (busy or washing).
+    predecessors = [
+        r for r in schedule.operations_on(record.component_id)
+        if r.end <= start + 1e-9 and r.op_id != op_id
+    ]
+    if predecessors:
+        previous = max(predecessors, key=lambda r: r.end)
+        if approx_eq(previous.end, start):
+            return BottleneckLink(
+                op_id, start, "waits for its component to finish",
+                previous.op_id,
+            )
+        if previous.end < start:
+            return BottleneckLink(
+                op_id, start,
+                "waits for the component's wash/eviction after",
+                previous.op_id,
+            )
+
+    parents = assay.parents(op_id)
+    if parents:
+        last_parent = max(parents, key=lambda p: schedule.operation(p).end)
+        return BottleneckLink(
+            op_id, start, "waits for its last parent", last_parent
+        )
+    return BottleneckLink(op_id, start, "starts at time zero", "-")
+
+
+def analyse_bottleneck(schedule: Schedule) -> BottleneckReport:
+    """Trace the chain of waits ending at the makespan-defining op."""
+    if not schedule.operations:
+        return BottleneckReport(makespan=0.0, final_operation="-", chain=())
+    final = max(
+        schedule.operations.values(), key=lambda r: (r.end, r.op_id)
+    )
+    chain: list[BottleneckLink] = []
+    seen: set[str] = set()
+    current = final.op_id
+    while current not in seen:
+        seen.add(current)
+        link = _classify(schedule, current)
+        chain.append(link)
+        if link.blocker in schedule.operations:
+            current = link.blocker
+        else:
+            break
+    chain.reverse()
+    return BottleneckReport(
+        makespan=schedule.makespan,
+        final_operation=final.op_id,
+        chain=tuple(chain),
+    )

@@ -1,0 +1,81 @@
+"""Distributed-storage demand analysis.
+
+DCSA has no dedicated storage unit, but the channels' caching duty is a
+real resource: at any instant some number of fluid plugs sit parked in
+the network.  :func:`storage_demand` computes that occupancy profile
+from a schedule's movements — the peak tells a designer how much
+channel capacity the assay actually needs, and comparing algorithms
+shows how much caching pressure each policy creates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schedule.schedule import Schedule
+from repro.units import Seconds
+
+__all__ = ["StorageDemand", "storage_demand"]
+
+
+@dataclass(frozen=True)
+class StorageDemand:
+    """Occupancy profile of distributed channel storage."""
+
+    #: Step function as (time, cached plug count after this instant).
+    profile: tuple[tuple[Seconds, int], ...]
+    peak: int
+    peak_time: Seconds
+    #: Integral of the profile — equals the Fig. 8 total cache time.
+    total_plug_seconds: Seconds
+
+    def occupancy_at(self, time: Seconds) -> int:
+        """Number of cached plugs at *time* (right-continuous)."""
+        current = 0
+        for instant, level in self.profile:
+            if instant > time:
+                break
+            current = level
+        return current
+
+
+def storage_demand(schedule: Schedule) -> StorageDemand:
+    """Compute the channel-storage occupancy profile of *schedule*.
+
+    A movement contributes to storage occupancy during its cache
+    interval ``[arrive, consume)``.  Movements without caching (direct
+    transports, in-place consumptions) contribute nothing.
+    """
+    events: list[tuple[Seconds, int]] = []
+    total = 0.0
+    for movement in schedule.movements:
+        if movement.cache_time <= 0:
+            continue
+        events.append((movement.arrive, +1))
+        events.append((movement.consume, -1))
+        total += movement.cache_time
+    if not events:
+        return StorageDemand(
+            profile=((0.0, 0),), peak=0, peak_time=0.0, total_plug_seconds=0.0
+        )
+    events.sort()
+    profile: list[tuple[Seconds, int]] = []
+    level = 0
+    peak = 0
+    peak_time = events[0][0]
+    index = 0
+    while index < len(events):
+        time = events[index][0]
+        while index < len(events) and events[index][0] == time:
+            level += events[index][1]
+            index += 1
+        profile.append((time, level))
+        if level > peak:
+            peak = level
+            peak_time = time
+    return StorageDemand(
+        profile=tuple(profile),
+        peak=peak,
+        peak_time=peak_time,
+        total_plug_seconds=total,
+    )

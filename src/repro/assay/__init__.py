@@ -1,0 +1,37 @@
+"""Bioassay modelling: fluids, operations, and sequencing graphs."""
+
+from repro.assay.builder import AssayBuilder
+from repro.assay.fluids import (
+    Fluid,
+    diffusion_for_wash_time,
+    wash_time_from_diffusion,
+)
+from repro.assay.graph import Operation, OperationType, SequencingGraph
+from repro.assay.io import (
+    assay_from_dict,
+    assay_to_dict,
+    dump_assay,
+    dumps_assay,
+    load_assay,
+    loads_assay,
+)
+from repro.assay.validation import ValidationReport, check_assay, validate_assay
+
+__all__ = [
+    "AssayBuilder",
+    "Fluid",
+    "Operation",
+    "OperationType",
+    "SequencingGraph",
+    "ValidationReport",
+    "assay_from_dict",
+    "assay_to_dict",
+    "check_assay",
+    "diffusion_for_wash_time",
+    "dump_assay",
+    "dumps_assay",
+    "load_assay",
+    "loads_assay",
+    "validate_assay",
+    "wash_time_from_diffusion",
+]

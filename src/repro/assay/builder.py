@@ -1,0 +1,141 @@
+"""Fluent builder for sequencing graphs.
+
+Writing a :class:`~repro.assay.graph.SequencingGraph` literal requires
+assembling operations and edge lists by hand; the :class:`AssayBuilder`
+offers a compact alternative used throughout the benchmarks, examples and
+tests::
+
+    assay = (
+        AssayBuilder("pcr-fragment")
+        .mix("m1", duration=4)
+        .mix("m2", duration=4)
+        .mix("m3", duration=5, after=["m1", "m2"])
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.assay.fluids import Fluid
+from repro.assay.graph import Operation, OperationType, SequencingGraph
+from repro.errors import AssayError
+from repro.units import Seconds
+
+__all__ = ["AssayBuilder"]
+
+
+class AssayBuilder:
+    """Incrementally assemble a sequencing graph.
+
+    Operations are declared through :meth:`add` or the per-type shorthands
+    (:meth:`mix`, :meth:`heat`, :meth:`filter`, :meth:`detect`); edges come
+    either from the ``after=[...]`` keyword at declaration time or from
+    explicit :meth:`depends` calls.  :meth:`build` validates and freezes
+    the graph.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._operations: list[Operation] = []
+        self._ids: set[str] = set()
+        self._edges: list[tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    # Declaration API
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        op_id: str,
+        op_type: OperationType,
+        duration: Seconds,
+        *,
+        after: Sequence[str] = (),
+        fluid: Fluid | None = None,
+        wash_time: Seconds | None = None,
+        diffusion_coefficient: float | None = None,
+    ) -> "AssayBuilder":
+        """Declare an operation and (optionally) its incoming edges.
+
+        Exactly one of *fluid*, *wash_time* and *diffusion_coefficient*
+        may describe the output fluid; omitting all three yields the
+        default fast-diffusing fluid.
+        """
+        described = [
+            fluid is not None,
+            wash_time is not None,
+            diffusion_coefficient is not None,
+        ]
+        if sum(described) > 1:
+            raise AssayError(
+                f"operation {op_id!r}: give at most one of fluid, "
+                "wash_time, diffusion_coefficient"
+            )
+        if fluid is None:
+            if wash_time is not None:
+                fluid = Fluid.with_wash_time(f"out({op_id})", wash_time)
+            elif diffusion_coefficient is not None:
+                fluid = Fluid(f"out({op_id})", diffusion_coefficient)
+        operation = Operation(
+            op_id=op_id,
+            op_type=op_type,
+            duration=duration,
+            output_fluid=fluid,  # type: ignore[arg-type]
+        )
+        if op_id in self._ids:
+            raise AssayError(f"duplicate operation id: {op_id!r}")
+        self._ids.add(op_id)
+        self._operations.append(operation)
+        for parent in after:
+            self.depends(parent, op_id)
+        return self
+
+    def mix(self, op_id: str, duration: Seconds, **kwargs) -> "AssayBuilder":
+        """Shorthand for ``add(op_id, OperationType.MIX, ...)``."""
+        return self.add(op_id, OperationType.MIX, duration, **kwargs)
+
+    def heat(self, op_id: str, duration: Seconds, **kwargs) -> "AssayBuilder":
+        """Shorthand for ``add(op_id, OperationType.HEAT, ...)``."""
+        return self.add(op_id, OperationType.HEAT, duration, **kwargs)
+
+    def filter(self, op_id: str, duration: Seconds, **kwargs) -> "AssayBuilder":
+        """Shorthand for ``add(op_id, OperationType.FILTER, ...)``."""
+        return self.add(op_id, OperationType.FILTER, duration, **kwargs)
+
+    def detect(self, op_id: str, duration: Seconds, **kwargs) -> "AssayBuilder":
+        """Shorthand for ``add(op_id, OperationType.DETECT, ...)``."""
+        return self.add(op_id, OperationType.DETECT, duration, **kwargs)
+
+    def depends(self, parent: str, child: str) -> "AssayBuilder":
+        """Declare a fluidic dependency ``parent -> child``.
+
+        Both endpoints must already be declared, which keeps declaration
+        order topological by construction and catches typos early.
+        """
+        for endpoint in (parent, child):
+            if endpoint not in self._ids:
+                raise AssayError(
+                    f"dependency references undeclared operation "
+                    f"{endpoint!r}; declare operations before wiring them"
+                )
+        self._edges.append((parent, child))
+        return self
+
+    def chain(self, op_ids: Iterable[str]) -> "AssayBuilder":
+        """Wire the given already-declared operations into a linear chain."""
+        previous: str | None = None
+        for op_id in op_ids:
+            if previous is not None:
+                self.depends(previous, op_id)
+            previous = op_id
+        return self
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    def build(self) -> SequencingGraph:
+        """Validate and return the immutable sequencing graph."""
+        if not self._operations:
+            raise AssayError(f"assay {self.name!r} declares no operations")
+        return SequencingGraph(self.name, self._operations, self._edges)

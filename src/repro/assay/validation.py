@@ -1,0 +1,89 @@
+"""Semantic validation of assays against a component allocation.
+
+:class:`~repro.assay.graph.SequencingGraph` construction already rejects
+*structural* faults (cycles, dangling edges).  This module layers the
+*semantic* checks that precede synthesis: every operation type must be
+servable by the allocation, durations should be positive for real work,
+and fan-in must be physically plausible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.assay.graph import OperationType, SequencingGraph
+from repro.components.allocation import Allocation
+from repro.errors import AllocationError
+
+__all__ = ["ValidationReport", "validate_assay", "check_assay"]
+
+#: A mixer merges two input fluids; detectors/heaters/filters take one.
+MAX_FAN_IN = {
+    OperationType.MIX: 2,
+    OperationType.HEAT: 1,
+    OperationType.FILTER: 1,
+    OperationType.DETECT: 1,
+}
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_assay`.
+
+    ``errors`` are violations that make synthesis impossible; ``warnings``
+    flag suspicious-but-legal constructs (e.g. zero-duration operations).
+    """
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when no errors were found (warnings allowed)."""
+        return not self.errors
+
+
+def validate_assay(
+    assay: SequencingGraph, allocation: Allocation
+) -> ValidationReport:
+    """Check that *assay* can be synthesised onto *allocation*.
+
+    Returns a report rather than raising, so callers can surface every
+    problem at once; :func:`check_assay` is the raising variant used by
+    the synthesis entry points.
+    """
+    report = ValidationReport()
+    needed = assay.count_by_type()
+    for op_type, count in needed.items():
+        if count > 0 and allocation.count(op_type) == 0:
+            report.errors.append(
+                f"assay uses {count} {op_type.value} operation(s) but the "
+                f"allocation provides no {op_type.component_name}"
+            )
+    for op in assay.operations:
+        fan_in = len(assay.parents(op.op_id))
+        limit = MAX_FAN_IN[op.op_type]
+        if fan_in > limit:
+            report.errors.append(
+                f"operation {op.op_id!r} ({op.op_type.value}) has fan-in "
+                f"{fan_in}, above the physical limit of {limit}"
+            )
+        if op.duration == 0:
+            report.warnings.append(
+                f"operation {op.op_id!r} has zero duration"
+            )
+    if not assay.sinks():
+        # Unreachable for a DAG with >=1 vertex, but kept as a guard for
+        # future mutable-graph variants.
+        report.errors.append("assay has no sink operation")
+    return report
+
+
+def check_assay(assay: SequencingGraph, allocation: Allocation) -> None:
+    """Raise :class:`AllocationError` when *assay* cannot run on *allocation*."""
+    report = validate_assay(assay, allocation)
+    if not report.ok:
+        raise AllocationError(
+            f"assay {assay.name!r} cannot be synthesised: "
+            + "; ".join(report.errors)
+        )

@@ -1,0 +1,47 @@
+"""Benchmark bioassays: the paper's three real-life and four synthetic cases."""
+
+from repro.benchmarks.library import (
+    cpa_allocation,
+    cpa_assay,
+    fig2a_allocation,
+    fig2a_assay,
+    ivd_allocation,
+    ivd_assay,
+    pcr_allocation,
+    pcr_assay,
+)
+from repro.benchmarks.registry import (
+    TABLE1_ORDER,
+    BenchmarkCase,
+    benchmark_names,
+    get_benchmark,
+    table1_benchmarks,
+)
+from repro.benchmarks.synthetic import (
+    SYNTHETIC_SPECS,
+    SyntheticSpec,
+    generate_synthetic,
+    synthetic_allocation,
+    synthetic_assay,
+)
+
+__all__ = [
+    "BenchmarkCase",
+    "SYNTHETIC_SPECS",
+    "SyntheticSpec",
+    "TABLE1_ORDER",
+    "benchmark_names",
+    "cpa_allocation",
+    "cpa_assay",
+    "fig2a_allocation",
+    "fig2a_assay",
+    "generate_synthetic",
+    "get_benchmark",
+    "ivd_allocation",
+    "ivd_assay",
+    "pcr_allocation",
+    "pcr_assay",
+    "synthetic_allocation",
+    "synthetic_assay",
+    "table1_benchmarks",
+]

@@ -1,0 +1,159 @@
+"""Real-life benchmark bioassays (Section V).
+
+The paper evaluates on three real-life applications taken from the
+distributed-channel-storage work of Liu et al. [5] — **PCR**, **IVD**,
+and **CPA** — plus four synthetic assays.  The authors' exact benchmark
+files are not public, so the assays here are reconstructed from their
+well-known structure in the biochip-CAD literature (see DESIGN.md §3):
+
+* **PCR** — polymerase chain reaction sample preparation: a complete
+  binary mixing tree (8 input reagents → 7 mixes), 7 operations,
+  allocation (3,0,0,0) as in Table I.
+* **IVD** — in-vitro diagnostics on 3 samples × 2 assays: 6 mixes each
+  followed by a detection, 12 operations, allocation (3,0,0,2).
+* **CPA** — colorimetric protein assay: a 4-level serial-dilution tree
+  (15 mixes) fans out to 16 diluted samples, 8 reagent preparations feed
+  16 assay mixes, each read by a detection — 55 operations, allocation
+  (8,0,0,2).
+
+Additionally, :func:`fig2a_assay` reconstructs the paper's running
+example of Fig. 2(a): a 10-operation assay whose durations are chosen so
+that (as in the text) the priority of ``o1`` along
+``o1→o5→o7→o10→sink`` equals 21 for ``t_c = 2``, and whose wash times
+follow Fig. 2(b) (``o1`` leaves a 10 s residue, ``o4`` a 2 s one).
+"""
+
+from __future__ import annotations
+
+from repro.assay.builder import AssayBuilder
+from repro.assay.graph import SequencingGraph
+from repro.components.allocation import Allocation
+
+__all__ = [
+    "pcr_assay",
+    "pcr_allocation",
+    "ivd_assay",
+    "ivd_allocation",
+    "cpa_assay",
+    "cpa_allocation",
+    "fig2a_assay",
+    "fig2a_allocation",
+]
+
+
+def pcr_assay() -> SequencingGraph:
+    """The 7-operation PCR mixing tree."""
+    builder = AssayBuilder("PCR")
+    # Level 1: four reagent pair mixes.
+    for index in range(1, 5):
+        builder.mix(f"m{index}", duration=4, wash_time=2.0)
+    # Level 2: combine pairwise; slightly harder-to-wash intermediates.
+    builder.mix("m5", duration=5, after=["m1", "m2"], wash_time=4.0)
+    builder.mix("m6", duration=5, after=["m3", "m4"], wash_time=4.0)
+    # Level 3: the final master-mix, a slow-diffusing product.
+    builder.mix("m7", duration=6, after=["m5", "m6"], wash_time=6.0)
+    return builder.build()
+
+
+def pcr_allocation() -> Allocation:
+    """Table I allocation for PCR: (3,0,0,0)."""
+    return Allocation(mixers=3)
+
+
+def ivd_assay() -> SequencingGraph:
+    """In-vitro diagnostics: 3 samples × 2 assays, mix then detect."""
+    builder = AssayBuilder("IVD")
+    wash_by_assay = {1: 2.0, 2: 3.0}  # assay 2's reagent diffuses slower
+    for sample in range(1, 4):
+        for assay_kind in range(1, 3):
+            mix_id = f"mix_s{sample}a{assay_kind}"
+            det_id = f"det_s{sample}a{assay_kind}"
+            builder.mix(
+                mix_id, duration=4, wash_time=wash_by_assay[assay_kind]
+            )
+            builder.detect(det_id, duration=4, after=[mix_id], wash_time=0.2)
+    return builder.build()
+
+
+def ivd_allocation() -> Allocation:
+    """Table I allocation for IVD: (3,0,0,2)."""
+    return Allocation(mixers=3, detectors=2)
+
+
+def cpa_assay() -> SequencingGraph:
+    """Colorimetric protein assay, 55 operations.
+
+    Structure: a binary serial-dilution tree of depth 4 (15 mixes, the
+    leaves' outputs each split two ways into 16 dilutions), 8 reagent
+    preparations (each feeding two assay mixes), 16 assay mixes, and 16
+    detections: ``15 + 8 + 16 + 16 = 55``.
+    """
+    builder = AssayBuilder("CPA")
+    # Serial-dilution tree: dil1 is the root; dil2..dil15 by levels.
+    # Protein dilutions diffuse slowly -> long washes deeper in the tree.
+    wash_by_level = {0: 6.0, 1: 5.0, 2: 4.0, 3: 3.0}
+    builder.mix("dil1", duration=5, wash_time=wash_by_level[0])
+    node = 2
+    parents_by_level = {0: ["dil1"]}
+    for level in range(1, 4):
+        parents_by_level[level] = []
+        for parent in parents_by_level[level - 1]:
+            for _ in range(2):
+                op_id = f"dil{node}"
+                builder.mix(
+                    op_id,
+                    duration=5,
+                    after=[parent],
+                    wash_time=wash_by_level[level],
+                )
+                parents_by_level[level].append(op_id)
+                node += 1
+    leaves = parents_by_level[3]  # 8 leaf mixes, each output splits in two
+    # Reagent preparations: fast-diffusing dye buffer.
+    for index in range(1, 9):
+        builder.mix(f"rgt{index}", duration=3, wash_time=0.2)
+    # Assay mixes and detections: 16 of each.
+    for index in range(16):
+        leaf = leaves[index // 2]
+        reagent = f"rgt{index // 2 + 1}"
+        assay_mix = f"asy{index + 1}"
+        builder.mix(
+            assay_mix, duration=4, after=[leaf, reagent], wash_time=2.0
+        )
+        builder.detect(
+            f"det{index + 1}", duration=4, after=[assay_mix], wash_time=0.2
+        )
+    return builder.build()
+
+
+def cpa_allocation() -> Allocation:
+    """Table I allocation for CPA: (8,0,0,2)."""
+    return Allocation(mixers=8, detectors=2)
+
+
+def fig2a_assay() -> SequencingGraph:
+    """The paper's running example (Fig. 2(a) with Fig. 2(b) wash times).
+
+    Durations along ``o1→o5→o7→o10`` sum to 15, so with ``t_c = 2`` the
+    priority of ``o1`` is ``15 + 3·2 = 21``, exactly the value the paper
+    computes.  ``out(o1)`` carries the 10 s wash residue and ``out(o4)``
+    the 2 s one used in the Fig. 3 walkthrough.
+    """
+    builder = AssayBuilder("Fig2a")
+    builder.mix("o1", duration=4, wash_time=10.0)
+    builder.mix("o2", duration=4, wash_time=2.0)
+    builder.mix("o3", duration=4, wash_time=4.0)
+    builder.mix("o4", duration=4, wash_time=2.0)
+    builder.heat("o5", duration=3, after=["o1"], wash_time=2.0)
+    builder.mix("o6", duration=5, after=["o3", "o4"], wash_time=6.0)
+    builder.mix("o7", duration=5, after=["o2", "o5"], wash_time=2.0)
+    builder.mix("o8", duration=4, after=["o6"], wash_time=4.0)
+    builder.detect("o9", duration=3, after=["o8"], wash_time=0.2)
+    builder.detect("o10", duration=3, after=["o7"], wash_time=0.2)
+    return builder.build()
+
+
+def fig2a_allocation() -> Allocation:
+    """Components used in the Fig. 3 walkthrough: 3 mixers, a heater,
+    and a detector."""
+    return Allocation(mixers=3, heaters=1, detectors=1)

@@ -1,0 +1,82 @@
+"""Registry of all evaluation benchmarks (the rows of Table I).
+
+:func:`get_benchmark` returns a :class:`BenchmarkCase` by name;
+:func:`table1_benchmarks` yields the seven cases in the paper's row
+order.  Benchmarks are constructed lazily and freshly on each call so
+callers can never corrupt each other through shared mutable state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.assay.graph import SequencingGraph
+from repro.benchmarks import library as real
+from repro.benchmarks.synthetic import (
+    SYNTHETIC_SPECS,
+    synthetic_allocation,
+    synthetic_assay,
+)
+from repro.components.allocation import Allocation
+from repro.errors import AssayError
+
+__all__ = ["BenchmarkCase", "get_benchmark", "benchmark_names", "table1_benchmarks"]
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """One benchmark: an assay plus its Table I component allocation."""
+
+    name: str
+    assay: SequencingGraph
+    allocation: Allocation
+
+    @property
+    def operation_count(self) -> int:
+        """Table I column 2."""
+        return len(self.assay)
+
+
+_REAL: dict[str, tuple[Callable[[], SequencingGraph], Callable[[], Allocation]]] = {
+    "PCR": (real.pcr_assay, real.pcr_allocation),
+    "IVD": (real.ivd_assay, real.ivd_allocation),
+    "CPA": (real.cpa_assay, real.cpa_allocation),
+    "Fig2a": (real.fig2a_assay, real.fig2a_allocation),
+}
+
+#: Table I row order.
+TABLE1_ORDER = (
+    "PCR",
+    "IVD",
+    "CPA",
+    "Synthetic1",
+    "Synthetic2",
+    "Synthetic3",
+    "Synthetic4",
+)
+
+
+def benchmark_names() -> list[str]:
+    """All registered benchmark names (Table I rows + the Fig. 2(a) example)."""
+    return list(TABLE1_ORDER) + ["Fig2a"]
+
+
+def get_benchmark(name: str) -> BenchmarkCase:
+    """Build the named benchmark afresh.
+
+    Raises :class:`AssayError` for unknown names.
+    """
+    if name in _REAL:
+        assay_factory, allocation_factory = _REAL[name]
+        return BenchmarkCase(name, assay_factory(), allocation_factory())
+    if name in SYNTHETIC_SPECS:
+        return BenchmarkCase(name, synthetic_assay(name), synthetic_allocation(name))
+    known = ", ".join(benchmark_names())
+    raise AssayError(f"unknown benchmark {name!r} (known: {known})")
+
+
+def table1_benchmarks() -> Iterator[BenchmarkCase]:
+    """The seven Table I benchmarks, in row order."""
+    for name in TABLE1_ORDER:
+        yield get_benchmark(name)

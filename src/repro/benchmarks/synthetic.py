@@ -1,0 +1,195 @@
+"""Seeded synthetic benchmark generator (Synthetic1–4 of Table I).
+
+The paper complements the three real-life assays with four synthetic
+ones of 20/30/40/50 operations and mixed operation types.  Their exact
+DAGs are not published, so we generate layered random DAGs with the same
+operation counts and the same allocations, from fixed seeds — every run
+of the library sees byte-identical benchmarks.
+
+Generation model
+----------------
+* Operation types are sampled proportionally to the allocation (a chip
+  with 6 mixers and 2 filters sees three times more mixing than
+  filtering), except detections, which are placed last as sinks —
+  detection is a terminal read-out in real assays.
+* Non-detect operations are arranged in layers; each operation in layer
+  ``i > 0`` draws its parents from earlier layers, respecting the
+  physical fan-in limits (a mixer merges at most two fluids, everything
+  else transforms one).
+* Durations are small integers per type (mix 3–6 s, heat 2–4 s, filter
+  3–5 s, detect 2–4 s), and diffusion coefficients are sampled
+  log-uniformly over the paper's quoted range (5×10⁻⁸ … 10⁻⁵ cm²/s), so
+  wash times span 0.2–6 s.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.assay.builder import AssayBuilder
+from repro.assay.graph import OperationType, SequencingGraph
+from repro.assay.validation import MAX_FAN_IN
+from repro.components.allocation import Allocation
+from repro.errors import AssayError
+
+__all__ = [
+    "SyntheticSpec",
+    "generate_synthetic",
+    "SYNTHETIC_SPECS",
+    "synthetic_assay",
+    "synthetic_allocation",
+]
+
+_DURATION_RANGES = {
+    OperationType.MIX: (3, 6),
+    OperationType.HEAT: (2, 4),
+    OperationType.FILTER: (3, 5),
+    OperationType.DETECT: (2, 4),
+}
+
+_DIFFUSION_RANGE = (5e-8, 1e-5)
+
+
+class SyntheticSpec:
+    """Parameters of one synthetic benchmark."""
+
+    def __init__(self, name: str, operations: int, allocation: Allocation, seed: int):
+        if operations < 2:
+            raise AssayError("synthetic benchmarks need at least 2 operations")
+        self.name = name
+        self.operations = operations
+        self.allocation = allocation
+        self.seed = seed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SyntheticSpec({self.name!r}, ops={self.operations}, "
+            f"alloc={self.allocation}, seed={self.seed})"
+        )
+
+
+#: The four Table I synthetic benchmarks (sizes and allocations from the
+#: paper; seeds fixed for reproducibility).
+SYNTHETIC_SPECS: dict[str, SyntheticSpec] = {
+    "Synthetic1": SyntheticSpec("Synthetic1", 20, Allocation(3, 3, 2, 1), seed=11),
+    "Synthetic2": SyntheticSpec("Synthetic2", 30, Allocation(5, 2, 2, 2), seed=202),
+    "Synthetic3": SyntheticSpec("Synthetic3", 40, Allocation(6, 4, 4, 2), seed=23),
+    "Synthetic4": SyntheticSpec("Synthetic4", 50, Allocation(7, 4, 4, 3), seed=404),
+}
+
+
+def _sample_diffusion(rng: random.Random) -> float:
+    low, high = _DIFFUSION_RANGE
+    log_low, log_high = math.log10(low), math.log10(high)
+    return 10.0 ** rng.uniform(log_low, log_high)
+
+
+def _sample_type(rng: random.Random, allocation: Allocation) -> OperationType:
+    """Sample a non-detect operation type proportionally to the allocation."""
+    weighted = [
+        (op_type, allocation.count(op_type))
+        for op_type in (OperationType.MIX, OperationType.HEAT, OperationType.FILTER)
+        if allocation.count(op_type) > 0
+    ]
+    total = sum(weight for _, weight in weighted)
+    pick = rng.uniform(0.0, total)
+    cumulative = 0.0
+    for op_type, weight in weighted:
+        cumulative += weight
+        if pick <= cumulative:
+            return op_type
+    return weighted[-1][0]  # pragma: no cover - float edge
+
+
+def generate_synthetic(spec: SyntheticSpec) -> SequencingGraph:
+    """Generate the layered random DAG for *spec* (deterministic)."""
+    rng = random.Random(spec.seed)
+    allocation = spec.allocation
+
+    detect_count = 0
+    if allocation.detectors > 0:
+        # Roughly one in five operations is a terminal detection.
+        detect_count = max(1, spec.operations // 5)
+    body_count = spec.operations - detect_count
+    if body_count < 1:
+        raise AssayError("too few operations for the requested detections")
+
+    builder = AssayBuilder(spec.name)
+
+    # ------------------------------------------------------------------
+    # Layered body (mix/heat/filter operations).
+    # ------------------------------------------------------------------
+    layer_count = max(2, round(math.sqrt(body_count)))
+    layers: list[list[str]] = [[] for _ in range(layer_count)]
+    # Guarantee at least one op per layer; distribute the rest randomly.
+    assignments = list(range(layer_count)) + [
+        rng.randrange(layer_count) for _ in range(body_count - layer_count)
+    ]
+    assignments.sort()
+
+    fan_in_left: dict[str, int] = {}
+    children_count: dict[str, int] = {}
+    for index, layer in enumerate(assignments):
+        op_id = f"s{index + 1}"
+        op_type = _sample_type(rng, allocation)
+        low, high = _DURATION_RANGES[op_type]
+        builder.add(
+            op_id,
+            op_type,
+            duration=rng.randint(low, high),
+            diffusion_coefficient=_sample_diffusion(rng),
+        )
+        layers[layer].append(op_id)
+        fan_in_left[op_id] = MAX_FAN_IN[op_type]
+        children_count[op_id] = 0
+        if layer > 0:
+            pool = [op for earlier in layers[:layer] for op in earlier]
+            want = min(fan_in_left[op_id], 1 + (rng.random() < 0.5))
+            for parent in rng.sample(pool, k=min(want, len(pool))):
+                builder.depends(parent, op_id)
+                children_count[parent] += 1
+                fan_in_left[op_id] -= 1
+
+    # ------------------------------------------------------------------
+    # Terminal detections, attached to childless body operations first so
+    # every intermediate product is eventually observed.
+    # ------------------------------------------------------------------
+    body_ops = [op for layer in layers for op in layer]
+    childless = [op for op in body_ops if children_count[op] == 0]
+    rng.shuffle(childless)
+    low, high = _DURATION_RANGES[OperationType.DETECT]
+    for index in range(detect_count):
+        det_id = f"d{index + 1}"
+        if childless:
+            parent = childless.pop()
+        else:
+            parent = rng.choice(body_ops)
+        builder.detect(
+            det_id,
+            duration=rng.randint(low, high),
+            after=[parent],
+            diffusion_coefficient=_sample_diffusion(rng),
+        )
+        children_count[parent] += 1
+
+    return builder.build()
+
+
+def synthetic_assay(name: str) -> SequencingGraph:
+    """Generate one of the four Table I synthetic assays by name."""
+    try:
+        spec = SYNTHETIC_SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(SYNTHETIC_SPECS))
+        raise AssayError(f"unknown synthetic benchmark {name!r} (known: {known})")
+    return generate_synthetic(spec)
+
+
+def synthetic_allocation(name: str) -> Allocation:
+    """Allocation of one of the four Table I synthetic assays."""
+    try:
+        return SYNTHETIC_SPECS[name].allocation
+    except KeyError:
+        known = ", ".join(sorted(SYNTHETIC_SPECS))
+        raise AssayError(f"unknown synthetic benchmark {name!r} (known: {known})")

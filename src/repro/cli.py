@@ -1,0 +1,134 @@
+"""Command-line interface: ``repro-synthesize``.
+
+Synthesise a benchmark or a custom assay JSON from the shell::
+
+    repro-synthesize PCR                         # benchmark by name
+    repro-synthesize my_assay.json -m 3 -d 2     # custom assay + allocation
+    repro-synthesize CPA --algorithm baseline --svg layout.svg
+    repro-synthesize IVD --show-layout --show-schedule
+
+The assay argument is resolved as a benchmark name first and as a JSON
+file path (written by :func:`repro.assay.dump_assay`) second.  For
+custom assays the allocation must be given through ``-m/-H/-f/-d``;
+benchmarks carry their Table I allocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.assay.io import load_assay
+from repro.benchmarks.registry import benchmark_names, get_benchmark
+from repro.components.allocation import Allocation
+from repro.core.baseline import synthesize_baseline
+from repro.core.problem import SynthesisParameters
+from repro.core.synthesizer import synthesize
+from repro.errors import ReproError
+
+__all__ = ["build_parser", "run", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-synthesize",
+        description=(
+            "Physical synthesis of a flow-based microfluidic biochip "
+            "with distributed channel storage (DATE 2019)."
+        ),
+    )
+    parser.add_argument(
+        "assay",
+        help=(
+            "benchmark name "
+            f"({', '.join(benchmark_names())}) or path to an assay JSON"
+        ),
+    )
+    parser.add_argument(
+        "--algorithm",
+        choices=("ours", "baseline"),
+        default="ours",
+        help="synthesis flow to run (default: ours)",
+    )
+    parser.add_argument("-m", "--mixers", type=int, default=0,
+                        help="allocated mixers (custom assays)")
+    parser.add_argument("-H", "--heaters", type=int, default=0,
+                        help="allocated heaters (custom assays)")
+    parser.add_argument("-f", "--filters", type=int, default=0,
+                        help="allocated filters (custom assays)")
+    parser.add_argument("-d", "--detectors", type=int, default=0,
+                        help="allocated detectors (custom assays)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="annealer seed (default: 1)")
+    parser.add_argument("--tc", type=float, default=2.0,
+                        help="transport time t_c in seconds (default: 2.0)")
+    parser.add_argument("--svg", type=Path, default=None,
+                        help="write the routed layout to this SVG file")
+    parser.add_argument("--show-layout", action="store_true",
+                        help="print the ASCII layout")
+    parser.add_argument("--show-schedule", action="store_true",
+                        help="print the ASCII schedule")
+    return parser
+
+
+def _resolve(args: argparse.Namespace):
+    """Return (assay, allocation) from a benchmark name or JSON path."""
+    if args.assay in benchmark_names():
+        case = get_benchmark(args.assay)
+        return case.assay, case.allocation
+    path = Path(args.assay)
+    if not path.exists():
+        raise ReproError(
+            f"{args.assay!r} is neither a benchmark name nor an existing "
+            "assay file"
+        )
+    assay = load_assay(path)
+    allocation = Allocation(
+        mixers=args.mixers,
+        heaters=args.heaters,
+        filters=args.filters,
+        detectors=args.detectors,
+    )
+    return assay, allocation
+
+
+def run(argv: list[str]) -> int:
+    """Parse *argv* and run the requested synthesis; returns exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        assay, allocation = _resolve(args)
+        parameters = SynthesisParameters(seed=args.seed, transport_time=args.tc)
+        if args.algorithm == "ours":
+            result = synthesize(assay, allocation, parameters)
+        else:
+            result = synthesize_baseline(assay, allocation, parameters)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    print(result.summary())
+    if args.show_layout:
+        from repro.viz.ascii_art import render_routing
+
+        print()
+        print(render_routing(result.routing))
+    if args.show_schedule:
+        from repro.viz.ascii_art import render_schedule
+
+        print()
+        print(render_schedule(result.schedule))
+    if args.svg is not None:
+        from repro.viz.svg import layout_to_svg
+
+        args.svg.write_text(layout_to_svg(result.routing), encoding="utf-8")
+        print(f"\nwrote {args.svg}")
+    return 0
+
+
+def main() -> None:  # pragma: no cover - thin wrapper
+    raise SystemExit(run(sys.argv[1:]))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

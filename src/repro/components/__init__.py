@@ -1,0 +1,23 @@
+"""Component library, allocation, and per-component scheduling state."""
+
+from repro.components.allocation import Allocation
+from repro.components.instances import (
+    ComponentState,
+    ResidentFluid,
+    build_component_states,
+)
+from repro.components.library import (
+    DEFAULT_LIBRARY,
+    ComponentLibrary,
+    ComponentSpec,
+)
+
+__all__ = [
+    "Allocation",
+    "ComponentLibrary",
+    "ComponentSpec",
+    "ComponentState",
+    "DEFAULT_LIBRARY",
+    "ResidentFluid",
+    "build_component_states",
+]

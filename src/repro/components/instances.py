@@ -1,0 +1,259 @@
+"""Concrete component instances and their runtime bookkeeping.
+
+Schedulers (both the paper's Algorithm 1 and the baseline BA) track, per
+allocated component:
+
+* which operation ran last and when (for Eq. 2's ready time),
+* whether the last output fluid is *still inside* the component (the
+  Case I test of Algorithm 1) and which consumers its *portions* still
+  have to serve (an output with fan-out is split into one portion per
+  consuming edge),
+* the wash obligation left behind once the fluid fully leaves.
+
+:class:`ComponentState` encapsulates exactly that state machine so the
+two schedulers share identical storage semantics and differ only in
+policy.  The removal modes distinguish the three ways a portion leaves a
+component:
+
+``transport``
+    The portion is pumped out towards a consumer on another component.
+    Residue remains; once the last portion leaves, Eq. 2 applies:
+    ``ready = removal + wash(fluid)``.
+``evict``
+    The component is needed for an unrelated operation, so the portion is
+    pushed out into distributed channel storage.  Residue and wash as for
+    ``transport``.
+``in_place``
+    The portion is consumed by an operation executing *on this very
+    component* — the DCSA trick that removes both the transport and the
+    wash (the residue becomes an ingredient).  No wash is charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.assay.fluids import Fluid
+from repro.assay.graph import OperationType
+from repro.errors import SchedulingError
+from repro.units import Seconds, approx_ge
+
+__all__ = ["ResidentFluid", "ComponentState", "build_component_states"]
+
+RemovalMode = Literal["transport", "evict", "in_place"]
+
+#: Portion key used for the output of a sink operation, which leaves the
+#: chip through an outlet port instead of feeding another operation.
+OUTLET = "<outlet>"
+
+
+@dataclass
+class ResidentFluid:
+    """A fluid (or what is left of it) sitting inside a component.
+
+    Attributes
+    ----------
+    producer_id:
+        Operation that produced the fluid.
+    fluid:
+        The fluid itself (drives wash time on removal).
+    since:
+        Time the fluid settled in the component (end of the producing
+        operation).
+    portions:
+        Consumer operation ids whose share of the fluid is still inside
+        (plus :data:`OUTLET` for a sink output).
+    last_departure:
+        Latest committed departure time of any portion removed so far.
+        Because the scheduler processes operations in priority order (not
+        wall-clock order), a portion removed *earlier in processing* may
+        depart *later in time*; the component stays physically occupied
+        until this instant, and any new operation must start after it.
+    last_mode:
+        Removal mode of the departure at ``last_departure`` (ties prefer
+        ``"in_place"``: a simultaneous in-place consumption means the
+        component-side residue is eaten, so no wash is owed).
+    """
+
+    producer_id: str
+    fluid: Fluid
+    since: Seconds
+    portions: set[str] = field(default_factory=set)
+    last_departure: Seconds = 0.0
+    last_mode: str = "none"
+
+    def __post_init__(self) -> None:
+        self.last_departure = max(self.last_departure, self.since)
+
+
+@dataclass
+class ComponentState:
+    """Mutable scheduling state of a single allocated component."""
+
+    cid: str
+    op_type: OperationType
+    #: Eq. 2 ready time: when the component may accept the next fluid.
+    ready_time: Seconds = 0.0
+    #: End of the most recent execution on this component.
+    busy_until: Seconds = 0.0
+    #: Fluid currently stored inside, if any.
+    resident: ResidentFluid | None = None
+    #: Ids of operations executed on this component, in order.
+    executed_ops: list[str] = field(default_factory=list)
+    #: Total busy seconds (sum of execution times) — Eq. 1's ``T_a``.
+    busy_time: Seconds = 0.0
+    #: Start of the first and end of the last operation — Eq. 1's window.
+    first_start: Seconds | None = None
+    last_end: Seconds | None = None
+    #: Total component wash seconds charged on this component.
+    wash_time_total: Seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def holds_fluid(self) -> bool:
+        """Whether any output-fluid portion is still inside the component."""
+        return self.resident is not None and bool(self.resident.portions)
+
+    def holds_portion(self, producer_id: str, consumer_id: str) -> bool:
+        """Whether *producer_id*'s portion for *consumer_id* is inside."""
+        return (
+            self.resident is not None
+            and self.resident.producer_id == producer_id
+            and consumer_id in self.resident.portions
+        )
+
+    def available_from(self) -> Seconds:
+        """Earliest time a new operation may *start* on this component,
+        assuming any resident fluid is handled separately by the caller."""
+        return max(self.ready_time, self.busy_until)
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def begin_operation(self, op_id: str, start: Seconds, end: Seconds) -> None:
+        """Record the execution of *op_id* on this component.
+
+        The caller must have removed every resident portion first (either
+        consumed in place or pushed to channel storage) and must respect
+        ``ready_time``/``busy_until``; violations raise because they would
+        silently corrupt Eq. 1 / Eq. 2 accounting.
+        """
+        if self.holds_fluid:
+            assert self.resident is not None
+            raise SchedulingError(
+                f"component {self.cid}: operation {op_id} scheduled while "
+                f"fluid of {self.resident.producer_id} still resides inside"
+            )
+        if not approx_ge(start, self.ready_time):
+            raise SchedulingError(
+                f"component {self.cid}: operation {op_id} starts at {start} "
+                f"before ready time {self.ready_time}"
+            )
+        if not approx_ge(start, self.busy_until):
+            raise SchedulingError(
+                f"component {self.cid}: operation {op_id} starts at {start} "
+                f"while busy until {self.busy_until}"
+            )
+        if end < start:
+            raise SchedulingError(
+                f"component {self.cid}: operation {op_id} ends before it starts"
+            )
+        self.resident = None
+        self.executed_ops.append(op_id)
+        self.busy_time += end - start
+        self.busy_until = end
+        if self.first_start is None:
+            self.first_start = start
+        self.last_end = end
+
+    def settle_output(
+        self,
+        producer_id: str,
+        fluid: Fluid,
+        at: Seconds,
+        consumers: set[str],
+    ) -> None:
+        """Mark *fluid* as stored inside the component from time *at*,
+        split into one portion per consumer (``consumers`` may contain
+        :data:`OUTLET`)."""
+        if self.holds_fluid:
+            assert self.resident is not None
+            raise SchedulingError(
+                f"component {self.cid}: cannot settle output of "
+                f"{producer_id}, fluid of {self.resident.producer_id} "
+                "already resides inside"
+            )
+        if not consumers:
+            raise SchedulingError(
+                f"component {self.cid}: output of {producer_id} settled "
+                "with no portions"
+            )
+        self.resident = ResidentFluid(producer_id, fluid, at, set(consumers))
+
+    def remove_portion(
+        self,
+        consumer_id: str,
+        at: Seconds,
+        mode: RemovalMode,
+        wash_time: Seconds,
+    ) -> ResidentFluid:
+        """Remove one portion of the resident fluid at time *at*.
+
+        When the last portion leaves, the component's ready time advances
+        per Eq. 2 unless the final removal is ``in_place`` (the residue is
+        consumed by the incoming operation, so no wash is due).  Returns
+        the resident record for the caller's task bookkeeping.
+        """
+        resident = self.resident
+        if resident is None or consumer_id not in resident.portions:
+            raise SchedulingError(
+                f"component {self.cid}: no portion for consumer "
+                f"{consumer_id!r} to remove"
+            )
+        if not approx_ge(at, resident.since):
+            raise SchedulingError(
+                f"component {self.cid}: portion removed at {at}, before the "
+                f"fluid settled at {resident.since}"
+            )
+        resident.portions.discard(consumer_id)
+        if at > resident.last_departure + 1e-9:
+            resident.last_departure = at
+            resident.last_mode = mode
+        elif abs(at - resident.last_departure) <= 1e-9:
+            if mode == "in_place" or resident.last_mode == "none":
+                resident.last_mode = mode
+        if not resident.portions:
+            self.resident = None
+            if resident.last_mode == "in_place":
+                self.ready_time = max(self.ready_time, resident.last_departure)
+            else:
+                self.ready_time = max(
+                    self.ready_time, resident.last_departure + wash_time
+                )
+                self.wash_time_total += wash_time
+        return resident
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def utilisation_window(self) -> Seconds:
+        """Eq. 1's denominator ``T_le - T_fs`` (0 when never used)."""
+        if self.first_start is None or self.last_end is None:
+            return 0.0
+        return self.last_end - self.first_start
+
+
+def build_component_states(allocation) -> dict[str, ComponentState]:
+    """Create fresh :class:`ComponentState` objects for an allocation.
+
+    The *allocation* argument is an
+    :class:`~repro.components.allocation.Allocation`; the import is kept
+    out of the signature to avoid a circular import at type-checking time.
+    """
+    return {
+        cid: ComponentState(cid=cid, op_type=op_type)
+        for cid, op_type in allocation.iter_components()
+    }

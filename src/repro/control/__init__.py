@@ -1,0 +1,34 @@
+"""Control-layer extension: valve derivation and switching optimisation.
+
+Implements the paper's stated future work (control-logic optimisation,
+ref [13]) on top of the routed flow layer.
+"""
+
+from repro.control.escape import EscapePlan, plan_control_escape
+from repro.control.switching import (
+    SwitchingReport,
+    optimise_switching,
+    switching_cost_hold,
+    switching_cost_naive,
+)
+from repro.control.valves import (
+    ControlModel,
+    TaskPattern,
+    Valve,
+    ValveState,
+    build_control_model,
+)
+
+__all__ = [
+    "ControlModel",
+    "EscapePlan",
+    "SwitchingReport",
+    "TaskPattern",
+    "Valve",
+    "ValveState",
+    "build_control_model",
+    "optimise_switching",
+    "plan_control_escape",
+    "switching_cost_hold",
+    "switching_cost_naive",
+]

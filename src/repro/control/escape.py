@@ -1,0 +1,164 @@
+"""Control-line escape planning.
+
+Each valve on the flow layer is actuated through a control line that
+must *escape* to a pressure pin on the chip boundary.  This module
+assigns every valve to a boundary pin and estimates the control-layer
+wiring:
+
+* pins sit on the perimeter of the (same-size) control layer, spaced at
+  least one cell apart;
+* each valve is matched to the free pin minimising the Manhattan
+  distance (greedy over valves sorted by their distance-to-boundary, so
+  inner valves — which have the least routing freedom — choose first);
+* line length is estimated as the Manhattan distance (control layers in
+  PDMS chips are multi-layer and may cross, so no conflict resolution
+  is needed for an estimate — documented simplification).
+
+The resulting :class:`EscapePlan` reports total and per-valve wire
+length and whether the boundary offers enough pins; combined with
+:mod:`repro.control.switching` it completes the control-layer cost
+picture the paper's future work points at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.control.valves import ControlModel, Valve
+from repro.errors import ValidationError
+from repro.place.grid import Cell, ChipGrid
+
+__all__ = ["EscapePlan", "plan_control_escape"]
+
+
+@dataclass(frozen=True)
+class EscapeLine:
+    """One valve's control line."""
+
+    valve: Valve
+    pin: Cell
+    length_cells: int
+
+
+@dataclass(frozen=True)
+class EscapePlan:
+    """Pin assignment and wiring estimate for a control model.
+
+    When the boundary offers fewer pins than there are valves, pins are
+    shared through on-chip multiplexers: each pin drives up to
+    ``multiplex_ratio`` valves (the balanced-load ceiling), which is the
+    standard control-layer answer to pin scarcity ([13])."""
+
+    lines: tuple[EscapeLine, ...]
+    available_pins: int
+
+    @property
+    def total_length_cells(self) -> int:
+        return sum(line.length_cells for line in self.lines)
+
+    @property
+    def valve_count(self) -> int:
+        return len(self.lines)
+
+    @property
+    def pin_count(self) -> int:
+        """Distinct boundary pins actually used."""
+        return len({line.pin for line in self.lines})
+
+    @property
+    def multiplex_ratio(self) -> int:
+        """Largest number of valves sharing one pin (1 = no sharing)."""
+        if not self.lines:
+            return 0
+        loads: dict[Cell, int] = {}
+        for line in self.lines:
+            loads[line.pin] = loads.get(line.pin, 0) + 1
+        return max(loads.values())
+
+    @property
+    def feasible(self) -> bool:
+        """Whether every valve received a pin (possibly shared)."""
+        return True if not self.lines else self.pin_count <= self.available_pins
+
+    def length_mm(self, pitch_mm: float) -> float:
+        return self.total_length_cells * pitch_mm
+
+
+def _valve_anchor(valve: Valve) -> Cell:
+    """The flow-layer cell a valve's control line starts from."""
+    x, y = valve.end_a
+    return Cell(x, y)
+
+
+def _boundary_pins(grid: ChipGrid, spacing: int = 2) -> list[Cell]:
+    """Perimeter pin sites, every *spacing* cells, clockwise."""
+    pins: list[Cell] = []
+    for x in range(0, grid.width, spacing):
+        pins.append(Cell(x, 0))
+    for y in range(spacing, grid.height, spacing):
+        pins.append(Cell(grid.width - 1, y))
+    for x in range(grid.width - 1 - spacing, -1, -spacing):
+        pins.append(Cell(x, grid.height - 1))
+    for y in range(grid.height - 1 - spacing, 0, -spacing):
+        pins.append(Cell(0, y))
+    # Deduplicate while keeping order (corners can repeat).
+    seen: set[Cell] = set()
+    unique = []
+    for pin in pins:
+        if pin not in seen:
+            seen.add(pin)
+            unique.append(pin)
+    return unique
+
+
+def _distance_to_boundary(cell: Cell, grid: ChipGrid) -> int:
+    return min(
+        cell.x, cell.y, grid.width - 1 - cell.x, grid.height - 1 - cell.y
+    )
+
+
+def plan_control_escape(
+    model: ControlModel, grid: ChipGrid, pin_spacing: int = 2
+) -> EscapePlan:
+    """Assign every valve of *model* to a boundary pin on *grid*.
+
+    Raises :class:`ValidationError` when the perimeter cannot offer
+    enough pins even at spacing 1.
+    """
+    if pin_spacing < 1:
+        raise ValidationError("pin spacing must be at least 1")
+    pins = _boundary_pins(grid, pin_spacing)
+    if len(pins) < len(model.valves) and pin_spacing > 1:
+        pins = _boundary_pins(grid, 1)
+    available = len(pins)
+    if available == 0:
+        raise ValidationError("the grid boundary offers no pin sites")
+    if not model.valves:
+        return EscapePlan(lines=(), available_pins=available)
+
+    # Balanced multiplexing: each pin serves at most ceil(V/P) valves.
+    capacity = -(-len(model.valves) // available)
+    loads = {pin: 0 for pin in pins}
+
+    # Inner valves first: they are the most constrained.
+    order = sorted(
+        model.valves,
+        key=lambda v: (
+            -_distance_to_boundary(_valve_anchor(v), grid),
+            _valve_anchor(v),
+        ),
+    )
+    lines = []
+    for valve in order:
+        anchor = _valve_anchor(valve)
+        pin = min(
+            (p for p in pins if loads[p] < capacity),
+            key=lambda p: (anchor.manhattan(p), p),
+        )
+        loads[pin] += 1
+        lines.append(
+            EscapeLine(
+                valve=valve, pin=pin, length_cells=anchor.manhattan(pin)
+            )
+        )
+    return EscapePlan(lines=tuple(lines), available_pins=available)

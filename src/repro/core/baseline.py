@@ -1,0 +1,78 @@
+"""The baseline algorithm (BA) end-to-end flow (Section V).
+
+BA composes the naive counterpart of every stage:
+
+1. **Binding & scheduling** — earliest-ready binding, FIFO dispatch;
+2. **Placement** — deterministic construction-by-correction (shelf
+   packing + pairwise-swap wirelength correction, unit net priorities);
+3. **Routing** — plain shortest paths corrected by postponing
+   conflicting tasks.
+
+Routing postponements feed back into the reported execution time via
+:func:`~repro.schedule.retiming.retime_with_delays` (inside
+:func:`~repro.core.metrics.compute_metrics`), which is precisely the
+degradation mechanism the paper describes for BA in Section II-C.2.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.assay.graph import SequencingGraph
+from repro.components.allocation import Allocation
+from repro.core.metrics import compute_metrics
+from repro.core.problem import SynthesisParameters, SynthesisProblem
+from repro.core.solution import SynthesisResult
+from repro.place.greedy import greedy_placement
+from repro.route.baseline_router import route_tasks_baseline
+from repro.schedule.baseline_scheduler import schedule_assay_baseline
+from repro.schedule.validate import validate_schedule
+
+__all__ = ["synthesize_baseline", "synthesize_problem_baseline"]
+
+
+def synthesize_problem_baseline(problem: SynthesisProblem) -> SynthesisResult:
+    """Run the baseline flow on a prepared problem."""
+    params = problem.parameters
+    started = time.perf_counter()
+
+    schedule = schedule_assay_baseline(
+        problem.assay, problem.allocation, params.transport_time
+    )
+    validate_schedule(schedule)
+
+    tasks = schedule.transport_tasks()
+    nets = sorted(
+        {
+            (min(t.src_component, t.dst_component), max(t.src_component, t.dst_component))
+            for t in tasks
+            if t.src_component != t.dst_component
+        }
+    )
+    placement = greedy_placement(problem.resolved_grid(), problem.footprints(), nets)
+
+    routing = route_tasks_baseline(placement, tasks)
+
+    cpu_time = time.perf_counter() - started
+    metrics = compute_metrics(schedule, routing, cpu_time=cpu_time)
+    return SynthesisResult(
+        problem=problem,
+        algorithm="baseline",
+        schedule=schedule,
+        placement=placement,
+        routing=routing,
+        metrics=metrics,
+    )
+
+
+def synthesize_baseline(
+    assay: SequencingGraph,
+    allocation: Allocation,
+    parameters: SynthesisParameters | None = None,
+) -> SynthesisResult:
+    """Convenience wrapper: build the problem and run the baseline flow."""
+    params = parameters or SynthesisParameters()
+    problem = SynthesisProblem(
+        assay=assay, allocation=allocation, parameters=params
+    )
+    return synthesize_problem_baseline(problem)

@@ -1,0 +1,159 @@
+"""Allocation exploration: how many components does an assay need?
+
+The paper takes the component allocation as *given* (Table I's column
+3).  Upstream of that sits architectural synthesis (Minhass et al. [6],
+the paper's reference for the top-down flow): choosing the allocation
+itself.  This module implements a marginal-gain exploration over the
+allocation space using the DCSA scheduler as the evaluation engine:
+
+* start from the minimal feasible allocation (one component per
+  operation type the assay uses);
+* repeatedly add the single component whose addition shrinks the
+  schedule makespan the most (ties prefer cheaper components — smaller
+  footprint area);
+* stop when no addition helps or the component budget is exhausted.
+
+The full trajectory is returned, and :func:`pareto_front` filters it to
+the non-dominated (total components, makespan) points a designer would
+actually choose from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.assay.graph import OperationType, SequencingGraph
+from repro.components.allocation import Allocation
+from repro.components.library import DEFAULT_LIBRARY, ComponentLibrary
+from repro.errors import AllocationError
+from repro.schedule.list_scheduler import schedule_assay
+from repro.units import Seconds
+
+__all__ = ["AllocationPoint", "ExplorationResult", "explore_allocations", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class AllocationPoint:
+    """One evaluated allocation."""
+
+    allocation: Allocation
+    makespan: Seconds
+    utilisation: float
+
+    @property
+    def total_components(self) -> int:
+        return self.allocation.total
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """The greedy exploration trajectory (first point = minimal)."""
+
+    assay_name: str
+    trajectory: tuple[AllocationPoint, ...]
+
+    @property
+    def best(self) -> AllocationPoint:
+        """The fastest allocation found (ties: fewer components)."""
+        return min(
+            self.trajectory,
+            key=lambda p: (p.makespan, p.total_components),
+        )
+
+    def knee(self, tolerance: float = 0.05) -> AllocationPoint:
+        """The smallest allocation within *tolerance* of the best
+        makespan — usually the allocation a designer should pick."""
+        target = self.best.makespan * (1.0 + tolerance)
+        candidates = [p for p in self.trajectory if p.makespan <= target]
+        return min(candidates, key=lambda p: (p.total_components, p.makespan))
+
+
+def _minimal_allocation(assay: SequencingGraph) -> Allocation:
+    counts = assay.count_by_type()
+    kwargs = {
+        "mixers": 1 if counts[OperationType.MIX] else 0,
+        "heaters": 1 if counts[OperationType.HEAT] else 0,
+        "filters": 1 if counts[OperationType.FILTER] else 0,
+        "detectors": 1 if counts[OperationType.DETECT] else 0,
+    }
+    if not any(kwargs.values()):
+        raise AllocationError("assay uses no known operation type")
+    return Allocation(**kwargs)
+
+
+def _increment(allocation: Allocation, op_type: OperationType) -> Allocation:
+    counts = dict(
+        mixers=allocation.mixers,
+        heaters=allocation.heaters,
+        filters=allocation.filters,
+        detectors=allocation.detectors,
+    )
+    key = {
+        OperationType.MIX: "mixers",
+        OperationType.HEAT: "heaters",
+        OperationType.FILTER: "filters",
+        OperationType.DETECT: "detectors",
+    }[op_type]
+    counts[key] += 1
+    return Allocation(**counts)
+
+
+def _evaluate(
+    assay: SequencingGraph,
+    allocation: Allocation,
+    transport_time: Seconds,
+) -> AllocationPoint:
+    schedule = schedule_assay(assay, allocation, transport_time)
+    return AllocationPoint(
+        allocation=allocation,
+        makespan=schedule.makespan,
+        utilisation=schedule.resource_utilisation(),
+    )
+
+
+def explore_allocations(
+    assay: SequencingGraph,
+    max_components: int = 16,
+    transport_time: Seconds = 2.0,
+    library: ComponentLibrary = DEFAULT_LIBRARY,
+) -> ExplorationResult:
+    """Greedy marginal-gain exploration of the allocation space.
+
+    Each step evaluates one extra component of every used type (via a
+    full DCSA scheduling run) and keeps the one with the largest
+    makespan reduction; exploration stops when nothing improves or the
+    *max_components* budget is reached.
+    """
+    used_types = [t for t in OperationType if assay.count_by_type()[t] > 0]
+    current = _minimal_allocation(assay)
+    trajectory = [_evaluate(assay, current, transport_time)]
+    while trajectory[-1].total_components < max_components:
+        candidates = []
+        for op_type in used_types:
+            grown = _increment(current, op_type)
+            point = _evaluate(assay, grown, transport_time)
+            area = library.spec(op_type).area
+            candidates.append((point.makespan, area, op_type.value, point))
+        candidates.sort()
+        best_makespan, _area, _name, best_point = candidates[0]
+        if best_makespan >= trajectory[-1].makespan - 1e-9:
+            break
+        current = best_point.allocation
+        trajectory.append(best_point)
+    return ExplorationResult(
+        assay_name=assay.name, trajectory=tuple(trajectory)
+    )
+
+
+def pareto_front(result: ExplorationResult) -> tuple[AllocationPoint, ...]:
+    """Non-dominated (total components, makespan) points, cheap first."""
+    points = sorted(
+        result.trajectory, key=lambda p: (p.total_components, p.makespan)
+    )
+    front: list[AllocationPoint] = []
+    best_makespan = float("inf")
+    for point in points:
+        if point.makespan < best_makespan - 1e-9:
+            front.append(point)
+            best_makespan = point.makespan
+    return tuple(front)

@@ -1,0 +1,145 @@
+"""Solution (de)serialisation: archive a synthesis run as JSON.
+
+A :class:`~repro.core.solution.SynthesisResult` holds live objects;
+:func:`result_to_dict` flattens it into a versioned JSON document with
+everything a downstream tool (or a reviewer) needs: the assay, the
+binding and timing, the placement, every routed path, and the metrics.
+:func:`load_solution` reads the document back into a lightweight
+:class:`SolutionRecord` for inspection and comparison — it does not
+rebuild live scheduler/router state.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.assay.io import assay_from_dict, assay_to_dict
+from repro.core.solution import SynthesisResult
+from repro.errors import ValidationError
+
+__all__ = ["result_to_dict", "dump_solution", "SolutionRecord", "load_solution"]
+
+_FORMAT = "repro-solution"
+_VERSION = 1
+
+
+def result_to_dict(result: SynthesisResult) -> dict[str, Any]:
+    """Flatten *result* into a JSON-compatible document."""
+    schedule = result.schedule
+    placement = result.placement
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "algorithm": result.algorithm,
+        "assay": assay_to_dict(schedule.assay),
+        "allocation": list(result.problem.allocation.as_tuple()),
+        "transport_time": schedule.transport_time,
+        "grid": {
+            "width": placement.grid.width,
+            "height": placement.grid.height,
+            "pitch_mm": placement.grid.pitch_mm,
+        },
+        "operations": [
+            {
+                "id": record.op_id,
+                "component": record.component_id,
+                "start": record.start,
+                "end": record.end,
+            }
+            for record in sorted(
+                schedule.operations.values(), key=lambda r: (r.start, r.op_id)
+            )
+        ],
+        "movements": [
+            {
+                "producer": m.producer,
+                "consumer": m.consumer,
+                "src": m.src_component,
+                "dst": m.dst_component,
+                "depart": m.depart,
+                "arrive": m.arrive,
+                "consume": m.consume,
+                "in_place": m.in_place,
+                "evicted": m.evicted,
+            }
+            for m in schedule.movements
+        ],
+        "placement": [
+            {
+                "component": block.cid,
+                "x": block.x,
+                "y": block.y,
+                "width": block.width,
+                "height": block.height,
+            }
+            for block in placement.blocks()
+        ],
+        "routes": [
+            {
+                "task": path.task.task_id,
+                "producer": path.task.producer,
+                "consumer": path.task.consumer,
+                "cells": [[c.x, c.y] for c in path.cells],
+                "slot": [path.slot.start, path.slot.end],
+                "postponement": path.postponement,
+            }
+            for path in result.routing.paths
+        ],
+        "metrics": result.metrics.as_dict(),
+    }
+
+
+def dump_solution(result: SynthesisResult, path: str | Path) -> None:
+    """Write the flattened solution document to *path*."""
+    Path(path).write_text(
+        json.dumps(result_to_dict(result), indent=2) + "\n", encoding="utf-8"
+    )
+
+
+@dataclass(frozen=True)
+class SolutionRecord:
+    """Read-back view of an archived solution."""
+
+    algorithm: str
+    assay_name: str
+    operation_count: int
+    binding: dict[str, str]
+    makespan: float
+    metrics: dict[str, float]
+    placement: dict[str, tuple[int, int, int, int]]
+    route_count: int
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SolutionRecord":
+        if data.get("format") != _FORMAT:
+            raise ValidationError(
+                f"not a {_FORMAT} document (format={data.get('format')!r})"
+            )
+        if data.get("version") != _VERSION:
+            raise ValidationError(f"unsupported version: {data.get('version')!r}")
+        assay = assay_from_dict(data["assay"])
+        operations = data["operations"]
+        return cls(
+            algorithm=data["algorithm"],
+            assay_name=assay.name,
+            operation_count=len(assay),
+            binding={op["id"]: op["component"] for op in operations},
+            makespan=max((op["end"] for op in operations), default=0.0),
+            metrics=dict(data["metrics"]),
+            placement={
+                entry["component"]: (
+                    entry["x"], entry["y"], entry["width"], entry["height"]
+                )
+                for entry in data["placement"]
+            },
+            route_count=len(data["routes"]),
+        )
+
+
+def load_solution(path: str | Path) -> SolutionRecord:
+    """Read an archived solution written by :func:`dump_solution`."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return SolutionRecord.from_dict(data)

@@ -1,0 +1,100 @@
+"""Problem definition and synthesis parameters (Section III).
+
+:class:`SynthesisParameters` gathers every knob of the flow with the
+paper's published defaults (Section V): ``α=0.9, β=0.6, γ=0.4,
+T0=10000, Imax=150, Tmin=1.0, t_c=2.0, w_e=10``.
+:class:`SynthesisProblem` is the *Given* triple — assay, component
+allocation, and library — bundled with those parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.assay.graph import SequencingGraph
+from repro.assay.validation import check_assay
+from repro.components.allocation import Allocation
+from repro.components.library import DEFAULT_LIBRARY, ComponentLibrary
+from repro.errors import ValidationError
+from repro.place.annealing import AnnealingParameters
+from repro.place.grid import DEFAULT_PITCH_MM, ChipGrid, auto_grid
+from repro.units import Millimetres, Seconds
+
+__all__ = ["SynthesisParameters", "SynthesisProblem"]
+
+
+@dataclass(frozen=True)
+class SynthesisParameters:
+    """All tunables of the synthesis flow (paper defaults)."""
+
+    #: Constant inter-component transport time ``t_c`` (s).
+    transport_time: Seconds = 2.0
+    #: Eq. 4 weighting of task concurrency (β).
+    beta: float = 0.6
+    #: Eq. 4 weighting of residue wash time (γ).
+    gamma: float = 0.4
+    #: SA initial temperature ``T0``.
+    initial_temperature: float = 10_000.0
+    #: SA termination temperature ``Tmin``.
+    min_temperature: float = 1.0
+    #: SA cooling rate ``α``.
+    cooling_rate: float = 0.9
+    #: SA iterations per temperature ``Imax``.
+    iterations_per_temperature: int = 150
+    #: Initial routing-cell weight ``w_e``.
+    initial_cell_weight: float = 10.0
+    #: Physical pitch of one grid cell (mm).
+    cell_pitch_mm: Millimetres = DEFAULT_PITCH_MM
+    #: Component area / chip area bound used when auto-sizing the grid.
+    grid_fill_ratio: float = 0.25
+    #: RNG seed for the annealer.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.transport_time < 0:
+            raise ValidationError("transport time must be non-negative")
+        if self.beta < 0 or self.gamma < 0:
+            raise ValidationError("Eq. 4 weights must be non-negative")
+        if self.initial_cell_weight < 0:
+            raise ValidationError("initial cell weight must be non-negative")
+
+    def annealing(self) -> AnnealingParameters:
+        """The SA-stage subset of these parameters."""
+        return AnnealingParameters(
+            initial_temperature=self.initial_temperature,
+            min_temperature=self.min_temperature,
+            cooling_rate=self.cooling_rate,
+            iterations_per_temperature=self.iterations_per_temperature,
+        )
+
+
+@dataclass(frozen=True)
+class SynthesisProblem:
+    """The *Given* of the problem formulation, validated on construction."""
+
+    assay: SequencingGraph
+    allocation: Allocation
+    library: ComponentLibrary = field(default=DEFAULT_LIBRARY)
+    parameters: SynthesisParameters = field(default_factory=SynthesisParameters)
+    grid: ChipGrid | None = None
+
+    def __post_init__(self) -> None:
+        check_assay(self.assay, self.allocation)
+
+    def resolved_grid(self) -> ChipGrid:
+        """The explicit grid, or one auto-sized for the allocation."""
+        if self.grid is not None:
+            return self.grid
+        return auto_grid(
+            self.allocation,
+            self.library,
+            pitch_mm=self.parameters.cell_pitch_mm,
+            fill_ratio=self.parameters.grid_fill_ratio,
+        )
+
+    def footprints(self) -> dict[str, tuple[int, int]]:
+        """``cid -> (width, height)`` for every allocated component."""
+        return {
+            cid: self.library.footprint(op_type)
+            for cid, op_type in self.allocation.iter_components()
+        }

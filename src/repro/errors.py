@@ -1,0 +1,74 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can install a single ``except ReproError`` guard around a
+synthesis run.  The subclasses mirror the synthesis pipeline stages:
+assay modelling, scheduling, placement, and routing.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "AssayError",
+    "GraphCycleError",
+    "UnknownOperationError",
+    "AllocationError",
+    "SchedulingError",
+    "PlacementError",
+    "RoutingError",
+    "ValidationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class AssayError(ReproError):
+    """Raised when a bioassay description is malformed."""
+
+
+class GraphCycleError(AssayError):
+    """Raised when a sequencing graph contains a dependency cycle."""
+
+    def __init__(self, cycle: list[str]):
+        self.cycle = list(cycle)
+        joined = " -> ".join(self.cycle)
+        super().__init__(f"sequencing graph contains a cycle: {joined}")
+
+
+class UnknownOperationError(AssayError):
+    """Raised when an operation id is referenced but never defined."""
+
+    def __init__(self, op_id: str):
+        self.op_id = op_id
+        super().__init__(f"unknown operation id: {op_id!r}")
+
+
+class AllocationError(ReproError):
+    """Raised when the component allocation cannot serve the assay.
+
+    Typical causes: an operation type with zero allocated components, or a
+    negative component count.
+    """
+
+
+class SchedulingError(ReproError):
+    """Raised when binding/scheduling cannot produce a valid schedule."""
+
+
+class PlacementError(ReproError):
+    """Raised when no legal placement exists (e.g. chip grid too small)."""
+
+
+class RoutingError(ReproError):
+    """Raised when a transportation task cannot be routed."""
+
+    def __init__(self, message: str, task_id: str | None = None):
+        self.task_id = task_id
+        super().__init__(message)
+
+
+class ValidationError(ReproError):
+    """Raised when a produced artefact violates a documented invariant."""

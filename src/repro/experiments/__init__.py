@@ -1,0 +1,33 @@
+"""Experiment harness: regenerate every table and figure of Section V."""
+
+from repro.experiments.fig8 import fig8_series, render_fig8
+from repro.experiments.fig9 import fig9_series, render_fig9
+from repro.experiments.reporting import format_grouped_bars, format_table
+from repro.experiments.robustness import (
+    SeedStudy,
+    render_seed_study,
+    run_seed_study,
+)
+from repro.experiments.runner import (
+    BenchmarkComparison,
+    run_all,
+    run_benchmark,
+)
+from repro.experiments.table1 import render_table1, table1_rows
+
+__all__ = [
+    "BenchmarkComparison",
+    "SeedStudy",
+    "fig8_series",
+    "fig9_series",
+    "format_grouped_bars",
+    "format_table",
+    "render_fig8",
+    "render_fig9",
+    "render_seed_study",
+    "render_table1",
+    "run_all",
+    "run_benchmark",
+    "run_seed_study",
+    "table1_rows",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.experiments`` — run the full evaluation harness."""
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Shared experiment runner: one benchmark, both algorithms.
+
+:func:`run_benchmark` synthesises a benchmark with the proposed flow and
+the baseline under identical parameters and returns a
+:class:`BenchmarkComparison` holding both results; :func:`run_all` does
+so for every Table I row.  ``python -m repro.experiments.runner`` prints
+every table and figure of the evaluation section in one go.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.benchmarks.registry import TABLE1_ORDER, get_benchmark
+from repro.core.baseline import synthesize_problem_baseline
+from repro.core.metrics import improvement
+from repro.core.problem import SynthesisParameters, SynthesisProblem
+from repro.core.solution import SynthesisResult
+from repro.core.synthesizer import synthesize_problem
+
+__all__ = ["BenchmarkComparison", "run_benchmark", "run_all"]
+
+
+@dataclass(frozen=True)
+class BenchmarkComparison:
+    """Results of both algorithms on one benchmark."""
+
+    name: str
+    ours: SynthesisResult
+    baseline: SynthesisResult
+
+    @property
+    def execution_improvement(self) -> float:
+        """Table I ``Imp (%)`` for execution time."""
+        return improvement(
+            self.ours.metrics.execution_time,
+            self.baseline.metrics.execution_time,
+        )
+
+    @property
+    def utilisation_improvement(self) -> float:
+        """Table I ``Imp (%)`` for resource utilisation (increase)."""
+        ours = self.ours.metrics.resource_utilisation
+        base = self.baseline.metrics.resource_utilisation
+        if base == 0:
+            return 0.0
+        return (ours - base) / base * 100.0
+
+    @property
+    def length_improvement(self) -> float:
+        """Table I ``Imp (%)`` for total channel length."""
+        return improvement(
+            self.ours.metrics.total_channel_length_mm,
+            self.baseline.metrics.total_channel_length_mm,
+        )
+
+
+def run_benchmark(
+    name: str,
+    parameters: SynthesisParameters | None = None,
+) -> BenchmarkComparison:
+    """Synthesise *name* with both algorithms under one parameter set."""
+    params = parameters or SynthesisParameters(seed=1)
+    case = get_benchmark(name)
+    problem = SynthesisProblem(
+        assay=case.assay, allocation=case.allocation, parameters=params
+    )
+    ours = synthesize_problem(problem)
+    baseline = synthesize_problem_baseline(problem)
+    return BenchmarkComparison(name=name, ours=ours, baseline=baseline)
+
+
+def run_all(
+    names: Iterable[str] = TABLE1_ORDER,
+    parameters: SynthesisParameters | None = None,
+) -> list[BenchmarkComparison]:
+    """Run every requested benchmark (Table I rows by default)."""
+    return [run_benchmark(name, parameters) for name in names]
+
+
+def main() -> None:  # pragma: no cover - exercised via CLI
+    """Print Table I, Fig. 8, and Fig. 9 from one set of runs."""
+    from repro.experiments.fig8 import render_fig8
+    from repro.experiments.fig9 import render_fig9
+    from repro.experiments.table1 import render_table1
+
+    comparisons = run_all()
+    print(render_table1(comparisons))
+    print()
+    print(render_fig8(comparisons))
+    print()
+    print(render_fig9(comparisons))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,44 @@
+"""Placement stage (Algorithm 2, lines 1–8) and the baseline placer."""
+
+from repro.place.annealing import (
+    AnnealingParameters,
+    AnnealingResult,
+    anneal_placement,
+)
+from repro.place.energy import (
+    ConnectionPriorities,
+    build_connection_priorities,
+    placement_energy,
+    wirelength_energy,
+)
+from repro.place.greedy import (
+    construct_placement,
+    correct_placement,
+    greedy_placement,
+)
+from repro.place.grid import Cell, ChipGrid, auto_grid
+from repro.place.moves import random_move, random_placement, rotate, swap, translate
+from repro.place.placement import PlacedComponent, Placement
+
+__all__ = [
+    "AnnealingParameters",
+    "AnnealingResult",
+    "Cell",
+    "ChipGrid",
+    "ConnectionPriorities",
+    "PlacedComponent",
+    "Placement",
+    "anneal_placement",
+    "auto_grid",
+    "build_connection_priorities",
+    "construct_placement",
+    "correct_placement",
+    "greedy_placement",
+    "placement_energy",
+    "random_move",
+    "random_placement",
+    "rotate",
+    "swap",
+    "translate",
+    "wirelength_energy",
+]

@@ -1,0 +1,271 @@
+"""Placement data model: component blocks on the chip grid.
+
+A :class:`Placement` maps every allocated component to a
+:class:`PlacedComponent` block and answers the geometric queries the
+energy function and the router need: legality (bounds + no overlap),
+centres and Manhattan distances, occupied cells, and port cells (the
+free cells orthogonally adjacent to a block, where channels attach).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlacementError
+from repro.place.grid import Cell, ChipGrid
+
+__all__ = ["PlacedComponent", "Placement"]
+
+
+@dataclass(frozen=True)
+class PlacedComponent:
+    """An axis-aligned component block: origin cell plus footprint."""
+
+    cid: str
+    x: int
+    y: int
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise PlacementError(
+                f"component {self.cid}: footprint must be positive"
+            )
+
+    def cells(self) -> list[Cell]:
+        """All cells covered by the block."""
+        return [
+            Cell(self.x + dx, self.y + dy)
+            for dy in range(self.height)
+            for dx in range(self.width)
+        ]
+
+    def centre(self) -> tuple[float, float]:
+        """Geometric centre in cell coordinates."""
+        return (self.x + (self.width - 1) / 2.0, self.y + (self.height - 1) / 2.0)
+
+    def overlaps(self, other: "PlacedComponent", spacing: int = 0) -> bool:
+        """Whether the two blocks share any cell.
+
+        With ``spacing=1`` the test also fails when the blocks *touch*:
+        legal placements keep at least one channel-width of clearance
+        between components, as fabricated chips do (the flow channels of
+        Fig. 1 run between the components, never pressed against them).
+        """
+        return not (
+            self.x + self.width + spacing <= other.x
+            or other.x + other.width + spacing <= self.x
+            or self.y + self.height + spacing <= other.y
+            or other.y + other.height + spacing <= self.y
+        )
+
+    def rotated(self) -> "PlacedComponent":
+        """The block rotated 90° in place (footprint transposed)."""
+        return PlacedComponent(self.cid, self.x, self.y, self.height, self.width)
+
+    def moved_to(self, x: int, y: int) -> "PlacedComponent":
+        """The block translated to a new origin."""
+        return PlacedComponent(self.cid, x, y, self.width, self.height)
+
+
+class Placement:
+    """Immutable assignment of every component to a block on the grid."""
+
+    def __init__(self, grid: ChipGrid, blocks: dict[str, PlacedComponent]):
+        self.grid = grid
+        self._blocks = dict(blocks)
+        for cid, block in self._blocks.items():
+            if block.cid != cid:
+                raise PlacementError(
+                    f"placement key {cid!r} holds block for {block.cid!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def block(self, cid: str) -> PlacedComponent:
+        try:
+            return self._blocks[cid]
+        except KeyError:
+            raise PlacementError(f"component {cid!r} is not placed") from None
+
+    def components(self) -> list[str]:
+        return sorted(self._blocks)
+
+    def blocks(self) -> list[PlacedComponent]:
+        return [self._blocks[cid] for cid in sorted(self._blocks)]
+
+    def with_block(self, block: PlacedComponent) -> "Placement":
+        """A copy of this placement with one block replaced."""
+        updated = dict(self._blocks)
+        updated[block.cid] = block
+        return Placement(self.grid, updated)
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def is_legal(self) -> bool:
+        """Bounds, clearance, routability, and plane connectivity.
+
+        Fast boolean twin of :meth:`violations` (no message formatting);
+        this is the annealer's inner-loop check.
+        """
+        blocks = list(self._blocks.values())
+        for block in blocks:
+            if (
+                block.x < 0
+                or block.y < 0
+                or block.x + block.width > self.grid.width
+                or block.y + block.height > self.grid.height
+            ):
+                return False
+            # A block spanning the full grid in either axis walls the
+            # routing plane into two halves.
+            if block.width >= self.grid.width or block.height >= self.grid.height:
+                return False
+        for i, a in enumerate(blocks):
+            for b in blocks[i + 1:]:
+                if a.overlaps(b, spacing=1):
+                    return False
+        # Clearance + no-full-span imply every block keeps free port
+        # cells and the free plane stays 4-connected: any two blocks are
+        # separated by a >=1-cell free gap (the inflated-rectangle test
+        # also forbids diagonal contact), so the free ring around each
+        # block is intact except where it meets the boundary, and rings
+        # merge into one region.  The property-based tests assert this
+        # equivalence against the explicit BFS in _free_plane_connected.
+        return True
+
+    def violations(self) -> list[str]:
+        """Human-readable legality violations (empty when legal).
+
+        Legality covers bounds, pairwise non-overlap, and *routability*:
+        every component must keep at least one free orthogonally adjacent
+        cell, otherwise no channel can ever attach to it.
+        """
+        problems = []
+        blocks = self.blocks()
+        for block in blocks:
+            if (
+                block.x < 0
+                or block.y < 0
+                or block.x + block.width > self.grid.width
+                or block.y + block.height > self.grid.height
+            ):
+                problems.append(f"{block.cid} out of bounds at ({block.x},{block.y})")
+            if block.width >= self.grid.width or block.height >= self.grid.height:
+                problems.append(
+                    f"{block.cid} spans the full grid and walls off the "
+                    "routing plane"
+                )
+        for i, a in enumerate(blocks):
+            for b in blocks[i + 1:]:
+                if a.overlaps(b, spacing=1):
+                    problems.append(
+                        f"{a.cid} overlaps or touches {b.cid} (one "
+                        "channel-width of clearance is required)"
+                    )
+        return problems
+
+    def _free_plane_connected(self, occupied: set[Cell]) -> bool:
+        """Whether all free cells form one 4-connected region.
+
+        A disconnected routing plane makes some transports geometrically
+        impossible, so such placements are treated as illegal outright.
+        """
+        total_free = self.grid.cell_count - len(occupied)
+        if total_free <= 1:
+            return True
+        start = None
+        for cell in self.grid.cells():
+            if cell not in occupied:
+                start = cell
+                break
+        assert start is not None
+        seen = {start}
+        stack = [start]
+        while stack:
+            cell = stack.pop()
+            for neighbour in cell.neighbours():
+                if (
+                    neighbour not in seen
+                    and self.grid.contains(neighbour)
+                    and neighbour not in occupied
+                ):
+                    seen.add(neighbour)
+                    stack.append(neighbour)
+        return len(seen) == total_free
+
+    def has_free_port(self, cid: str) -> bool:
+        """Whether *cid*'s block keeps at least one free adjacent cell.
+
+        Guaranteed ``True`` for legal placements (clearance + no-full-
+        span imply it — see :meth:`is_legal`); exposed as a diagnostic
+        for hand-built placements and the property tests.
+        """
+        block = self.block(cid)
+        occupied = self.occupied_cells()
+        block_cells = set(block.cells())
+        for cell in block_cells:
+            for neighbour in cell.neighbours():
+                if (
+                    self.grid.contains(neighbour)
+                    and neighbour not in occupied
+                    and neighbour not in block_cells
+                ):
+                    return True
+        return False
+
+    def occupied_cells(self) -> set[Cell]:
+        """Union of all component cells (routing obstacles)."""
+        occupied: set[Cell] = set()
+        for block in self._blocks.values():
+            occupied.update(block.cells())
+        return occupied
+
+    def ports(self, cid: str) -> list[Cell]:
+        """Free on-grid cells orthogonally adjacent to *cid*'s block.
+
+        These are the cells where a flow channel may attach to the
+        component.  Raises when the block is completely walled in — such
+        a placement cannot be routed.
+        """
+        block = self.block(cid)
+        block_cells = set(block.cells())
+        occupied = self.occupied_cells()
+        ports: list[Cell] = []
+        seen: set[Cell] = set()
+        for cell in block_cells:
+            for neighbour in cell.neighbours():
+                if neighbour in seen:
+                    continue
+                seen.add(neighbour)
+                if (
+                    self.grid.contains(neighbour)
+                    and neighbour not in occupied
+                    and neighbour not in block_cells
+                ):
+                    ports.append(neighbour)
+        if not ports:
+            raise PlacementError(
+                f"component {cid} has no free adjacent cell to attach a channel"
+            )
+        return sorted(ports)
+
+    def manhattan_distance(self, cid_a: str, cid_b: str) -> float:
+        """Centre-to-centre Manhattan distance in cells (Eq. 3's ``mdis``)."""
+        ax, ay = self.block(cid_a).centre()
+        bx, by = self.block(cid_b).centre()
+        return abs(ax - bx) + abs(ay - by)
+
+    def bounding_box_cells(self) -> int:
+        """Area of the bounding box around all blocks, in cells."""
+        blocks = self.blocks()
+        if not blocks:
+            return 0
+        min_x = min(b.x for b in blocks)
+        min_y = min(b.y for b in blocks)
+        max_x = max(b.x + b.width for b in blocks)
+        max_y = max(b.y + b.height for b in blocks)
+        return (max_x - min_x) * (max_y - min_y)

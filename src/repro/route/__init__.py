@@ -1,0 +1,25 @@
+"""Routing stage (Algorithm 2, lines 9–18) and the baseline router."""
+
+from repro.route.astar import find_path
+from repro.route.baseline_router import route_tasks_baseline
+from repro.route.grid_graph import (
+    DEFAULT_INITIAL_WEIGHT,
+    CellUsage,
+    RoutingGrid,
+)
+from repro.route.paths import RoutedPath
+from repro.route.router import RoutingResult, route_tasks
+from repro.route.timeslots import TimeSlot, TimeSlotSet
+
+__all__ = [
+    "CellUsage",
+    "DEFAULT_INITIAL_WEIGHT",
+    "RoutedPath",
+    "RoutingGrid",
+    "RoutingResult",
+    "TimeSlot",
+    "TimeSlotSet",
+    "find_path",
+    "route_tasks",
+    "route_tasks_baseline",
+]

@@ -1,0 +1,104 @@
+"""Improved A* path finding (Section IV-B.2, Eq. 5).
+
+The search runs from the set of *port cells* of the source component to
+any port cell of the destination component.  The cost of expanding cell
+``ce_k`` is::
+
+    Cost(k) = h(k) + g(k) + w(k)     if the task's slot fits on ce_k,
+              +inf                   otherwise,
+
+where (keeping the paper's notation) ``h`` is the realised path length
+from the source, ``g`` the Manhattan lower bound to the nearest target,
+and ``w`` the cell's current weight.  Cells whose slot sets conflict
+with the task's occupation interval are pruned outright, which
+eliminates the three transportation-conflict types of Section II-C.2 by
+construction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Sequence
+
+from repro.place.grid import Cell
+from repro.route.grid_graph import RoutingGrid
+from repro.route.timeslots import TimeSlot
+
+__all__ = ["find_path"]
+
+
+def _heuristic(cell: Cell, targets: Sequence[Cell]) -> int:
+    """Manhattan distance to the nearest target (admissible)."""
+    return min(cell.manhattan(target) for target in targets)
+
+
+def find_path(
+    grid: RoutingGrid,
+    sources: Iterable[Cell],
+    targets: Iterable[Cell],
+    slot: TimeSlot,
+    goal_slot: TimeSlot | None = None,
+) -> tuple[Cell, ...] | None:
+    """A* from any source port to any target port under Eq. 5.
+
+    *slot* is the transit occupation checked on every traversed cell;
+    *goal_slot* (defaulting to *slot*) is the — typically longer —
+    occupation the path's final cell must accommodate, covering the
+    distributed-channel cache beside the destination.  A target cell
+    whose goal slot is blocked may still be crossed in transit.
+
+    Returns the cell path (source and target inclusive) or ``None`` when
+    no admissible path exists.  Deterministic: ties in cost are broken
+    by cell coordinates.
+    """
+    if goal_slot is None:
+        goal_slot = slot
+    target_list = [t for t in targets if grid.is_routable(t)]
+    source_list = [s for s in sources if grid.is_free(s, slot)]
+    if not target_list or not source_list:
+        return None
+    target_set = set(target_list)
+
+    # Priority queue entries: (f, tie, cell); g/w accumulated separately.
+    open_heap: list[tuple[float, tuple[int, int], Cell]] = []
+    accumulated: dict[Cell, float] = {}
+    parent: dict[Cell, Cell | None] = {}
+    for source in source_list:
+        cost = 1.0 + grid.weight(source)  # the source cell itself is used
+        if cost < accumulated.get(source, float("inf")):
+            accumulated[source] = cost
+            parent[source] = None
+            f = cost + _heuristic(source, target_list)
+            heapq.heappush(open_heap, (f, (source.x, source.y), source))
+
+    closed: set[Cell] = set()
+    while open_heap:
+        _f, _tie, cell = heapq.heappop(open_heap)
+        if cell in closed:
+            continue
+        closed.add(cell)
+        if cell in target_set and grid.is_free(cell, goal_slot):
+            return _reconstruct(parent, cell)
+        for neighbour in cell.neighbours():
+            if neighbour in closed:
+                continue
+            if not grid.is_free(neighbour, slot):
+                continue
+            cost = accumulated[cell] + 1.0 + grid.weight(neighbour)
+            if cost < accumulated.get(neighbour, float("inf")):
+                accumulated[neighbour] = cost
+                parent[neighbour] = cell
+                f = cost + _heuristic(neighbour, target_list)
+                heapq.heappush(open_heap, (f, (neighbour.x, neighbour.y), neighbour))
+    return None
+
+
+def _reconstruct(parent: dict[Cell, Cell | None], cell: Cell) -> tuple[Cell, ...]:
+    path = [cell]
+    while True:
+        previous = parent[path[-1]]
+        if previous is None:
+            break
+        path.append(previous)
+    path.reverse()
+    return tuple(path)

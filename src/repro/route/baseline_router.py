@@ -1,0 +1,156 @@
+"""Construction-by-correction routing — the baseline's router.
+
+Section V describes BA's physical stage as "generating an initial
+solution and then correct[ing] those unsatisfactory component
+positions/routing paths sequentially".  The router here mirrors that:
+
+1. **Construction** — every task gets a plain shortest path (uniform
+   cell cost, no wash-weight guidance, occupation slots ignored).
+2. **Correction** — tasks are revisited in start order; when a task's
+   occupation slots overlap already-committed slots on shared cells,
+   the path is re-routed around the conflict (still with uniform cost —
+   BA never uses the wash-time weights that let the proposed router
+   share cheap channels), and when no conflict-free detour exists the
+   task is *postponed* until its slots fit.
+
+The postponements are exactly the delays the paper attributes to BA in
+Section II-C.2 (e.g. the shared segment in Fig. 4(a) forcing the
+``o4→o6`` transport to wait for a 10 s wash).  They are returned per
+edge so :func:`repro.schedule.retiming.retime_with_delays` can propagate
+them into the baseline's final execution time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RoutingError
+from repro.place.grid import Cell
+from repro.place.placement import Placement
+from repro.route.astar import find_path
+from repro.route.grid_graph import RoutingGrid
+from repro.route.paths import RoutedPath
+from repro.route.router import (
+    RoutingResult,
+    _cache_slot,
+    _route_self_loop,
+    _transit_slot,
+    plan_path_slots,
+)
+from repro.route.timeslots import TimeSlot
+from repro.schedule.tasks import TransportTask
+
+__all__ = ["route_tasks_baseline"]
+
+
+def _shortest_path(
+    grid: RoutingGrid, sources: list[Cell], targets: list[Cell]
+) -> tuple[Cell, ...] | None:
+    """Uniform-cost shortest path ignoring slots and weights.
+
+    Implemented by running the shared A* on a throwaway zero-weight grid
+    view with an always-empty slot: geometry only.
+    """
+    probe = TimeSlot(0.0, 0.0)  # zero-length slot conflicts with nothing
+    return find_path(_ZeroWeightView(grid), sources, targets, probe)
+
+
+class _ZeroWeightView:
+    """Read-only adapter hiding weights and slots from the A* search."""
+
+    def __init__(self, grid: RoutingGrid):
+        self._grid = grid
+
+    def is_routable(self, cell: Cell) -> bool:
+        return self._grid.is_routable(cell)
+
+    def is_free(self, cell: Cell, _slot: TimeSlot) -> bool:
+        return self._grid.is_routable(cell)
+
+    def weight(self, _cell: Cell) -> float:
+        return 0.0
+
+
+class _UniformCostView:
+    """Adapter keeping occupation checks but hiding wash-time weights.
+
+    Used by BA's correction detours: conflict-aware, but with none of
+    the weight guidance that makes the proposed router share
+    cheap-to-wash channels."""
+
+    def __init__(self, grid: RoutingGrid):
+        self._grid = grid
+
+    def is_routable(self, cell: Cell) -> bool:
+        return self._grid.is_routable(cell)
+
+    def is_free(self, cell: Cell, slot: TimeSlot) -> bool:
+        return self._grid.is_free(cell, slot)
+
+    def weight(self, _cell: Cell) -> float:
+        return 0.0
+
+
+def route_tasks_baseline(
+    placement: Placement,
+    tasks: list[TransportTask],
+) -> RoutingResult:
+    """Route *tasks* with the construction-by-correction strategy."""
+    grid = RoutingGrid(placement, initial_weight=0.0)
+    result = RoutingResult(placement=placement, grid=grid)
+    ordered = sorted(tasks, key=lambda t: (t.depart, t.task_id))
+    all_ports = {
+        cell
+        for cid in placement.components()
+        for cell in placement.ports(cid)
+    }
+    for task in ordered:
+        sources = placement.ports(task.src_component)
+        targets = placement.ports(task.dst_component)
+        if task.src_component == task.dst_component:
+            # Self-loop: take the first port regardless of occupation,
+            # then correct below like any other path.
+            cells: tuple[Cell, ...] | None = (sources[0],)
+        else:
+            cells = _shortest_path(grid, sources, targets)
+        if cells is None:
+            raise RoutingError(
+                f"task {task.task_id} ({task.src_component} -> "
+                f"{task.dst_component}) has no geometric path",
+                task_id=task.task_id,
+            )
+        # Correction: when the constructed path conflicts, first try a
+        # detour (uniform cost, occupation-aware), then postpone in
+        # 1-second steps until a feasible plan exists.
+        delay = 0.0
+        slots = plan_path_slots(
+            grid, cells, task, delay, avoid_for_cache=all_ports
+        )
+        while slots is None:
+            if task.src_component != task.dst_component:
+                rerouted = find_path(
+                    _UniformCostView(grid),
+                    sources,
+                    targets,
+                    _transit_slot(task, delay),
+                )
+                if rerouted is not None:
+                    candidate = plan_path_slots(
+                        grid, rerouted, task, delay, avoid_for_cache=all_ports
+                    )
+                    if candidate is not None:
+                        cells = rerouted
+                        slots = candidate
+                        break
+            delay += 1.0
+            slots = plan_path_slots(
+                grid, cells, task, delay, avoid_for_cache=all_ports
+            )
+        grid.commit_path(cells, task.task_id, task.fluid, slots, task.wash_time)
+        result.paths.append(
+            RoutedPath(
+                task=task,
+                cells=cells,
+                slot=_cache_slot(task, delay),
+                postponement=delay,
+            )
+        )
+    return result

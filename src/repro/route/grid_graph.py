@@ -1,0 +1,129 @@
+"""The routing plane: per-cell weights, occupation slots, and residues.
+
+Algorithm 2 (lines 9–10) initialises every grid cell with a constant
+weight ``w_e`` and an empty time-slot set.  As tasks are routed, each
+cell along a path has its weight replaced by the wash time of the
+residue the task leaves (line 16) and the task's occupation slot
+inserted (line 17).  The weight steers later A* searches towards cells
+that are cheap to reuse; the slots enforce conflict freedom.
+
+:class:`RoutingGrid` also records the full *usage history* per cell,
+which the metrics stage replays to compute the total channel wash time
+of Fig. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.assay.fluids import Fluid
+from repro.errors import RoutingError
+from repro.place.grid import Cell, ChipGrid
+from repro.place.placement import Placement
+from repro.route.timeslots import TimeSlot, TimeSlotSet
+from repro.units import Seconds
+
+__all__ = ["CellUsage", "RoutingGrid", "DEFAULT_INITIAL_WEIGHT"]
+
+#: Paper default for the initial cell weight ``w_e``.
+DEFAULT_INITIAL_WEIGHT: float = 10.0
+
+
+@dataclass(frozen=True)
+class CellUsage:
+    """One task's use of one cell (for wash accounting)."""
+
+    task_id: str
+    fluid: Fluid
+    slot: TimeSlot
+
+
+class RoutingGrid:
+    """Mutable routing state over a placed chip."""
+
+    def __init__(
+        self,
+        placement: Placement,
+        initial_weight: float = DEFAULT_INITIAL_WEIGHT,
+    ) -> None:
+        if initial_weight < 0:
+            raise RoutingError(f"initial weight must be >= 0, got {initial_weight}")
+        self.placement = placement
+        self.grid: ChipGrid = placement.grid
+        self.initial_weight = initial_weight
+        self._obstacles: set[Cell] = placement.occupied_cells()
+        self._weights: dict[Cell, float] = {}
+        self._slots: dict[Cell, TimeSlotSet] = {}
+        self._usage: dict[Cell, list[CellUsage]] = {}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_routable(self, cell: Cell) -> bool:
+        """On-grid and not covered by a component block."""
+        return self.grid.contains(cell) and cell not in self._obstacles
+
+    def weight(self, cell: Cell) -> float:
+        """Current ``w(i)`` of the cell (Eq. 5's additive term)."""
+        return self._weights.get(cell, self.initial_weight)
+
+    def slots(self, cell: Cell) -> TimeSlotSet:
+        slot_set = self._slots.get(cell)
+        if slot_set is None:
+            slot_set = TimeSlotSet()
+            self._slots[cell] = slot_set
+        return slot_set
+
+    def is_free(self, cell: Cell, slot: TimeSlot) -> bool:
+        """Eq. 5 admissibility: routable and no slot overlap."""
+        if not self.is_routable(cell):
+            return False
+        existing = self._slots.get(cell)
+        return existing is None or not existing.conflicts_with(slot)
+
+    def used_cells(self) -> set[Cell]:
+        """Cells that carry at least one routed task (channel footprint)."""
+        return set(self._usage)
+
+    def usage_history(self) -> dict[Cell, list[CellUsage]]:
+        """Per-cell usage events, each list in insertion (time) order."""
+        return {cell: list(events) for cell, events in self._usage.items()}
+
+    # ------------------------------------------------------------------
+    # Mutation (Algorithm 2, lines 15–17)
+    # ------------------------------------------------------------------
+    def commit_path(
+        self,
+        cells: tuple[Cell, ...],
+        task_id: str,
+        fluid: Fluid,
+        slots: list[TimeSlot],
+        wash_time: Seconds,
+    ) -> None:
+        """Claim *cells* for a routed task, one occupation slot per cell.
+
+        The per-cell slots come from the router's slot plan (transit /
+        cache / tail, see :func:`repro.route.router.plan_path_slots`).
+        Every cell's weight becomes the residue's wash time (Algorithm 2,
+        line 16).  Raises when any cell is not actually free: the
+        admissibility must have been checked during planning, so a
+        failure here is a router bug.
+        """
+        if len(slots) != len(cells):
+            raise RoutingError(
+                f"task {task_id}: {len(slots)} slots for {len(cells)} cells",
+                task_id=task_id,
+            )
+        for cell, slot in zip(cells, slots):
+            if not self.is_free(cell, slot):
+                raise RoutingError(
+                    f"task {task_id}: cell {cell} is not free for slot "
+                    f"[{slot.start}, {slot.end})",
+                    task_id=task_id,
+                )
+        for cell, slot in zip(cells, slots):
+            self.slots(cell).add(slot)
+            self._weights[cell] = wash_time
+            self._usage.setdefault(cell, []).append(
+                CellUsage(task_id=task_id, fluid=fluid, slot=slot)
+            )

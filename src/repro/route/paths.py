@@ -1,0 +1,60 @@
+"""Routed path model.
+
+A routed path is a 4-connected sequence of free grid cells from a port
+of the source component to a port of the destination component.  The
+:class:`RoutedPath` records the path together with the task it realises
+and the occupation slot it claimed, and validates its own connectivity —
+a disconnected "path" is a router bug that must surface immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RoutingError
+from repro.place.grid import Cell
+from repro.route.timeslots import TimeSlot
+from repro.schedule.tasks import TransportTask
+from repro.units import Millimetres
+
+__all__ = ["RoutedPath"]
+
+
+@dataclass(frozen=True)
+class RoutedPath:
+    """One realised transportation task."""
+
+    task: TransportTask
+    cells: tuple[Cell, ...]
+    slot: TimeSlot
+    #: Extra delay applied to the task by construction-by-correction
+    #: (always 0 for the conflict-aware router).
+    postponement: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            raise RoutingError(
+                f"task {self.task.task_id}: routed path has no cells",
+                task_id=self.task.task_id,
+            )
+        for a, b in zip(self.cells, self.cells[1:]):
+            if a.manhattan(b) != 1:
+                raise RoutingError(
+                    f"task {self.task.task_id}: path cells {a} and {b} are "
+                    "not orthogonal neighbours",
+                    task_id=self.task.task_id,
+                )
+        if len(set(self.cells)) != len(self.cells):
+            raise RoutingError(
+                f"task {self.task.task_id}: path revisits a cell",
+                task_id=self.task.task_id,
+            )
+
+    @property
+    def length_cells(self) -> int:
+        """Channel length of this path, in cells."""
+        return len(self.cells)
+
+    def length_mm(self, pitch_mm: Millimetres) -> Millimetres:
+        """Channel length of this path, in millimetres."""
+        return self.length_cells * pitch_mm

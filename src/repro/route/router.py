@@ -1,0 +1,238 @@
+"""Transportation-conflict-aware routing (Algorithm 2, lines 9–18).
+
+Tasks are routed in non-decreasing start-time order.  For each task the
+improved A* of :mod:`repro.route.astar` searches a path whose *transit*
+occupation fits every traversed cell; the path is then given a **slot
+plan** assigning each cell the occupation matching its role:
+
+* cells up to the cache cell — ``[depart, arrive + wash)``: the fluid
+  passes on its way in, and the wash flow follows;
+* the **cache cell** — the path cell closest to the destination that can
+  host the plug — ``[depart, consume + wash)``: transport, distributed-
+  channel cache, and wash;
+* cells past the cache cell — ``[consume − t_c, consume + wash)``: they
+  are only traversed when the plug finally moves into the destination.
+
+Committed paths update cell weights to their residue's wash time,
+steering later tasks onto channels that are cheap to reuse (increasing
+path sharing, exactly as the paper argues).
+
+A defensive postponement fallback exists for saturated layouts: when no
+admissible plan exists, the task slides forward in 1-second steps until
+one does.  With adequately sized grids the fallback rarely fires for the
+conflict-aware router; it is the *primary* correction mechanism of the
+baseline router in :mod:`repro.route.baseline_router`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RoutingError
+from repro.place.grid import Cell
+from repro.place.placement import Placement
+from repro.route.astar import find_path
+from repro.route.grid_graph import DEFAULT_INITIAL_WEIGHT, RoutingGrid
+from repro.route.paths import RoutedPath
+from repro.route.timeslots import TimeSlot
+from repro.schedule.tasks import TransportTask
+from repro.units import Millimetres, Seconds
+
+__all__ = ["RoutingResult", "route_tasks", "plan_path_slots"]
+
+#: Step and budget for the defensive postponement fallback.
+_POSTPONE_STEP: Seconds = 1.0
+_POSTPONE_LIMIT: int = 1000
+
+
+@dataclass
+class RoutingResult:
+    """All routed paths plus the final routing-grid state."""
+
+    placement: Placement
+    paths: list[RoutedPath] = field(default_factory=list)
+    grid: RoutingGrid | None = None
+
+    def path_for(self, task_id: str) -> RoutedPath:
+        for path in self.paths:
+            if path.task.task_id == task_id:
+                return path
+        raise RoutingError(f"no routed path for task {task_id!r}", task_id=task_id)
+
+    @property
+    def total_length_cells(self) -> int:
+        """Distinct channel cells used by any task — the physical channel
+        network's footprint.  Shared segments count once, which is what
+        makes path sharing profitable (Table I's channel-length metric)."""
+        assert self.grid is not None
+        return len(self.grid.used_cells())
+
+    def total_length_mm(self) -> Millimetres:
+        assert self.grid is not None
+        return self.grid.grid.length_mm(self.total_length_cells)
+
+    def postponements(self) -> dict[tuple[str, str], Seconds]:
+        """Per-edge extra delays (empty for a conflict-free routing)."""
+        return {
+            (p.task.producer, p.task.consumer): p.postponement
+            for p in self.paths
+            if p.postponement > 0
+        }
+
+    @property
+    def total_postponement(self) -> Seconds:
+        return sum(p.postponement for p in self.paths)
+
+
+def _transit_slot(task: TransportTask, delay: Seconds) -> TimeSlot:
+    """Transit occupation of *task*, shifted by *delay*."""
+    start, end = task.transit_occupation
+    return TimeSlot(start + delay, end + delay)
+
+
+def _cache_slot(task: TransportTask, delay: Seconds) -> TimeSlot:
+    """Full (cache-cell) occupation of *task*, shifted by *delay*."""
+    start, end = task.occupation
+    return TimeSlot(start + delay, end + delay)
+
+
+def plan_path_slots(
+    grid: RoutingGrid,
+    cells: tuple[Cell, ...],
+    task: TransportTask,
+    delay: Seconds,
+    avoid_for_cache: set[Cell] | None = None,
+) -> list[TimeSlot] | None:
+    """Assign each path cell its occupation slot (see module docstring).
+
+    The cache cell is chosen as late (destination-most) as possible, but
+    cells in *avoid_for_cache* — typically the component port cells,
+    which later tasks must cross — are only used as a last resort: a
+    plug parked on a port would block every subsequent arrival at that
+    component for its whole cache duration.  Returns ``None`` when no
+    cell of the path can host the cache plug or some cell is otherwise
+    occupied.
+    """
+    transit = _transit_slot(task, delay)
+    cache = _cache_slot(task, delay)
+    travel = task.arrive - task.depart
+    tail = TimeSlot(
+        max(task.depart + delay, task.consume + delay - travel),
+        cache.end,
+    )
+    avoid = avoid_for_cache or set()
+    candidate_order = [
+        index
+        for index in range(len(cells) - 1, -1, -1)
+        if cells[index] not in avoid
+    ] + [
+        index
+        for index in range(len(cells) - 1, -1, -1)
+        if cells[index] in avoid
+    ]
+    for index in candidate_order:
+        if not grid.is_free(cells[index], cache):
+            continue
+        slots: list[TimeSlot] = []
+        feasible = True
+        for position, cell in enumerate(cells):
+            if position < index:
+                slot = transit
+            elif position == index:
+                slot = cache
+            else:
+                slot = tail
+            if position != index and not grid.is_free(cell, slot):
+                feasible = False
+                break
+            slots.append(slot)
+        if feasible:
+            return slots
+    return None
+
+
+def _route_self_loop(
+    grid: RoutingGrid, ports: list[Cell], slot: TimeSlot
+) -> tuple[Cell, ...] | None:
+    """Path for a task whose source and destination coincide (an evicted
+    fluid cached beside, and returning to, its own component): occupy one
+    nearby channel cell for the cache duration.
+
+    Port cells themselves are used only as a last resort — a plug parked
+    on a port blocks every later arrival at the component — so free
+    non-port neighbours of the ports are preferred.
+    """
+    port_set = set(ports)
+    neighbourhood: list[Cell] = []
+    seen: set[Cell] = set()
+    for port in ports:
+        for cell in port.neighbours():
+            if cell not in seen and cell not in port_set and grid.is_routable(cell):
+                seen.add(cell)
+                neighbourhood.append(cell)
+    for candidates in (neighbourhood, ports):
+        free = [cell for cell in candidates if grid.is_free(cell, slot)]
+        if free:
+            best = min(free, key=lambda c: (grid.weight(c), c.x, c.y))
+            return (best,)
+    return None
+
+
+def route_tasks(
+    placement: Placement,
+    tasks: list[TransportTask],
+    initial_weight: float = DEFAULT_INITIAL_WEIGHT,
+) -> RoutingResult:
+    """Route *tasks* (Algorithm 2, lines 9–18).
+
+    Tasks are processed in non-decreasing start time (the caller's list
+    order is re-sorted defensively).  Raises :class:`RoutingError` when
+    even the postponement fallback cannot realise a task.
+    """
+    grid = RoutingGrid(placement, initial_weight)
+    result = RoutingResult(placement=placement, grid=grid)
+    ordered = sorted(tasks, key=lambda t: (t.depart, t.task_id))
+    all_ports = {
+        cell
+        for cid in placement.components()
+        for cell in placement.ports(cid)
+    }
+    for task in ordered:
+        sources = placement.ports(task.src_component)
+        targets = placement.ports(task.dst_component)
+        delay = 0.0
+        cells: tuple[Cell, ...] | None = None
+        slots: list[TimeSlot] | None = None
+        for _attempt in range(_POSTPONE_LIMIT):
+            if task.src_component == task.dst_component:
+                cells = _route_self_loop(grid, sources, _cache_slot(task, delay))
+                slots = [_cache_slot(task, delay)] if cells else None
+            else:
+                cells = find_path(grid, sources, targets, _transit_slot(task, delay))
+                slots = (
+                    plan_path_slots(
+                        grid, cells, task, delay, avoid_for_cache=all_ports
+                    )
+                    if cells is not None
+                    else None
+                )
+            if slots is not None:
+                break
+            delay += _POSTPONE_STEP
+        if cells is None or slots is None:
+            raise RoutingError(
+                f"task {task.task_id} ({task.src_component} -> "
+                f"{task.dst_component}) could not be routed within the "
+                f"postponement budget",
+                task_id=task.task_id,
+            )
+        grid.commit_path(cells, task.task_id, task.fluid, slots, task.wash_time)
+        result.paths.append(
+            RoutedPath(
+                task=task,
+                cells=cells,
+                slot=_cache_slot(task, delay),
+                postponement=delay,
+            )
+        )
+    return result

@@ -1,0 +1,87 @@
+"""Makespan lower bounds for binding & scheduling.
+
+Two classical bounds, adapted to the DCSA cost model:
+
+* **critical-path bound** — no schedule can beat the longest
+  dependency chain.  Under DCSA an edge can be free (in-place reuse)
+  *only* when producer and consumer have the same operation type, so
+  edges between different types always pay ``t_c``; the bound uses that
+  refinement.
+* **load bound** — for each component family, the total execution time
+  of its operations divided by the number of allocated components; no
+  family can finish its workload faster.
+
+The list scheduler's makespan must dominate both (regression- and
+property-tested), and the ratio to the bound quantifies scheduling
+quality without running the exponential exact search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.assay.graph import SequencingGraph
+from repro.components.allocation import Allocation
+from repro.units import Seconds
+
+__all__ = ["MakespanBounds", "makespan_lower_bounds"]
+
+
+@dataclass(frozen=True)
+class MakespanBounds:
+    """The individual bounds and their maximum."""
+
+    critical_path: Seconds
+    load: Seconds
+
+    @property
+    def best(self) -> Seconds:
+        """The tightest (largest) lower bound."""
+        return max(self.critical_path, self.load)
+
+
+def _critical_path_bound(
+    assay: SequencingGraph, transport_time: Seconds
+) -> Seconds:
+    """Longest path where cross-type edges always pay ``t_c``.
+
+    Same-type edges may be free (in-place reuse), so they contribute 0 —
+    a valid relaxation of every feasible schedule.
+    """
+    longest: dict[str, Seconds] = {}
+    best = 0.0
+    for op_id in reversed(assay.topological_order()):
+        op = assay.operation(op_id)
+        tail = 0.0
+        for child_id in assay.children(op_id):
+            child = assay.operation(child_id)
+            hop = 0.0 if child.op_type == op.op_type else transport_time
+            tail = max(tail, hop + longest[child_id])
+        longest[op_id] = op.duration + tail
+        best = max(best, longest[op_id])
+    return best
+
+
+def _load_bound(assay: SequencingGraph, allocation: Allocation) -> Seconds:
+    """Per-family workload divided by allocated component count."""
+    totals: dict = {}
+    for op in assay.operations:
+        totals[op.op_type] = totals.get(op.op_type, 0.0) + op.duration
+    bound = 0.0
+    for op_type, work in totals.items():
+        count = allocation.count(op_type)
+        if count > 0:
+            bound = max(bound, work / count)
+    return bound
+
+
+def makespan_lower_bounds(
+    assay: SequencingGraph,
+    allocation: Allocation,
+    transport_time: Seconds = 2.0,
+) -> MakespanBounds:
+    """Compute both lower bounds for *assay* on *allocation*."""
+    return MakespanBounds(
+        critical_path=_critical_path_bound(assay, transport_time),
+        load=_load_bound(assay, allocation),
+    )

@@ -1,0 +1,133 @@
+"""Exhaustive optimal scheduler for tiny instances (test oracle).
+
+List scheduling is a heuristic; to quantify (and regression-test) how far
+Algorithm 1 sits from the optimum we provide a branch-and-bound search
+over *every* (dispatch order × binding) choice, running on the very same
+:class:`~repro.schedule.engine.SchedulerEngine` semantics.  The state
+space explodes combinatorially, so the search refuses instances beyond a
+small size — it exists for validation, not production.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from repro.assay.graph import SequencingGraph
+from repro.components.allocation import Allocation
+from repro.errors import SchedulingError
+from repro.schedule.engine import (
+    DEFAULT_TRANSPORT_TIME,
+    SchedulerEngine,
+    SchedulingPolicy,
+)
+from repro.schedule.schedule import Schedule
+from repro.units import Seconds
+
+__all__ = ["ExactResult", "schedule_assay_optimal"]
+
+#: Hard cap on instance size; beyond this the search would not terminate
+#: in reasonable time and the call is rejected up front.
+MAX_OPERATIONS = 8
+
+
+@dataclass(frozen=True)
+class ExactResult:
+    """Optimal schedule together with search statistics."""
+
+    schedule: Schedule
+    nodes_explored: int
+
+    @property
+    def makespan(self) -> Seconds:
+        return self.schedule.makespan
+
+
+class _SearchEngine(SchedulerEngine):
+    """Engine exposing single forced decisions for the search driver."""
+
+    def force(self, op_id: str, component_id: str) -> None:
+        self._schedule_operation(op_id, self.components[component_id])
+
+    @property
+    def scheduled_ops(self) -> dict:
+        return self._scheduled
+
+    def finish(self) -> Schedule:
+        return Schedule(
+            assay=self.assay,
+            allocation=self.allocation,
+            transport_time=self.transport_time,
+            operations=dict(self._scheduled),
+            movements=list(self._movements),
+            components=self.components,
+        )
+
+
+def schedule_assay_optimal(
+    assay: SequencingGraph,
+    allocation: Allocation,
+    transport_time: Seconds = DEFAULT_TRANSPORT_TIME,
+) -> ExactResult:
+    """Find a makespan-optimal binding & schedule by exhaustive search.
+
+    Raises :class:`SchedulingError` when the instance exceeds
+    :data:`MAX_OPERATIONS` operations.
+    """
+    if len(assay) > MAX_OPERATIONS:
+        raise SchedulingError(
+            f"exact scheduler limited to {MAX_OPERATIONS} operations, "
+            f"got {len(assay)}"
+        )
+    root = _SearchEngine(
+        assay, allocation, SchedulingPolicy.ours(), transport_time
+    )
+    best: dict[str, object] = {"makespan": float("inf"), "schedule": None}
+    stats = {"nodes": 0}
+
+    def ready_ops(engine: _SearchEngine) -> list[str]:
+        done = set(engine.scheduled_ops)
+        return [
+            op_id
+            for op_id in assay.operation_ids
+            if op_id not in done
+            and all(p in done for p in assay.parents(op_id))
+        ]
+
+    def lower_bound(engine: _SearchEngine) -> Seconds:
+        # Critical-path bound: any unscheduled op must still run for its
+        # remaining longest path; scheduled ops bound from their ends.
+        current = max(
+            (rec.end for rec in engine.scheduled_ops.values()), default=0.0
+        )
+        pending = [
+            engine.priorities[o]
+            for o in assay.operation_ids
+            if o not in engine.scheduled_ops
+        ]
+        return max([current] + pending)
+
+    def recurse(engine: _SearchEngine) -> None:
+        stats["nodes"] += 1
+        if len(engine.scheduled_ops) == len(assay):
+            makespan = max(rec.end for rec in engine.scheduled_ops.values())
+            if makespan < best["makespan"]:
+                best["makespan"] = makespan
+                best["schedule"] = engine.finish()
+            return
+        if lower_bound(engine) >= best["makespan"]:
+            return
+        for op_id in ready_ops(engine):
+            op_type = assay.operation(op_id).op_type
+            for cid, ctype in allocation.iter_components():
+                if ctype != op_type:
+                    continue
+                child = copy.deepcopy(engine)
+                child.force(op_id, cid)
+                recurse(child)
+
+    recurse(root)
+    schedule = best["schedule"]
+    if schedule is None:  # pragma: no cover - search always finds a leaf
+        raise SchedulingError("exact search found no schedule")
+    return ExactResult(schedule=schedule, nodes_explored=stats["nodes"])

@@ -1,0 +1,162 @@
+"""Schedule data model: the output of the binding & scheduling stage.
+
+A :class:`Schedule` bundles, for one assay on one allocation:
+
+* the binding function Φ and per-operation start/end times,
+* every :class:`~repro.schedule.tasks.FluidMovement` (how each edge's
+  fluid travelled: in place, direct transport, or evicted to distributed
+  channel storage),
+* the final per-component usage statistics,
+
+and derives the paper's scheduling-side metrics: makespan, Eq. 1 resource
+utilisation, total channel cache time (Fig. 8), and total component wash
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.assay.graph import SequencingGraph
+from repro.components.allocation import Allocation
+from repro.components.instances import ComponentState
+from repro.errors import SchedulingError
+from repro.schedule.tasks import FluidMovement, TransportTask
+from repro.units import Seconds
+
+__all__ = ["ScheduledOperation", "Schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduledOperation:
+    """Binding and timing of one operation."""
+
+    op_id: str
+    component_id: str
+    start: Seconds
+    end: Seconds
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SchedulingError(
+                f"operation {self.op_id}: end {self.end} precedes start "
+                f"{self.start}"
+            )
+
+    @property
+    def duration(self) -> Seconds:
+        return self.end - self.start
+
+
+@dataclass
+class Schedule:
+    """Complete result of resource binding and scheduling."""
+
+    assay: SequencingGraph
+    allocation: Allocation
+    transport_time: Seconds
+    operations: dict[str, ScheduledOperation] = field(default_factory=dict)
+    movements: list[FluidMovement] = field(default_factory=list)
+    components: dict[str, ComponentState] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def operation(self, op_id: str) -> ScheduledOperation:
+        """Scheduled record of *op_id* (raises when unscheduled)."""
+        try:
+            return self.operations[op_id]
+        except KeyError:
+            raise SchedulingError(f"operation {op_id!r} is not scheduled") from None
+
+    def binding(self) -> dict[str, str]:
+        """The binding function Φ: operation id → component id."""
+        return {o: rec.component_id for o, rec in self.operations.items()}
+
+    def operations_on(self, component_id: str) -> list[ScheduledOperation]:
+        """Operations executed on *component_id*, ordered by start time."""
+        records = [
+            rec
+            for rec in self.operations.values()
+            if rec.component_id == component_id
+        ]
+        return sorted(records, key=lambda rec: (rec.start, rec.op_id))
+
+    # ------------------------------------------------------------------
+    # Metrics (Section II-C / V)
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> Seconds:
+        """Completion time of the bioassay (execution time in Table I)."""
+        if not self.operations:
+            return 0.0
+        return max(rec.end for rec in self.operations.values())
+
+    def resource_utilisation(self) -> float:
+        """Eq. 1: mean over components of busy time / active window.
+
+        Computed from the operation records (not the engine's component
+        state) so it remains correct after routing delays are retimed
+        through the schedule.  Components that never execute an operation
+        contribute 0, matching the equation's intent that idle allocated
+        hardware is waste.
+        """
+        component_ids = [cid for cid, _ in self.allocation.iter_components()]
+        if not component_ids:
+            return 0.0
+        total = 0.0
+        for cid in component_ids:
+            records = self.operations_on(cid)
+            if not records:
+                continue
+            busy = sum(rec.duration for rec in records)
+            window = records[-1].end - records[0].start
+            if window > 0:
+                total += busy / window
+            elif busy == 0 and len(records) > 0:
+                # Zero-duration operations only: fully utilised window.
+                total += 1.0
+        return total / len(component_ids)
+
+    def total_cache_time(self) -> Seconds:
+        """Sum of channel cache times over all movements (Fig. 8)."""
+        return sum(m.cache_time for m in self.movements)
+
+    def total_component_wash_time(self) -> Seconds:
+        """Total wash seconds charged on components by Eq. 2."""
+        return sum(s.wash_time_total for s in self.components.values())
+
+    def transport_count(self) -> int:
+        """Number of physical channel transports the router must realise."""
+        return sum(1 for m in self.movements if not m.in_place)
+
+    # ------------------------------------------------------------------
+    # Routing interface
+    # ------------------------------------------------------------------
+    def transport_tasks(self) -> list[TransportTask]:
+        """Physical transports, sorted by non-decreasing start time.
+
+        This is exactly the task list Algorithm 2 (lines 11–18) consumes.
+        Tasks whose consumer is the chip outlet are included: the fluid
+        still travels through channels and washes must still be planned.
+        """
+        tasks = []
+        for index, movement in enumerate(self.movements):
+            if movement.in_place:
+                continue
+            tasks.append(movement.to_transport_task(f"tk{index}"))
+        tasks.sort(key=lambda t: (t.depart, t.task_id))
+        return tasks
+
+    def concurrency_of(self, task: TransportTask, tasks: Iterable[TransportTask]) -> int:
+        """Number of other transports overlapping *task* in time.
+
+        This is Eq. 4's ``nt_k`` for the placement stage's connection
+        priorities.
+        """
+        return sum(
+            1
+            for other in tasks
+            if other.task_id != task.task_id and task.overlaps(other)
+        )

@@ -1,0 +1,21 @@
+"""Visualisation of layouts and schedules (ASCII and SVG)."""
+
+from repro.viz.ascii_art import render_placement, render_routing, render_schedule
+from repro.viz.svg import (
+    congestion_to_svg,
+    layout_to_svg,
+    placement_to_svg,
+    schedule_to_svg,
+)
+from repro.viz.timeline import render_timeline
+
+__all__ = [
+    "congestion_to_svg",
+    "layout_to_svg",
+    "placement_to_svg",
+    "schedule_to_svg",
+    "render_placement",
+    "render_routing",
+    "render_schedule",
+    "render_timeline",
+]

@@ -1,0 +1,82 @@
+"""Fluid-movement timeline rendering (Fig. 3-style schedule views).
+
+The paper's Fig. 3 shows, per component, execution bars annotated with
+transports and channel caching.  :func:`render_timeline` reproduces
+that view in text: one row per component (execution ``#``, wash ``~``)
+plus one row per channel-cached fluid (transport ``>``, cache ``=``),
+so the DCSA behaviour — fluids parked in channels between producer and
+consumer — is directly visible.
+"""
+
+from __future__ import annotations
+
+from repro.schedule.schedule import Schedule
+
+__all__ = ["render_timeline"]
+
+
+def _bar(width: int) -> list[str]:
+    return [" "] * width
+
+
+def _fill(row: list[str], start: float, end: float, scale: float, char: str) -> None:
+    width = len(row)
+    lo = int(start * scale)
+    hi = max(lo + 1, int(end * scale)) if end > start else lo
+    for index in range(lo, min(hi, width)):
+        if row[index] == " ":
+            row[index] = char
+
+
+def render_timeline(schedule: Schedule, width: int = 60) -> str:
+    """Render executions, washes, transports, and channel caches.
+
+    Legend: ``#`` executing, ``~`` washing (component), ``>`` fluid in
+    transport, ``=`` fluid cached in a flow channel.
+    """
+    makespan = schedule.makespan
+    if makespan <= 0:
+        return "(empty schedule)"
+    scale = width / makespan
+
+    lines = [f"0{' ' * max(0, width - len(f'{makespan:g}s'))}{makespan:g}s"]
+
+    # Component rows: executions plus the Eq. 2 wash that follows each
+    # output's final departure (reconstructed from the movements).
+    last_leave: dict[str, tuple[float, bool]] = {}
+    for movement in schedule.movements:
+        current = last_leave.get(movement.producer)
+        if current is None or movement.depart > current[0]:
+            last_leave[movement.producer] = (movement.depart, movement.in_place)
+        elif movement.depart == current[0] and movement.in_place:
+            last_leave[movement.producer] = (movement.depart, True)
+
+    for cid, _ in schedule.allocation.iter_components():
+        row = _bar(width)
+        for record in schedule.operations_on(cid):
+            _fill(row, record.start, record.end, scale, "#")
+            op = schedule.assay.operation(record.op_id)
+            if not schedule.assay.children(record.op_id):
+                _fill(row, record.end, record.end + op.wash_time, scale, "~")
+            elif record.op_id in last_leave:
+                departed, in_place = last_leave[record.op_id]
+                if not in_place:
+                    _fill(row, departed, departed + op.wash_time, scale, "~")
+        lines.append(f"{cid:>12s} |{''.join(row)}|")
+
+    # One row per movement that actually uses a channel.
+    channel_movements = [
+        m for m in schedule.movements if not m.in_place
+    ]
+    channel_movements.sort(key=lambda m: (m.depart, m.producer, m.consumer))
+    for movement in channel_movements:
+        row = _bar(width)
+        _fill(row, movement.depart, movement.arrive, scale, ">")
+        if movement.cache_time > 0:
+            _fill(row, movement.arrive, movement.consume, scale, "=")
+        label = f"{movement.producer}->{movement.consumer}"
+        lines.append(f"{label:>12.12s} |{''.join(row)}|")
+
+    lines.append("")
+    lines.append("legend: # execute   ~ wash   > transport   = channel cache")
+    return "\n".join(lines)

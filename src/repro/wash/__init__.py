@@ -1,0 +1,15 @@
+"""Wash-time modelling and channel wash planning (Section II-B)."""
+
+from repro.wash.model import DEFAULT_WASH_MODEL, WashModel
+from repro.wash.optimizer import WashEvent, WashPlan, plan_channel_washes
+from repro.wash.routing import WashAccessReport, plan_wash_access
+
+__all__ = [
+    "DEFAULT_WASH_MODEL",
+    "WashAccessReport",
+    "WashEvent",
+    "WashModel",
+    "WashPlan",
+    "plan_channel_washes",
+    "plan_wash_access",
+]

@@ -1,0 +1,61 @@
+"""Wash-time estimation for components and flow channels (Section II-B).
+
+The paper adopts the finding of Hu et al. [9] that, of the four factors
+affecting wash time (channel length, channel width, buffer pressure,
+contaminant diffusion coefficient), the diffusion coefficient dominates
+and the others may be neglected.  :class:`WashModel` therefore maps a
+fluid to a wash duration through the calibrated log-linear model of
+:mod:`repro.assay.fluids`, while still exposing the three secondary
+factors as explicit (default-neutral) multipliers so sensitivity studies
+can re-enable them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.assay.fluids import Fluid, wash_time_from_diffusion
+from repro.errors import ValidationError
+from repro.units import Seconds
+
+__all__ = ["WashModel", "DEFAULT_WASH_MODEL"]
+
+
+@dataclass(frozen=True)
+class WashModel:
+    """Configurable wash-time estimator.
+
+    Parameters
+    ----------
+    length_factor, width_factor, pressure_factor:
+        Multipliers for the secondary effects the paper neglects.  All
+        default to 1.0 (neutral), reproducing the paper's assumption; an
+        ablation can set them away from 1 to measure how robust the flow
+        is to the simplification.
+    respect_overrides:
+        When ``True`` (default) a fluid's explicit ``wash_time_override``
+        wins over the diffusion model, matching how benchmark tables such
+        as Fig. 2(b) specify wash times directly.
+    """
+
+    length_factor: float = 1.0
+    width_factor: float = 1.0
+    pressure_factor: float = 1.0
+    respect_overrides: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("length_factor", "width_factor", "pressure_factor"):
+            if getattr(self, name) <= 0:
+                raise ValidationError(f"{name} must be positive")
+
+    def wash_time(self, fluid: Fluid) -> Seconds:
+        """Wash duration (s) to remove *fluid*'s residue."""
+        if self.respect_overrides and fluid.wash_time_override is not None:
+            base = fluid.wash_time_override
+        else:
+            base = wash_time_from_diffusion(fluid.diffusion_coefficient)
+        return base * self.length_factor * self.width_factor * self.pressure_factor
+
+
+#: The paper's model: diffusion coefficient only.
+DEFAULT_WASH_MODEL = WashModel()

@@ -1,0 +1,54 @@
+"""Tests for the bottleneck analysis."""
+
+from repro.analysis.bottleneck import analyse_bottleneck
+from repro.benchmarks.registry import get_benchmark
+from repro.schedule.list_scheduler import schedule_assay
+
+
+class TestBottleneck:
+    def schedule(self, name="Fig2a"):
+        case = get_benchmark(name)
+        return schedule_assay(case.assay, case.allocation)
+
+    def test_final_operation_defines_makespan(self):
+        schedule = self.schedule()
+        report = analyse_bottleneck(schedule)
+        assert report.makespan == schedule.makespan
+        assert (
+            schedule.operation(report.final_operation).end
+            == schedule.makespan
+        )
+
+    def test_chain_ends_at_final_operation(self):
+        report = analyse_bottleneck(self.schedule())
+        assert report.chain[-1].op_id == report.final_operation
+
+    def test_chain_links_are_scheduled_ops(self):
+        schedule = self.schedule()
+        report = analyse_bottleneck(schedule)
+        for link in report.chain:
+            assert link.op_id in schedule.operations
+            assert link.start == schedule.operation(link.op_id).start
+
+    def test_chain_is_acyclic(self):
+        report = analyse_bottleneck(self.schedule("CPA"))
+        ids = [link.op_id for link in report.chain]
+        assert len(ids) == len(set(ids))
+
+    def test_summary_readable(self):
+        report = analyse_bottleneck(self.schedule())
+        text = report.summary()
+        assert "makespan" in text
+        assert report.final_operation in text
+
+    def test_empty_schedule(self):
+        from repro.assay.builder import AssayBuilder
+        from repro.components.allocation import Allocation
+        from repro.schedule.schedule import Schedule
+
+        assay = AssayBuilder("t").mix("a", duration=1).build()
+        empty = Schedule(
+            assay=assay, allocation=Allocation(mixers=1), transport_time=2.0
+        )
+        report = analyse_bottleneck(empty)
+        assert report.chain == ()

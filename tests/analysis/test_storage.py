@@ -1,0 +1,59 @@
+"""Tests for the storage-demand analysis."""
+
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.analysis.storage import storage_demand
+from repro.schedule.baseline_scheduler import schedule_assay_baseline
+from repro.schedule.list_scheduler import schedule_assay
+
+
+class TestStorageDemand:
+    def test_no_caching_no_demand(self, chain_assay, chain_allocation):
+        schedule = schedule_assay(chain_assay, chain_allocation)
+        demand = storage_demand(schedule)
+        assert demand.peak == 0
+        assert demand.total_plug_seconds == 0.0
+        assert demand.occupancy_at(5.0) == 0
+
+    def test_integral_equals_fig8_metric(self):
+        case = get_benchmark("CPA")
+        schedule = schedule_assay(case.assay, case.allocation)
+        demand = storage_demand(schedule)
+        assert demand.total_plug_seconds == pytest.approx(
+            schedule.total_cache_time()
+        )
+
+    def test_profile_step_function(self):
+        case = get_benchmark("CPA")
+        schedule = schedule_assay(case.assay, case.allocation)
+        demand = storage_demand(schedule)
+        times = [t for t, _ in demand.profile]
+        assert times == sorted(times)
+        levels = [level for _, level in demand.profile]
+        assert all(level >= 0 for level in levels)
+        assert levels[-1] == 0  # everything eventually consumed
+
+    def test_peak_is_max_of_profile(self):
+        case = get_benchmark("Synthetic4")
+        schedule = schedule_assay(case.assay, case.allocation)
+        demand = storage_demand(schedule)
+        assert demand.peak == max(level for _, level in demand.profile)
+        assert demand.occupancy_at(demand.peak_time) == demand.peak
+
+    def test_occupancy_between_events(self):
+        case = get_benchmark("CPA")
+        schedule = schedule_assay(case.assay, case.allocation)
+        demand = storage_demand(schedule)
+        if len(demand.profile) >= 2:
+            (t0, level0), (t1, _level1) = demand.profile[0], demand.profile[1]
+            midpoint = (t0 + t1) / 2
+            assert demand.occupancy_at(midpoint) == level0
+
+    def test_dcsa_demand_not_above_baseline_on_cpa(self):
+        case = get_benchmark("CPA")
+        ours = storage_demand(schedule_assay(case.assay, case.allocation))
+        base = storage_demand(
+            schedule_assay_baseline(case.assay, case.allocation)
+        )
+        assert ours.total_plug_seconds <= base.total_plug_seconds

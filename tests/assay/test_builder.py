@@ -1,0 +1,92 @@
+"""Unit tests for the fluent assay builder."""
+
+import pytest
+
+from repro.assay.builder import AssayBuilder
+from repro.assay.fluids import Fluid
+from repro.assay.graph import OperationType
+from repro.errors import AssayError
+
+
+class TestDeclaration:
+    def test_shorthands_set_types(self):
+        assay = (
+            AssayBuilder("t")
+            .mix("m", duration=1)
+            .heat("h", duration=1)
+            .filter("f", duration=1)
+            .detect("d", duration=1)
+            .build()
+        )
+        assert assay.operation("m").op_type is OperationType.MIX
+        assert assay.operation("h").op_type is OperationType.HEAT
+        assert assay.operation("f").op_type is OperationType.FILTER
+        assert assay.operation("d").op_type is OperationType.DETECT
+
+    def test_after_wires_edges(self):
+        assay = (
+            AssayBuilder("t")
+            .mix("a", duration=1)
+            .mix("b", duration=1)
+            .mix("c", duration=1, after=["a", "b"])
+            .build()
+        )
+        assert sorted(assay.parents("c")) == ["a", "b"]
+
+    def test_wash_time_builds_fluid(self):
+        assay = AssayBuilder("t").mix("a", duration=1, wash_time=4.0).build()
+        assert assay.operation("a").wash_time == 4.0
+
+    def test_diffusion_coefficient_builds_fluid(self):
+        assay = (
+            AssayBuilder("t")
+            .mix("a", duration=1, diffusion_coefficient=5e-8)
+            .build()
+        )
+        assert assay.operation("a").wash_time == pytest.approx(6.0)
+
+    def test_explicit_fluid_kept(self):
+        fluid = Fluid("buffer")
+        assay = AssayBuilder("t").mix("a", duration=1, fluid=fluid).build()
+        assert assay.operation("a").output_fluid is fluid
+
+    def test_conflicting_fluid_specs_rejected(self):
+        with pytest.raises(AssayError, match="at most one"):
+            AssayBuilder("t").mix(
+                "a", duration=1, wash_time=1.0, diffusion_coefficient=1e-6
+            )
+
+    def test_duplicate_id_rejected(self):
+        builder = AssayBuilder("t").mix("a", duration=1)
+        with pytest.raises(AssayError, match="duplicate"):
+            builder.mix("a", duration=1)
+
+
+class TestWiring:
+    def test_depends_requires_declared_endpoints(self):
+        builder = AssayBuilder("t").mix("a", duration=1)
+        with pytest.raises(AssayError, match="undeclared"):
+            builder.depends("a", "later")
+
+    def test_chain_wires_linear_dependencies(self):
+        assay = (
+            AssayBuilder("t")
+            .mix("a", duration=1)
+            .mix("b", duration=1)
+            .mix("c", duration=1)
+            .chain(["a", "b", "c"])
+            .build()
+        )
+        assert assay.edges == [("a", "b"), ("b", "c")]
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(AssayError, match="no operations"):
+            AssayBuilder("empty").build()
+
+    def test_build_returns_named_graph(self):
+        assay = AssayBuilder("my-assay").mix("a", duration=1).build()
+        assert assay.name == "my-assay"
+
+    def test_builder_returns_self_for_chaining(self):
+        builder = AssayBuilder("t")
+        assert builder.mix("a", duration=1) is builder

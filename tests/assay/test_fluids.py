@@ -1,0 +1,92 @@
+"""Unit tests for the fluid and wash-time model."""
+
+import math
+
+import pytest
+
+from repro.assay.fluids import (
+    DIFFUSION_FAST,
+    DIFFUSION_SLOW,
+    WASH_TIME_FAST,
+    WASH_TIME_SLOW,
+    Fluid,
+    diffusion_for_wash_time,
+    wash_time_from_diffusion,
+)
+from repro.errors import AssayError
+
+
+class TestWashTimeModel:
+    def test_fast_calibration_point(self):
+        assert wash_time_from_diffusion(DIFFUSION_FAST) == pytest.approx(
+            WASH_TIME_FAST
+        )
+
+    def test_slow_calibration_point(self):
+        assert wash_time_from_diffusion(DIFFUSION_SLOW) == pytest.approx(
+            WASH_TIME_SLOW
+        )
+
+    def test_monotone_decreasing_in_diffusion(self):
+        coefficients = [5e-8, 1e-7, 1e-6, 5e-6, 1e-5]
+        times = [wash_time_from_diffusion(c) for c in coefficients]
+        assert times == sorted(times, reverse=True)
+
+    def test_very_fast_diffuser_clamps_at_zero(self):
+        assert wash_time_from_diffusion(1.0) == 0.0
+
+    def test_rejects_zero_coefficient(self):
+        with pytest.raises(AssayError):
+            wash_time_from_diffusion(0.0)
+
+    def test_rejects_negative_coefficient(self):
+        with pytest.raises(AssayError):
+            wash_time_from_diffusion(-1e-6)
+
+    def test_inverse_round_trips(self):
+        for wash in (0.5, 2.0, 6.0, 10.0):
+            coefficient = diffusion_for_wash_time(wash)
+            assert wash_time_from_diffusion(coefficient) == pytest.approx(wash)
+
+    def test_inverse_rejects_negative(self):
+        with pytest.raises(AssayError):
+            diffusion_for_wash_time(-0.1)
+
+    def test_log_linear_midpoint(self):
+        # Halfway in log space, the wash time is halfway in linear time.
+        mid = 10 ** ((math.log10(DIFFUSION_FAST) + math.log10(DIFFUSION_SLOW)) / 2)
+        expected = (WASH_TIME_FAST + WASH_TIME_SLOW) / 2
+        assert wash_time_from_diffusion(mid) == pytest.approx(expected)
+
+
+class TestFluid:
+    def test_default_is_fast_diffusing(self):
+        fluid = Fluid("sample")
+        assert fluid.diffusion_coefficient == DIFFUSION_FAST
+        assert fluid.wash_time == pytest.approx(WASH_TIME_FAST)
+
+    def test_override_takes_precedence(self):
+        fluid = Fluid("x", diffusion_coefficient=1e-6, wash_time_override=9.0)
+        assert fluid.wash_time == 9.0
+
+    def test_with_wash_time_sets_consistent_coefficient(self):
+        fast = Fluid.with_wash_time("fast", 1.0)
+        slow = Fluid.with_wash_time("slow", 5.0)
+        assert fast.wash_time == 1.0
+        assert slow.wash_time == 5.0
+        # Ordering by wash time and by coefficient must agree (Case I
+        # compares coefficients).
+        assert fast.diffusion_coefficient > slow.diffusion_coefficient
+
+    def test_rejects_non_positive_coefficient(self):
+        with pytest.raises(AssayError):
+            Fluid("bad", diffusion_coefficient=0.0)
+
+    def test_rejects_negative_override(self):
+        with pytest.raises(AssayError):
+            Fluid("bad", wash_time_override=-1.0)
+
+    def test_frozen(self):
+        fluid = Fluid("sample")
+        with pytest.raises(AttributeError):
+            fluid.name = "other"  # type: ignore[misc]

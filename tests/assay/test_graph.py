@@ -1,0 +1,153 @@
+"""Unit tests for the sequencing graph."""
+
+import pytest
+
+from repro.assay.fluids import Fluid
+from repro.assay.graph import Operation, OperationType, SequencingGraph
+from repro.errors import AssayError, GraphCycleError, UnknownOperationError
+
+
+def op(op_id: str, op_type=OperationType.MIX, duration=3.0) -> Operation:
+    return Operation(op_id=op_id, op_type=op_type, duration=duration)
+
+
+def simple_graph() -> SequencingGraph:
+    return SequencingGraph(
+        "g",
+        [op("a"), op("b"), op("c"), op("d")],
+        [("a", "c"), ("b", "c"), ("c", "d")],
+    )
+
+
+class TestOperation:
+    def test_default_output_fluid_named_after_operation(self):
+        operation = op("o1")
+        assert operation.output_fluid.name == "out(o1)"
+
+    def test_explicit_fluid_kept(self):
+        fluid = Fluid("reagent", diffusion_coefficient=1e-6)
+        operation = Operation("o1", OperationType.HEAT, 2.0, fluid)
+        assert operation.output_fluid is fluid
+
+    def test_wash_time_delegates_to_fluid(self):
+        fluid = Fluid.with_wash_time("x", 4.5)
+        operation = Operation("o1", OperationType.MIX, 2.0, fluid)
+        assert operation.wash_time == 4.5
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(AssayError):
+            op("o1", duration=-1.0)
+
+    def test_rejects_empty_id(self):
+        with pytest.raises(AssayError):
+            op("")
+
+    def test_component_names(self):
+        assert OperationType.MIX.component_name == "Mixer"
+        assert OperationType.HEAT.component_name == "Heater"
+        assert OperationType.FILTER.component_name == "Filter"
+        assert OperationType.DETECT.component_name == "Detector"
+
+
+class TestGraphConstruction:
+    def test_basic_accessors(self):
+        graph = simple_graph()
+        assert len(graph) == 4
+        assert "a" in graph and "z" not in graph
+        assert graph.operation("a").op_id == "a"
+        assert sorted(graph.parents("c")) == ["a", "b"]
+        assert graph.children("c") == ["d"]
+        assert graph.edges == [("a", "c"), ("b", "c"), ("c", "d")]
+
+    def test_sources_and_sinks(self):
+        graph = simple_graph()
+        assert graph.sources() == ["a", "b"]
+        assert graph.sinks() == ["d"]
+
+    def test_duplicate_operation_rejected(self):
+        with pytest.raises(AssayError, match="duplicate operation"):
+            SequencingGraph("g", [op("a"), op("a")], [])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(AssayError, match="duplicate edge"):
+            SequencingGraph("g", [op("a"), op("b")], [("a", "b"), ("a", "b")])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(AssayError, match="self-loop"):
+            SequencingGraph("g", [op("a")], [("a", "a")])
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(UnknownOperationError):
+            SequencingGraph("g", [op("a")], [("a", "missing")])
+
+    def test_unknown_operation_lookup(self):
+        with pytest.raises(UnknownOperationError):
+            simple_graph().operation("zzz")
+
+    def test_cycle_detected_with_concrete_cycle(self):
+        with pytest.raises(GraphCycleError) as exc:
+            SequencingGraph(
+                "g",
+                [op("a"), op("b"), op("c")],
+                [("a", "b"), ("b", "c"), ("c", "a")],
+            )
+        cycle = exc.value.cycle
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) <= {"a", "b", "c"}
+
+    def test_two_node_cycle(self):
+        with pytest.raises(GraphCycleError):
+            SequencingGraph("g", [op("a"), op("b")], [("a", "b"), ("b", "a")])
+
+
+class TestTopology:
+    def test_topological_order_respects_edges(self):
+        graph = simple_graph()
+        order = graph.topological_order()
+        for parent, child in graph.edges:
+            assert order.index(parent) < order.index(child)
+
+    def test_topological_order_deterministic(self):
+        a = simple_graph().topological_order()
+        b = simple_graph().topological_order()
+        assert a == b
+
+    def test_iteration_follows_topological_order(self):
+        graph = simple_graph()
+        assert [o.op_id for o in graph] == graph.topological_order()
+
+    def test_levels(self):
+        graph = simple_graph()
+        levels = graph.levels()
+        assert levels == {"a": 0, "b": 0, "c": 1, "d": 2}
+
+    def test_ancestors_and_descendants(self):
+        graph = simple_graph()
+        assert graph.ancestors("d") == {"a", "b", "c"}
+        assert graph.ancestors("a") == set()
+        assert graph.descendants("a") == {"c", "d"}
+        assert graph.descendants("d") == set()
+
+    def test_count_by_type(self):
+        graph = SequencingGraph(
+            "g",
+            [op("m"), op("h", OperationType.HEAT), op("d", OperationType.DETECT)],
+            [],
+        )
+        counts = graph.count_by_type()
+        assert counts[OperationType.MIX] == 1
+        assert counts[OperationType.HEAT] == 1
+        assert counts[OperationType.DETECT] == 1
+        assert counts[OperationType.FILTER] == 0
+
+    def test_critical_path_without_transport(self):
+        graph = simple_graph()  # a(3) -> c(3) -> d(3)
+        assert graph.critical_path_length() == 9.0
+
+    def test_critical_path_with_transport(self):
+        graph = simple_graph()
+        assert graph.critical_path_length(transport_time=2.0) == 13.0
+
+    def test_single_node_critical_path(self):
+        graph = SequencingGraph("g", [op("only", duration=7.0)], [])
+        assert graph.critical_path_length(2.0) == 7.0

@@ -1,0 +1,99 @@
+"""Unit tests for assay JSON (de)serialisation."""
+
+import json
+
+import pytest
+
+from repro.assay.builder import AssayBuilder
+from repro.assay.io import (
+    assay_from_dict,
+    assay_to_dict,
+    dump_assay,
+    dumps_assay,
+    load_assay,
+    loads_assay,
+)
+from repro.benchmarks.library import cpa_assay, fig2a_assay, pcr_assay
+from repro.errors import AssayError
+
+
+def sample_assay():
+    return (
+        AssayBuilder("sample")
+        .mix("a", duration=2, wash_time=3.0)
+        .heat("b", duration=4, after=["a"], diffusion_coefficient=1e-6)
+        .detect("c", duration=1, after=["b"])
+        .build()
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_structure(self):
+        original = sample_assay()
+        restored = assay_from_dict(assay_to_dict(original))
+        assert restored.name == original.name
+        assert restored.operation_ids == original.operation_ids
+        assert restored.edges == original.edges
+
+    def test_round_trip_preserves_fluids(self):
+        restored = assay_from_dict(assay_to_dict(sample_assay()))
+        assert restored.operation("a").wash_time == 3.0
+        fluid = restored.operation("b").output_fluid
+        assert fluid.diffusion_coefficient == pytest.approx(1e-6)
+
+    def test_string_round_trip(self):
+        original = sample_assay()
+        restored = loads_assay(dumps_assay(original))
+        assert restored.operation_ids == original.operation_ids
+
+    def test_file_round_trip(self, tmp_path):
+        original = sample_assay()
+        path = tmp_path / "assay.json"
+        dump_assay(original, path)
+        restored = load_assay(path)
+        assert restored.edges == original.edges
+
+    @pytest.mark.parametrize("factory", [pcr_assay, fig2a_assay, cpa_assay])
+    def test_benchmarks_round_trip(self, factory):
+        original = factory()
+        restored = loads_assay(dumps_assay(original))
+        assert restored.operation_ids == original.operation_ids
+        assert restored.edges == original.edges
+        for op in original.operations:
+            assert restored.operation(op.op_id).duration == op.duration
+            assert restored.operation(op.op_id).wash_time == pytest.approx(
+                op.wash_time
+            )
+
+
+class TestSchemaValidation:
+    def test_wrong_format_marker(self):
+        with pytest.raises(AssayError, match="format"):
+            assay_from_dict({"format": "something-else", "version": 1})
+
+    def test_wrong_version(self):
+        with pytest.raises(AssayError, match="version"):
+            assay_from_dict({"format": "repro-assay", "version": 99})
+
+    def test_unknown_operation_type(self):
+        data = assay_to_dict(sample_assay())
+        data["operations"][0]["type"] = "centrifuge"
+        with pytest.raises(AssayError, match="unknown operation type"):
+            assay_from_dict(data)
+
+    def test_missing_operation_key(self):
+        data = assay_to_dict(sample_assay())
+        del data["operations"][0]["duration"]
+        with pytest.raises(AssayError, match="missing key"):
+            assay_from_dict(data)
+
+    def test_missing_fluid_key(self):
+        data = assay_to_dict(sample_assay())
+        del data["operations"][0]["fluid"]["name"]
+        with pytest.raises(AssayError, match="missing key"):
+            assay_from_dict(data)
+
+    def test_output_is_valid_json(self):
+        parsed = json.loads(dumps_assay(sample_assay()))
+        assert parsed["format"] == "repro-assay"
+        assert parsed["version"] == 1

@@ -1,0 +1,96 @@
+"""Tests for the real-life benchmark reconstructions."""
+
+import pytest
+
+from repro.assay.graph import OperationType
+from repro.assay.validation import validate_assay
+from repro.benchmarks.library import (
+    cpa_allocation,
+    cpa_assay,
+    fig2a_allocation,
+    fig2a_assay,
+    ivd_allocation,
+    ivd_assay,
+    pcr_allocation,
+    pcr_assay,
+)
+from repro.schedule.priority import compute_priorities
+
+
+class TestPCR:
+    def test_table1_row(self):
+        assert len(pcr_assay()) == 7
+        assert pcr_allocation().as_tuple() == (3, 0, 0, 0)
+
+    def test_binary_tree_structure(self):
+        assay = pcr_assay()
+        assert len(assay.sources()) == 4
+        assert assay.sinks() == ["m7"]
+        assert sorted(assay.parents("m7")) == ["m5", "m6"]
+
+    def test_all_mixes(self):
+        assert all(op.op_type is OperationType.MIX for op in pcr_assay().operations)
+
+    def test_valid_for_allocation(self):
+        assert validate_assay(pcr_assay(), pcr_allocation()).ok
+
+
+class TestIVD:
+    def test_table1_row(self):
+        assert len(ivd_assay()) == 12
+        assert ivd_allocation().as_tuple() == (3, 0, 0, 2)
+
+    def test_structure_mix_then_detect(self):
+        assay = ivd_assay()
+        counts = assay.count_by_type()
+        assert counts[OperationType.MIX] == 6
+        assert counts[OperationType.DETECT] == 6
+        for sink in assay.sinks():
+            assert assay.operation(sink).op_type is OperationType.DETECT
+
+    def test_valid_for_allocation(self):
+        assert validate_assay(ivd_assay(), ivd_allocation()).ok
+
+
+class TestCPA:
+    def test_table1_row(self):
+        assert len(cpa_assay()) == 55
+        assert cpa_allocation().as_tuple() == (8, 0, 0, 2)
+
+    def test_operation_mix(self):
+        counts = cpa_assay().count_by_type()
+        assert counts[OperationType.MIX] == 39  # 15 dilution + 8 reagent + 16 assay
+        assert counts[OperationType.DETECT] == 16
+
+    def test_dilution_tree_fans_out(self):
+        assay = cpa_assay()
+        assert len(assay.children("dil1")) == 2
+        # Each leaf dilution feeds two assay mixes.
+        leaf_children = assay.children("dil8")
+        assert len(leaf_children) == 2
+
+    def test_every_detection_reads_one_assay_mix(self):
+        assay = cpa_assay()
+        for index in range(1, 17):
+            parents = assay.parents(f"det{index}")
+            assert parents == [f"asy{index}"]
+
+    def test_valid_for_allocation(self):
+        assert validate_assay(cpa_assay(), cpa_allocation()).ok
+
+
+class TestFig2a:
+    def test_ten_operations(self):
+        assert len(fig2a_assay()) == 10
+
+    def test_paper_priority_value(self):
+        priorities = compute_priorities(fig2a_assay(), 2.0)
+        assert priorities["o1"] == pytest.approx(21.0)
+
+    def test_wash_times_follow_fig2b(self):
+        assay = fig2a_assay()
+        assert assay.operation("o1").wash_time == 10.0
+        assert assay.operation("o4").wash_time == 2.0
+
+    def test_valid_for_allocation(self):
+        assert validate_assay(fig2a_assay(), fig2a_allocation()).ok

@@ -1,0 +1,55 @@
+"""Tests for the benchmark registry."""
+
+import pytest
+
+from repro.benchmarks.registry import (
+    TABLE1_ORDER,
+    benchmark_names,
+    get_benchmark,
+    table1_benchmarks,
+)
+from repro.errors import AssayError
+
+
+class TestRegistry:
+    def test_table1_order_matches_paper(self):
+        assert TABLE1_ORDER == (
+            "PCR",
+            "IVD",
+            "CPA",
+            "Synthetic1",
+            "Synthetic2",
+            "Synthetic3",
+            "Synthetic4",
+        )
+
+    def test_benchmark_names_include_fig2a(self):
+        names = benchmark_names()
+        assert "Fig2a" in names
+        assert set(TABLE1_ORDER) <= set(names)
+
+    def test_get_benchmark_builds_fresh_objects(self):
+        a = get_benchmark("PCR")
+        b = get_benchmark("PCR")
+        assert a.assay is not b.assay
+
+    def test_operation_counts_match_table1_column2(self):
+        expected = {
+            "PCR": 7,
+            "IVD": 12,
+            "CPA": 55,
+            "Synthetic1": 20,
+            "Synthetic2": 30,
+            "Synthetic3": 40,
+            "Synthetic4": 50,
+        }
+        for name, count in expected.items():
+            assert get_benchmark(name).operation_count == count
+
+    def test_table1_benchmarks_iterates_in_order(self):
+        names = [case.name for case in table1_benchmarks()]
+        assert names == list(TABLE1_ORDER)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(AssayError, match="unknown benchmark"):
+            get_benchmark("nope")

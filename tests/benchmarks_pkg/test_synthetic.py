@@ -1,0 +1,89 @@
+"""Tests for the synthetic benchmark generator."""
+
+import pytest
+
+from repro.assay.validation import MAX_FAN_IN, validate_assay
+from repro.benchmarks.synthetic import (
+    SYNTHETIC_SPECS,
+    SyntheticSpec,
+    generate_synthetic,
+    synthetic_allocation,
+    synthetic_assay,
+)
+from repro.components.allocation import Allocation
+from repro.errors import AssayError
+
+
+class TestSpecs:
+    def test_table1_sizes(self):
+        sizes = {name: spec.operations for name, spec in SYNTHETIC_SPECS.items()}
+        assert sizes == {
+            "Synthetic1": 20,
+            "Synthetic2": 30,
+            "Synthetic3": 40,
+            "Synthetic4": 50,
+        }
+
+    def test_table1_allocations(self):
+        assert SYNTHETIC_SPECS["Synthetic1"].allocation.as_tuple() == (3, 3, 2, 1)
+        assert SYNTHETIC_SPECS["Synthetic2"].allocation.as_tuple() == (5, 2, 2, 2)
+        assert SYNTHETIC_SPECS["Synthetic3"].allocation.as_tuple() == (6, 4, 4, 2)
+        assert SYNTHETIC_SPECS["Synthetic4"].allocation.as_tuple() == (7, 4, 4, 3)
+
+    def test_too_small_spec_rejected(self):
+        with pytest.raises(AssayError):
+            SyntheticSpec("bad", 1, Allocation(mixers=1), seed=0)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", sorted(SYNTHETIC_SPECS))
+    def test_operation_counts_match(self, name):
+        assay = synthetic_assay(name)
+        assert len(assay) == SYNTHETIC_SPECS[name].operations
+
+    @pytest.mark.parametrize("name", sorted(SYNTHETIC_SPECS))
+    def test_valid_against_allocation(self, name):
+        report = validate_assay(synthetic_assay(name), synthetic_allocation(name))
+        assert report.ok, report.errors
+
+    @pytest.mark.parametrize("name", sorted(SYNTHETIC_SPECS))
+    def test_deterministic(self, name):
+        first = synthetic_assay(name)
+        second = synthetic_assay(name)
+        assert first.operation_ids == second.operation_ids
+        assert first.edges == second.edges
+        for op in first.operations:
+            other = second.operation(op.op_id)
+            assert other.duration == op.duration
+            assert (
+                other.output_fluid.diffusion_coefficient
+                == op.output_fluid.diffusion_coefficient
+            )
+
+    def test_different_seeds_differ(self):
+        base = SYNTHETIC_SPECS["Synthetic1"]
+        a = generate_synthetic(base)
+        b = generate_synthetic(
+            SyntheticSpec(base.name, base.operations, base.allocation, seed=9999)
+        )
+        assert a.edges != b.edges or [
+            op.duration for op in a.operations
+        ] != [op.duration for op in b.operations]
+
+    @pytest.mark.parametrize("name", sorted(SYNTHETIC_SPECS))
+    def test_fan_in_limits_respected(self, name):
+        assay = synthetic_assay(name)
+        for op in assay.operations:
+            assert len(assay.parents(op.op_id)) <= MAX_FAN_IN[op.op_type]
+
+    @pytest.mark.parametrize("name", sorted(SYNTHETIC_SPECS))
+    def test_wash_times_within_paper_range(self, name):
+        assay = synthetic_assay(name)
+        for op in assay.operations:
+            assert 0.19 <= op.wash_time <= 6.01
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(AssayError, match="unknown synthetic"):
+            synthetic_assay("Synthetic99")
+        with pytest.raises(AssayError, match="unknown synthetic"):
+            synthetic_allocation("Synthetic99")

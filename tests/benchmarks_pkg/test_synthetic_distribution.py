@@ -1,0 +1,61 @@
+"""Statistical sanity of the synthetic generator's sampling."""
+
+import statistics
+
+from repro.assay.graph import OperationType
+from repro.benchmarks.synthetic import SyntheticSpec, generate_synthetic
+from repro.components.allocation import Allocation
+
+
+class TestTypeDistribution:
+    def test_types_roughly_proportional_to_allocation(self):
+        """Over many seeds, sampled body-op types track the allocation
+        weights (mixers dominate a mixer-heavy allocation)."""
+        allocation = Allocation(mixers=6, heaters=2, filters=2, detectors=2)
+        mix_fraction = []
+        for seed in range(20):
+            assay = generate_synthetic(
+                SyntheticSpec("s", 40, allocation, seed)
+            )
+            counts = assay.count_by_type()
+            body = (
+                counts[OperationType.MIX]
+                + counts[OperationType.HEAT]
+                + counts[OperationType.FILTER]
+            )
+            mix_fraction.append(counts[OperationType.MIX] / body)
+        mean = statistics.mean(mix_fraction)
+        # Expectation: 6 / (6+2+2) = 0.6; allow generous sampling noise.
+        assert 0.45 <= mean <= 0.75
+
+    def test_detections_present_when_detectors_allocated(self):
+        allocation = Allocation(mixers=3, detectors=2)
+        for seed in range(5):
+            assay = generate_synthetic(SyntheticSpec("s", 20, allocation, seed))
+            assert assay.count_by_type()[OperationType.DETECT] >= 1
+
+    def test_no_detections_without_detectors(self):
+        allocation = Allocation(mixers=3, heaters=2)
+        for seed in range(5):
+            assay = generate_synthetic(SyntheticSpec("s", 15, allocation, seed))
+            assert assay.count_by_type()[OperationType.DETECT] == 0
+
+    def test_detections_are_sinks(self):
+        allocation = Allocation(mixers=4, detectors=2)
+        assay = generate_synthetic(SyntheticSpec("s", 25, allocation, 77))
+        for op in assay.operations:
+            if op.op_type is OperationType.DETECT:
+                assert assay.children(op.op_id) == []
+
+    def test_durations_in_declared_ranges(self):
+        allocation = Allocation(mixers=3, heaters=2, filters=2, detectors=1)
+        assay = generate_synthetic(SyntheticSpec("s", 30, allocation, 5))
+        ranges = {
+            OperationType.MIX: (3, 6),
+            OperationType.HEAT: (2, 4),
+            OperationType.FILTER: (3, 5),
+            OperationType.DETECT: (2, 4),
+        }
+        for op in assay.operations:
+            low, high = ranges[op.op_type]
+            assert low <= op.duration <= high

@@ -1,0 +1,169 @@
+"""Unit tests for the per-component scheduling state machine."""
+
+import pytest
+
+from repro.assay.fluids import Fluid
+from repro.assay.graph import OperationType
+from repro.components.allocation import Allocation
+from repro.components.instances import (
+    OUTLET,
+    ComponentState,
+    build_component_states,
+)
+from repro.errors import SchedulingError
+
+
+def fresh() -> ComponentState:
+    return ComponentState(cid="Mixer1", op_type=OperationType.MIX)
+
+
+def fluid(wash: float = 2.0) -> Fluid:
+    return Fluid.with_wash_time("f", wash)
+
+
+class TestExecution:
+    def test_begin_operation_updates_accounting(self):
+        state = fresh()
+        state.begin_operation("o1", 0.0, 4.0)
+        assert state.busy_time == 4.0
+        assert state.busy_until == 4.0
+        assert state.first_start == 0.0
+        assert state.last_end == 4.0
+        assert state.executed_ops == ["o1"]
+
+    def test_begin_before_ready_rejected(self):
+        state = fresh()
+        state.ready_time = 5.0
+        with pytest.raises(SchedulingError, match="before ready"):
+            state.begin_operation("o1", 3.0, 6.0)
+
+    def test_begin_while_busy_rejected(self):
+        state = fresh()
+        state.begin_operation("o1", 0.0, 4.0)
+        with pytest.raises(SchedulingError, match="busy"):
+            state.begin_operation("o2", 2.0, 5.0)
+
+    def test_begin_with_resident_fluid_rejected(self):
+        state = fresh()
+        state.begin_operation("o1", 0.0, 4.0)
+        state.settle_output("o1", fluid(), 4.0, {"o2"})
+        with pytest.raises(SchedulingError, match="resides inside"):
+            state.begin_operation("o2", 10.0, 12.0)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(SchedulingError, match="ends before"):
+            fresh().begin_operation("o1", 4.0, 3.0)
+
+    def test_utilisation_window(self):
+        state = fresh()
+        assert state.utilisation_window() == 0.0
+        state.begin_operation("o1", 2.0, 5.0)
+        state.ready_time = 0.0
+        state.begin_operation("o2", 8.0, 10.0)
+        assert state.utilisation_window() == 8.0
+
+
+class TestStorage:
+    def test_settle_and_query_portions(self):
+        state = fresh()
+        state.begin_operation("o1", 0.0, 4.0)
+        state.settle_output("o1", fluid(), 4.0, {"a", "b"})
+        assert state.holds_fluid
+        assert state.holds_portion("o1", "a")
+        assert not state.holds_portion("o1", "z")
+        assert not state.holds_portion("oX", "a")
+
+    def test_double_settle_rejected(self):
+        state = fresh()
+        state.begin_operation("o1", 0.0, 4.0)
+        state.settle_output("o1", fluid(), 4.0, {"a"})
+        with pytest.raises(SchedulingError, match="already resides"):
+            state.settle_output("o2", fluid(), 5.0, {"b"})
+
+    def test_settle_without_portions_rejected(self):
+        state = fresh()
+        with pytest.raises(SchedulingError, match="no portions"):
+            state.settle_output("o1", fluid(), 4.0, set())
+
+    def test_transport_removal_charges_wash_eq2(self):
+        state = fresh()
+        state.begin_operation("o1", 0.0, 4.0)
+        state.settle_output("o1", fluid(wash=3.0), 4.0, {"a"})
+        state.remove_portion("a", 6.0, "transport", 3.0)
+        assert not state.holds_fluid
+        assert state.ready_time == 9.0  # Eq. 2: remove + wash
+        assert state.wash_time_total == 3.0
+
+    def test_in_place_removal_charges_no_wash(self):
+        state = fresh()
+        state.begin_operation("o1", 0.0, 4.0)
+        state.settle_output("o1", fluid(wash=3.0), 4.0, {"a"})
+        state.remove_portion("a", 6.0, "in_place", 0.0)
+        assert state.ready_time == 6.0
+        assert state.wash_time_total == 0.0
+
+    def test_wash_charged_once_after_last_portion(self):
+        state = fresh()
+        state.begin_operation("o1", 0.0, 4.0)
+        state.settle_output("o1", fluid(wash=2.0), 4.0, {"a", "b"})
+        state.remove_portion("a", 5.0, "transport", 2.0)
+        assert state.holds_fluid  # portion b still inside
+        assert state.wash_time_total == 0.0
+        state.remove_portion("b", 7.0, "transport", 2.0)
+        assert state.ready_time == 9.0
+        assert state.wash_time_total == 2.0
+
+    def test_wash_follows_latest_departure_not_call_order(self):
+        # A portion committed to depart late keeps the component dirty
+        # even if the other portion is removed (in processing order)
+        # afterwards at an earlier timestamp.
+        state = fresh()
+        state.begin_operation("o1", 0.0, 4.0)
+        state.settle_output("o1", fluid(wash=2.0), 4.0, {"a", "b"})
+        state.remove_portion("a", 10.0, "transport", 2.0)
+        state.remove_portion("b", 5.0, "evict", 2.0)
+        assert state.ready_time == 12.0  # 10 (latest departure) + 2
+
+    def test_tie_prefers_in_place(self):
+        state = fresh()
+        state.begin_operation("o1", 0.0, 4.0)
+        state.settle_output("o1", fluid(wash=5.0), 4.0, {"a", "b"})
+        state.remove_portion("a", 6.0, "evict", 0.0)
+        state.remove_portion("b", 6.0, "in_place", 0.0)
+        assert state.ready_time == 6.0  # simultaneous in-place: no wash
+
+    def test_remove_unknown_portion_rejected(self):
+        state = fresh()
+        state.begin_operation("o1", 0.0, 4.0)
+        state.settle_output("o1", fluid(), 4.0, {"a"})
+        with pytest.raises(SchedulingError, match="no portion"):
+            state.remove_portion("z", 5.0, "transport", 2.0)
+
+    def test_remove_before_settle_time_rejected(self):
+        state = fresh()
+        state.begin_operation("o1", 0.0, 4.0)
+        state.settle_output("o1", fluid(), 4.0, {"a"})
+        with pytest.raises(SchedulingError, match="before the"):
+            state.remove_portion("a", 3.0, "transport", 2.0)
+
+    def test_outlet_portion(self):
+        state = fresh()
+        state.begin_operation("o1", 0.0, 4.0)
+        state.settle_output("o1", fluid(wash=1.0), 4.0, {OUTLET})
+        state.remove_portion(OUTLET, 4.0, "transport", 1.0)
+        assert state.ready_time == 5.0
+
+
+class TestBuildStates:
+    def test_one_state_per_component(self):
+        states = build_component_states(Allocation(mixers=2, detectors=1))
+        assert sorted(states) == ["Detector1", "Mixer1", "Mixer2"]
+        assert states["Mixer1"].op_type is OperationType.MIX
+        assert states["Detector1"].op_type is OperationType.DETECT
+
+    def test_states_start_clean(self):
+        states = build_component_states(Allocation(mixers=1))
+        state = states["Mixer1"]
+        assert state.ready_time == 0.0
+        assert state.busy_until == 0.0
+        assert not state.holds_fluid

@@ -1,0 +1,59 @@
+"""Unit tests for the component library."""
+
+import pytest
+
+from repro.assay.graph import OperationType
+from repro.components.library import (
+    DEFAULT_LIBRARY,
+    ComponentLibrary,
+    ComponentSpec,
+)
+from repro.errors import AllocationError
+
+
+class TestComponentSpec:
+    def test_area(self):
+        assert ComponentSpec(OperationType.MIX, 3, 2).area == 6
+
+    def test_rotated_swaps_dimensions(self):
+        spec = ComponentSpec(OperationType.MIX, 3, 2)
+        rotated = spec.rotated()
+        assert (rotated.width, rotated.height) == (2, 3)
+        assert rotated.op_type is OperationType.MIX
+
+    def test_rejects_non_positive_footprint(self):
+        with pytest.raises(AllocationError):
+            ComponentSpec(OperationType.MIX, 0, 2)
+        with pytest.raises(AllocationError):
+            ComponentSpec(OperationType.MIX, 2, -1)
+
+
+class TestComponentLibrary:
+    def test_default_library_complete(self):
+        for op_type in OperationType:
+            spec = DEFAULT_LIBRARY.spec(op_type)
+            assert spec.op_type is op_type
+
+    def test_default_footprints(self):
+        assert DEFAULT_LIBRARY.footprint(OperationType.MIX) == (3, 2)
+        assert DEFAULT_LIBRARY.footprint(OperationType.DETECT) == (1, 1)
+
+    def test_max_dimension(self):
+        assert DEFAULT_LIBRARY.max_dimension() == 3
+
+    def test_getitem(self):
+        assert DEFAULT_LIBRARY[OperationType.HEAT].op_type is OperationType.HEAT
+
+    def test_incomplete_library_rejected(self):
+        with pytest.raises(AllocationError, match="missing specs"):
+            ComponentLibrary(
+                {OperationType.MIX: ComponentSpec(OperationType.MIX, 2, 2)}
+            )
+
+    def test_mismatched_entry_rejected(self):
+        specs = {
+            op_type: ComponentSpec(op_type, 1, 1) for op_type in OperationType
+        }
+        specs[OperationType.MIX] = ComponentSpec(OperationType.HEAT, 1, 1)
+        with pytest.raises(AllocationError, match="holds a spec"):
+            ComponentLibrary(specs)

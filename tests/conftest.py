@@ -1,0 +1,71 @@
+"""Shared fixtures for the test-suite.
+
+The paper-default simulated-annealing schedule takes several seconds per
+placement; tests that exercise the end-to-end flows use ``fast_params``
+(a drastically shortened schedule) so the whole suite stays quick while
+the experiment harness keeps the published defaults.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assay.builder import AssayBuilder
+from repro.benchmarks.registry import get_benchmark
+from repro.components.allocation import Allocation
+from repro.core.problem import SynthesisParameters
+
+
+@pytest.fixture
+def fast_params() -> SynthesisParameters:
+    """Synthesis parameters with a short annealing schedule for tests."""
+    return SynthesisParameters(
+        initial_temperature=50.0,
+        min_temperature=1.0,
+        cooling_rate=0.7,
+        iterations_per_temperature=25,
+        seed=1,
+    )
+
+
+@pytest.fixture
+def pcr_case():
+    """The PCR benchmark (7-operation mixing tree on 3 mixers)."""
+    return get_benchmark("PCR")
+
+
+@pytest.fixture
+def fig2a_case():
+    """The paper's Fig. 2(a) running example."""
+    return get_benchmark("Fig2a")
+
+
+@pytest.fixture
+def chain_assay():
+    """A minimal 3-operation chain: mix -> heat -> detect."""
+    return (
+        AssayBuilder("chain")
+        .mix("m1", duration=4, wash_time=2.0)
+        .heat("h1", duration=3, after=["m1"], wash_time=1.0)
+        .detect("d1", duration=2, after=["h1"], wash_time=0.2)
+        .build()
+    )
+
+
+@pytest.fixture
+def chain_allocation():
+    """Allocation serving :func:`chain_assay`."""
+    return Allocation(mixers=1, heaters=1, detectors=1)
+
+
+@pytest.fixture
+def diamond_assay():
+    """A diamond: one source feeding two mixes joined by a final mix."""
+    return (
+        AssayBuilder("diamond")
+        .mix("src", duration=3, wash_time=2.0)
+        .mix("left", duration=4, after=["src"], wash_time=3.0)
+        .mix("right", duration=5, after=["src"], wash_time=1.0)
+        .mix("join", duration=3, after=["left", "right"], wash_time=2.0)
+        .build()
+    )

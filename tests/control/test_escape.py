@@ -1,0 +1,78 @@
+"""Tests for control-line escape planning."""
+
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.control.escape import plan_control_escape
+from repro.control.valves import build_control_model
+from repro.core.problem import SynthesisProblem
+from repro.errors import ValidationError
+from repro.place.greedy import construct_placement
+from repro.place.grid import ChipGrid
+from repro.route.router import route_tasks
+from repro.schedule.list_scheduler import schedule_assay
+
+
+@pytest.fixture(scope="module")
+def cpa_control():
+    case = get_benchmark("CPA")
+    problem = SynthesisProblem(assay=case.assay, allocation=case.allocation)
+    schedule = schedule_assay(case.assay, case.allocation)
+    placement = construct_placement(problem.resolved_grid(), problem.footprints())
+    routing = route_tasks(placement, schedule.transport_tasks())
+    return build_control_model(routing), problem.resolved_grid()
+
+
+class TestEscapePlan:
+    def test_one_line_per_valve(self, cpa_control):
+        model, grid = cpa_control
+        plan = plan_control_escape(model, grid)
+        assert plan.valve_count == model.valve_count
+        assert plan.feasible
+        assert plan.pin_count <= plan.available_pins
+
+    def test_pins_on_boundary_and_balanced(self, cpa_control):
+        model, grid = cpa_control
+        plan = plan_control_escape(model, grid)
+        pins = [line.pin for line in plan.lines]
+        # Multiplexed sharing is balanced: no pin carries more than
+        # ceil(valves / available_pins) valves.
+        ceiling = -(-plan.valve_count // plan.available_pins)
+        assert plan.multiplex_ratio <= ceiling
+        for pin in set(pins):
+            assert (
+                pin.x in (0, grid.width - 1) or pin.y in (0, grid.height - 1)
+            )
+
+    def test_lengths_are_manhattan_distances(self, cpa_control):
+        model, grid = cpa_control
+        plan = plan_control_escape(model, grid)
+        from repro.place.grid import Cell
+
+        for line in plan.lines:
+            anchor = Cell(*line.valve.end_a)
+            assert line.length_cells == anchor.manhattan(line.pin)
+        assert plan.total_length_cells == sum(
+            line.length_cells for line in plan.lines
+        )
+        assert plan.length_mm(10.0) == plan.total_length_cells * 10.0
+
+    def test_tiny_grid_multiplexes(self, cpa_control):
+        model, _ = cpa_control
+        plan = plan_control_escape(model, ChipGrid(3, 3))
+        assert plan.valve_count == model.valve_count
+        assert plan.multiplex_ratio > 1
+
+    def test_invalid_spacing(self, cpa_control):
+        model, grid = cpa_control
+        with pytest.raises(ValidationError, match="spacing"):
+            plan_control_escape(model, grid, pin_spacing=0)
+
+    def test_empty_model(self):
+        from repro.control.valves import ControlModel
+
+        plan = plan_control_escape(ControlModel(), ChipGrid(8, 8))
+        assert plan.valve_count == 0
+        assert plan.total_length_cells == 0
+        assert plan.feasible
+        assert plan.multiplex_ratio == 0

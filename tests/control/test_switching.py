@@ -1,0 +1,79 @@
+"""Tests for Hamming-distance-based valve-switching optimisation."""
+
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.control.switching import (
+    optimise_switching,
+    switching_cost_hold,
+    switching_cost_naive,
+)
+from repro.control.valves import (
+    ControlModel,
+    TaskPattern,
+    Valve,
+    ValveState,
+    build_control_model,
+)
+from repro.core.problem import SynthesisProblem
+from repro.place.greedy import construct_placement
+from repro.route.router import route_tasks
+from repro.schedule.list_scheduler import schedule_assay
+
+
+def small_model() -> ControlModel:
+    v1 = Valve((0, 0), (0, 1))
+    v2 = Valve((1, 0), (1, 1))
+    v3 = Valve((2, 0), (2, 1))
+    patterns = [
+        TaskPattern("t0", 0.0, {v1: ValveState.OPEN, v2: ValveState.CLOSED}),
+        TaskPattern("t1", 1.0, {v1: ValveState.OPEN, v3: ValveState.OPEN}),
+        TaskPattern("t2", 2.0, {v2: ValveState.OPEN}),
+    ]
+    return ControlModel(valves=[v1, v2, v3], patterns=patterns)
+
+
+class TestSwitchingCosts:
+    def test_hold_policy_counts_required_changes_only(self):
+        # t0: v1 opens (1).  t1: v3 opens (1); v1 holds open.  t2: v2
+        # opens (1).  Total = 3.
+        assert switching_cost_hold(small_model()) == 3
+
+    def test_naive_policy_resets_dont_cares(self):
+        # t0: v1 open (1).  t1: v3 open (1), v2 stays closed, v1 stays.
+        # t2: v2 open (1), v1 closes (1), v3 closes (1).  Total = 5.
+        assert switching_cost_naive(small_model()) == 5
+
+    def test_hold_never_worse_than_naive(self):
+        model = small_model()
+        assert switching_cost_hold(model) <= switching_cost_naive(model)
+
+    def test_empty_model(self):
+        model = ControlModel()
+        assert switching_cost_hold(model) == 0
+        assert switching_cost_naive(model) == 0
+
+
+class TestSwitchingReport:
+    def test_report_fields(self):
+        report = optimise_switching(small_model())
+        assert report.valve_count == 3
+        assert report.task_count == 3
+        assert report.naive_switches == 5
+        assert report.hold_switches == 3
+        assert report.saving_percent == pytest.approx(40.0)
+
+    def test_zero_division_guard(self):
+        report = optimise_switching(ControlModel())
+        assert report.saving_percent == 0.0
+
+    def test_real_benchmark_hold_saves(self):
+        case = get_benchmark("IVD")
+        problem = SynthesisProblem(assay=case.assay, allocation=case.allocation)
+        schedule = schedule_assay(case.assay, case.allocation)
+        placement = construct_placement(
+            problem.resolved_grid(), problem.footprints()
+        )
+        routing = route_tasks(placement, schedule.transport_tasks())
+        report = optimise_switching(build_control_model(routing))
+        assert report.hold_switches <= report.naive_switches

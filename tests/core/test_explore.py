@@ -1,0 +1,77 @@
+"""Tests for allocation exploration (architectural synthesis)."""
+
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.core.explore import explore_allocations, pareto_front
+
+
+@pytest.fixture(scope="module")
+def cpa_exploration():
+    case = get_benchmark("CPA")
+    return explore_allocations(case.assay, max_components=12)
+
+
+class TestExploration:
+    def test_starts_minimal(self, cpa_exploration):
+        first = cpa_exploration.trajectory[0]
+        # CPA uses mixes and detections only.
+        assert first.allocation.as_tuple() == (1, 0, 0, 1)
+
+    def test_trajectory_strictly_improves(self, cpa_exploration):
+        makespans = [p.makespan for p in cpa_exploration.trajectory]
+        assert all(b < a for a, b in zip(makespans, makespans[1:]))
+
+    def test_budget_respected(self, cpa_exploration):
+        assert all(
+            p.total_components <= 12 for p in cpa_exploration.trajectory
+        )
+
+    def test_best_is_minimum(self, cpa_exploration):
+        best = cpa_exploration.best
+        assert best.makespan == min(
+            p.makespan for p in cpa_exploration.trajectory
+        )
+
+    def test_knee_trades_components_for_tolerance(self, cpa_exploration):
+        knee = cpa_exploration.knee(tolerance=0.10)
+        best = cpa_exploration.best
+        assert knee.total_components <= best.total_components
+        assert knee.makespan <= best.makespan * 1.10 + 1e-9
+
+    def test_only_used_types_grow(self, cpa_exploration):
+        for point in cpa_exploration.trajectory:
+            assert point.allocation.heaters == 0
+            assert point.allocation.filters == 0
+
+    def test_more_components_never_hurt_along_trajectory(self, cpa_exploration):
+        # The trajectory orders by growing component count.
+        totals = [p.total_components for p in cpa_exploration.trajectory]
+        assert totals == sorted(totals)
+
+
+class TestParetoFront:
+    def test_front_is_nondominated(self, cpa_exploration):
+        front = pareto_front(cpa_exploration)
+        for i, a in enumerate(front):
+            for b in front[i + 1:]:
+                assert b.total_components > a.total_components
+                assert b.makespan < a.makespan
+
+    def test_front_contains_best(self, cpa_exploration):
+        front = pareto_front(cpa_exploration)
+        assert cpa_exploration.best in front
+
+    def test_small_chain_single_point(self):
+        from repro.assay.builder import AssayBuilder
+
+        assay = (
+            AssayBuilder("chain")
+            .mix("a", duration=3, wash_time=1.0)
+            .mix("b", duration=3, after=["a"], wash_time=1.0)
+            .build()
+        )
+        result = explore_allocations(assay, max_components=4)
+        # A pure chain cannot use parallelism: one mixer suffices (the
+        # second mixer may shave a wash, so allow <= 2 points).
+        assert 1 <= len(result.trajectory) <= 2

@@ -1,0 +1,83 @@
+"""Kitchen-sink integration test: every subsystem on one benchmark."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.control import build_control_model, optimise_switching
+from repro.core.baseline import synthesize_baseline
+from repro.core.metrics import channel_wash_time
+from repro.core.synthesizer import synthesize
+from repro.schedule.validate import validate_schedule
+from repro.viz import layout_to_svg, render_routing, render_schedule
+from repro.wash import plan_channel_washes
+
+
+@pytest.fixture(scope="module")
+def both(request):
+    from repro.core.problem import SynthesisParameters
+
+    params = SynthesisParameters(
+        initial_temperature=50.0,
+        min_temperature=1.0,
+        cooling_rate=0.7,
+        iterations_per_temperature=25,
+        seed=2,
+    )
+    case = get_benchmark("Fig2a")
+    return (
+        synthesize(case.assay, case.allocation, params),
+        synthesize_baseline(case.assay, case.allocation, params),
+    )
+
+
+class TestFullPipeline:
+    def test_schedules_valid(self, both):
+        for result in both:
+            validate_schedule(result.schedule)
+
+    def test_placements_legal(self, both):
+        for result in both:
+            assert result.placement.is_legal()
+
+    def test_routings_complete(self, both):
+        for result in both:
+            assert len(result.routing.paths) == result.schedule.transport_count()
+
+    def test_routing_slot_sets_disjoint(self, both):
+        for result in both:
+            grid = result.routing.grid
+            for cell in grid.used_cells():
+                slots = grid.slots(cell).slots()
+                for i, first in enumerate(slots):
+                    for second in slots[i + 1:]:
+                        assert not first.overlaps(second)
+
+    def test_paper_relations_hold(self, both):
+        ours, baseline = both
+        assert (
+            ours.metrics.execution_time
+            <= baseline.metrics.execution_time + 1e-9
+        )
+
+    def test_wash_plan_consistent(self, both):
+        for result in both:
+            plan = plan_channel_washes(result.routing)
+            assert plan.total_duration == pytest.approx(
+                channel_wash_time(result.routing)
+            )
+
+    def test_control_layer_derivable(self, both):
+        for result in both:
+            model = build_control_model(result.routing)
+            report = optimise_switching(model)
+            assert report.hold_switches <= report.naive_switches
+
+    def test_visualisations_render(self, both):
+        for result in both:
+            assert "#" in render_schedule(result.schedule)
+            text = render_routing(result.routing)
+            assert "channels" in text
+            root = ET.fromstring(layout_to_svg(result.routing))
+            assert root.tag.endswith("svg")

@@ -1,0 +1,90 @@
+"""Tests for solution archiving."""
+
+import json
+
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.core.io import (
+    SolutionRecord,
+    dump_solution,
+    load_solution,
+    result_to_dict,
+)
+from repro.core.synthesizer import synthesize
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def result(request):
+    from repro.core.problem import SynthesisParameters
+
+    params = SynthesisParameters(
+        initial_temperature=50.0,
+        min_temperature=1.0,
+        cooling_rate=0.7,
+        iterations_per_temperature=25,
+        seed=3,
+    )
+    case = get_benchmark("PCR")
+    return synthesize(case.assay, case.allocation, params)
+
+
+class TestResultToDict:
+    def test_document_structure(self, result):
+        data = result_to_dict(result)
+        assert data["format"] == "repro-solution"
+        assert data["version"] == 1
+        assert data["algorithm"] == "ours"
+        assert len(data["operations"]) == 7
+        assert len(data["placement"]) == 3
+        assert data["metrics"]["execution_time_s"] > 0
+
+    def test_operations_sorted_by_start(self, result):
+        data = result_to_dict(result)
+        starts = [op["start"] for op in data["operations"]]
+        assert starts == sorted(starts)
+
+    def test_routes_reference_movements(self, result):
+        data = result_to_dict(result)
+        channel_edges = {
+            (m["producer"], m["consumer"])
+            for m in data["movements"]
+            if not m["in_place"]
+        }
+        route_edges = {(r["producer"], r["consumer"]) for r in data["routes"]}
+        assert route_edges <= channel_edges
+
+    def test_json_serialisable(self, result):
+        json.dumps(result_to_dict(result))
+
+
+class TestRoundTrip:
+    def test_dump_and_load(self, result, tmp_path):
+        path = tmp_path / "solution.json"
+        dump_solution(result, path)
+        record = load_solution(path)
+        assert record.algorithm == "ours"
+        assert record.assay_name == "PCR"
+        assert record.operation_count == 7
+        assert record.makespan == pytest.approx(result.schedule.makespan)
+        assert record.binding == result.schedule.binding()
+        assert record.route_count == len(result.routing.paths)
+
+    def test_placement_round_trip(self, result, tmp_path):
+        path = tmp_path / "solution.json"
+        dump_solution(result, path)
+        record = load_solution(path)
+        for cid, (x, y, w, h) in record.placement.items():
+            block = result.placement.block(cid)
+            assert (block.x, block.y, block.width, block.height) == (x, y, w, h)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValidationError, match="format"):
+            SolutionRecord.from_dict({"format": "other"})
+
+    def test_wrong_version_rejected(self, result):
+        data = result_to_dict(result)
+        data["version"] = 42
+        with pytest.raises(ValidationError, match="version"):
+            SolutionRecord.from_dict(data)

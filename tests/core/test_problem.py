@@ -1,0 +1,69 @@
+"""Unit tests for the problem definition and parameters."""
+
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.core.problem import SynthesisParameters, SynthesisProblem
+from repro.components.allocation import Allocation
+from repro.errors import AllocationError, ValidationError
+from repro.place.grid import ChipGrid
+
+
+class TestSynthesisParameters:
+    def test_paper_defaults(self):
+        params = SynthesisParameters()
+        assert params.transport_time == 2.0
+        assert params.beta == 0.6
+        assert params.gamma == 0.4
+        assert params.initial_temperature == 10_000.0
+        assert params.min_temperature == 1.0
+        assert params.cooling_rate == 0.9
+        assert params.iterations_per_temperature == 150
+        assert params.initial_cell_weight == 10.0
+
+    def test_annealing_subset(self):
+        params = SynthesisParameters(initial_temperature=500.0)
+        annealing = params.annealing()
+        assert annealing.initial_temperature == 500.0
+        assert annealing.cooling_rate == params.cooling_rate
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValidationError):
+            SynthesisParameters(transport_time=-1.0)
+        with pytest.raises(ValidationError):
+            SynthesisParameters(beta=-0.1)
+        with pytest.raises(ValidationError):
+            SynthesisParameters(initial_cell_weight=-5.0)
+
+
+class TestSynthesisProblem:
+    def test_validates_assay_against_allocation(self):
+        case = get_benchmark("IVD")
+        with pytest.raises(AllocationError):
+            SynthesisProblem(assay=case.assay, allocation=Allocation(mixers=3))
+
+    def test_auto_grid_square_and_sufficient(self):
+        case = get_benchmark("CPA")
+        problem = SynthesisProblem(assay=case.assay, allocation=case.allocation)
+        grid = problem.resolved_grid()
+        assert grid.width == grid.height
+        component_area = sum(
+            w * h for w, h in problem.footprints().values()
+        )
+        assert grid.cell_count >= component_area * 4  # fill <= 0.25
+
+    def test_explicit_grid_kept(self):
+        case = get_benchmark("PCR")
+        grid = ChipGrid(20, 20)
+        problem = SynthesisProblem(
+            assay=case.assay, allocation=case.allocation, grid=grid
+        )
+        assert problem.resolved_grid() is grid
+
+    def test_footprints_cover_allocation(self):
+        case = get_benchmark("IVD")
+        problem = SynthesisProblem(assay=case.assay, allocation=case.allocation)
+        footprints = problem.footprints()
+        assert set(footprints) == set(case.allocation.component_ids())
+        assert footprints["Mixer1"] == (3, 2)
+        assert footprints["Detector1"] == (1, 1)

@@ -1,0 +1,57 @@
+"""Tests for the SynthesisResult container."""
+
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.core.synthesizer import synthesize
+
+
+@pytest.fixture(scope="module")
+def result(request):
+    from repro.core.problem import SynthesisParameters
+
+    params = SynthesisParameters(
+        initial_temperature=50.0,
+        min_temperature=1.0,
+        cooling_rate=0.7,
+        iterations_per_temperature=25,
+        seed=1,
+    )
+    case = get_benchmark("PCR")
+    return synthesize(case.assay, case.allocation, params)
+
+
+class TestSynthesisResult:
+    def test_artifacts_consistent(self, result):
+        assert result.schedule.assay.name == "PCR"
+        assert result.placement.components() == sorted(
+            result.problem.allocation.component_ids()
+        )
+        assert result.routing.placement is result.placement
+
+    def test_metrics_derived_from_artifacts(self, result):
+        assert result.metrics.total_channel_length_mm == pytest.approx(
+            result.routing.total_length_mm()
+        )
+        assert result.metrics.transport_count == len(result.routing.paths)
+
+    def test_summary_lists_all_metrics(self, result):
+        summary = result.summary()
+        for keyword in (
+            "benchmark",
+            "algorithm",
+            "operations",
+            "components",
+            "grid",
+            "execution time",
+            "utilisation",
+            "channel length",
+            "cache time",
+            "channel wash",
+            "cpu time",
+        ):
+            assert keyword in summary, keyword
+
+    def test_frozen(self, result):
+        with pytest.raises(AttributeError):
+            result.algorithm = "other"  # type: ignore[misc]

@@ -1,0 +1,56 @@
+"""Tests for the programmatic ablation runners."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    cell_weight_ablation,
+    dedicated_storage_ablation,
+    transport_time_ablation,
+)
+
+
+class TestTransportTimeAblation:
+    def test_rows_cover_grid(self):
+        rows = transport_time_ablation(values=(1.0, 2.0), names=("PCR", "IVD"))
+        assert len(rows) == 4
+        assert {r.benchmark for r in rows} == {"PCR", "IVD"}
+        assert {r.transport_time for r in rows} == {1.0, 2.0}
+
+    def test_gap_definition(self):
+        rows = transport_time_ablation(values=(2.0,), names=("PCR",))
+        row = rows[0]
+        assert row.gap == pytest.approx(
+            row.baseline_makespan - row.ours_makespan
+        )
+
+    def test_pcr_gap_grows_with_tc(self):
+        rows = transport_time_ablation(values=(1.0, 4.0), names=("PCR",))
+        assert rows[1].gap >= rows[0].gap
+
+
+class TestDedicatedStorageAblation:
+    def test_slowdown_above_one(self):
+        rows = dedicated_storage_ablation(names=("PCR", "CPA"))
+        for row in rows:
+            assert row.slowdown > 1.0
+
+    def test_cpa_worse_than_pcr(self):
+        rows = {r.benchmark: r for r in dedicated_storage_ablation(
+            names=("PCR", "CPA")
+        )}
+        assert rows["CPA"].slowdown > rows["PCR"].slowdown
+
+
+class TestCellWeightAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return cell_weight_ablation(name="IVD", weights=(0.0, 10.0))
+
+    def test_one_row_per_weight(self, rows):
+        assert [r.initial_weight for r in rows] == [0.0, 10.0]
+
+    def test_rows_populated(self, rows):
+        for row in rows:
+            assert row.channel_length_cells > 0
+            assert row.channel_wash_time > 0
+            assert row.postponement >= 0

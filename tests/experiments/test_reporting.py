@@ -1,0 +1,52 @@
+"""Tests for the report formatting helpers."""
+
+import pytest
+
+from repro.experiments.reporting import format_grouped_bars, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", "1"], ["long-name", "22"]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # every line equally wide
+
+    def test_header_only(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_cell_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestFormatGroupedBars:
+    def test_bars_scale_to_peak(self):
+        text = format_grouped_bars(
+            "demo",
+            ["x", "y"],
+            {"Ours": [10.0, 50.0], "BA": [20.0, 100.0]},
+            width=50,
+        )
+        lines = text.splitlines()
+        peak_line = next(line for line in lines if "100.0" in line)
+        assert peak_line.count("#") == 50
+
+    def test_zero_values_render(self):
+        text = format_grouped_bars("demo", ["x"], {"Ours": [0.0], "BA": [0.0]})
+        assert "0.0" in text
+
+    def test_series_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="values"):
+            format_grouped_bars("demo", ["x", "y"], {"Ours": [1.0]})
+
+    def test_title_and_labels_present(self):
+        text = format_grouped_bars(
+            "my title", ["PCR", "IVD"], {"Ours": [1.0, 2.0]}
+        )
+        assert "my title" in text
+        assert "PCR" in text and "IVD" in text

@@ -1,0 +1,60 @@
+"""Tests for the seed-robustness study."""
+
+import pytest
+
+from repro.experiments.robustness import (
+    SeedStudy,
+    render_seed_study,
+    run_seed_study,
+)
+
+
+@pytest.fixture(scope="module")
+def pcr_study():
+    return run_seed_study("PCR", seeds=(1, 2))
+
+
+class TestSeedStudy:
+    def test_one_sample_per_seed(self, pcr_study):
+        assert len(pcr_study.execution_times) == 2
+        assert len(pcr_study.channel_lengths) == 2
+        assert len(pcr_study.utilisations) == 2
+
+    def test_statistics(self):
+        study = SeedStudy(
+            name="x",
+            seeds=(1, 2),
+            execution_times=(10.0, 14.0),
+            channel_lengths=(100.0, 100.0),
+            utilisations=(0.5, 0.7),
+            baseline_execution_time=15.0,
+            baseline_channel_length=120.0,
+            baseline_utilisation=0.4,
+        )
+        assert study.mean_execution_time == 12.0
+        assert study.std_execution_time == 2.0
+        assert study.std_channel_length == 0.0
+        assert study.mean_utilisation == pytest.approx(0.6)
+        assert study.always_beats_baseline_execution()
+
+    def test_loss_detected(self):
+        study = SeedStudy(
+            name="x",
+            seeds=(1,),
+            execution_times=(20.0,),
+            channel_lengths=(1.0,),
+            utilisations=(0.5,),
+            baseline_execution_time=15.0,
+            baseline_channel_length=1.0,
+            baseline_utilisation=0.5,
+        )
+        assert not study.always_beats_baseline_execution()
+
+    def test_pcr_wins_every_seed(self, pcr_study):
+        assert pcr_study.always_beats_baseline_execution()
+
+    def test_render(self, pcr_study):
+        text = render_seed_study([pcr_study])
+        assert "PCR" in text
+        assert "±" in text
+        assert "yes" in text

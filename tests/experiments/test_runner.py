@@ -1,0 +1,80 @@
+"""Tests for the experiment runner and table/figure rendering."""
+
+import pytest
+
+from repro.core.problem import SynthesisParameters
+from repro.experiments.fig8 import fig8_series, render_fig8
+from repro.experiments.fig9 import fig9_series, render_fig9
+from repro.experiments.runner import run_all, run_benchmark
+from repro.experiments.table1 import render_table1, table1_rows
+
+
+@pytest.fixture(scope="module")
+def comparisons(request):
+    """Two small benchmarks with a fast SA schedule (module-cached)."""
+    params = SynthesisParameters(
+        initial_temperature=50.0,
+        min_temperature=1.0,
+        cooling_rate=0.7,
+        iterations_per_temperature=25,
+        seed=1,
+    )
+    return run_all(["PCR", "IVD"], params)
+
+
+class TestRunner:
+    def test_comparison_holds_both_algorithms(self, comparisons):
+        comparison = comparisons[0]
+        assert comparison.ours.algorithm == "ours"
+        assert comparison.baseline.algorithm == "baseline"
+
+    def test_improvements_signs(self, comparisons):
+        for comparison in comparisons:
+            assert comparison.execution_improvement >= -1e-9
+            assert comparison.utilisation_improvement >= -1e-9
+
+    def test_run_benchmark_single(self):
+        params = SynthesisParameters(
+            initial_temperature=20.0,
+            min_temperature=1.0,
+            cooling_rate=0.5,
+            iterations_per_temperature=10,
+        )
+        comparison = run_benchmark("PCR", params)
+        assert comparison.name == "PCR"
+
+
+class TestTable1:
+    def test_rows_per_benchmark_plus_average(self, comparisons):
+        rows = table1_rows(comparisons)
+        assert len(rows) == len(comparisons) + 1
+        assert rows[-1][0] == "Average"
+
+    def test_rendered_table_mentions_benchmarks(self, comparisons):
+        text = render_table1(comparisons)
+        assert "PCR" in text and "IVD" in text
+        assert "Imp (%)" in text
+
+    def test_row_contents(self, comparisons):
+        rows = table1_rows(comparisons)
+        pcr = rows[0]
+        assert pcr[0] == "PCR"
+        assert pcr[1] == "7"
+        assert pcr[2] == "(3,0,0,0)"
+
+
+class TestFigures:
+    def test_fig8_series_shapes(self, comparisons):
+        labels, series = fig8_series(comparisons)
+        assert labels == ["PCR", "IVD"]
+        assert set(series) == {"Ours", "BA"}
+        assert all(len(values) == 2 for values in series.values())
+
+    def test_fig9_series_shapes(self, comparisons):
+        labels, series = fig9_series(comparisons)
+        assert labels == ["PCR", "IVD"]
+        assert all(v >= 0 for values in series.values() for v in values)
+
+    def test_renders_mention_titles(self, comparisons):
+        assert "Fig. 8" in render_fig8(comparisons)
+        assert "Fig. 9" in render_fig9(comparisons)

@@ -1,0 +1,105 @@
+"""Unit tests for Eq. 3 / Eq. 4 placement energy."""
+
+import pytest
+
+from repro.components.allocation import Allocation
+from repro.place.energy import (
+    build_connection_priorities,
+    placement_energy,
+    wirelength_energy,
+)
+from repro.place.grid import ChipGrid
+from repro.place.placement import PlacedComponent, Placement
+from repro.assay.builder import AssayBuilder
+from repro.schedule.list_scheduler import schedule_assay
+
+
+def two_net_schedule():
+    assay = (
+        AssayBuilder("t")
+        .mix("a", duration=4, wash_time=3.0)
+        .heat("h", duration=3, after=["a"], wash_time=1.0)
+        .detect("d", duration=2, after=["h"], wash_time=0.2)
+        .build()
+    )
+    return schedule_assay(assay, Allocation(mixers=1, heaters=1, detectors=1))
+
+
+class TestConnectionPriorities:
+    def test_nets_cover_transported_pairs(self):
+        schedule = two_net_schedule()
+        priorities = build_connection_priorities(schedule)
+        nets = priorities.nets()
+        assert ("Heater1", "Mixer1") in nets
+        assert ("Detector1", "Heater1") in nets
+
+    def test_priority_symmetric_lookup(self):
+        priorities = build_connection_priorities(two_net_schedule())
+        assert priorities.priority("Mixer1", "Heater1") == priorities.priority(
+            "Heater1", "Mixer1"
+        )
+
+    def test_absent_net_is_zero(self):
+        priorities = build_connection_priorities(two_net_schedule())
+        assert priorities.priority("Mixer1", "Detector1") == 0.0
+
+    def test_eq4_values(self):
+        """With no concurrency, cp = gamma * wash_time per task."""
+        schedule = two_net_schedule()
+        tasks = schedule.transport_tasks()
+        # The chain's two transports do not overlap in time.
+        for task in tasks:
+            assert schedule.concurrency_of(task, tasks) == 0
+        priorities = build_connection_priorities(schedule, beta=0.6, gamma=0.4)
+        assert priorities.priority("Mixer1", "Heater1") == pytest.approx(
+            0.4 * 3.0
+        )
+        assert priorities.priority("Heater1", "Detector1") == pytest.approx(
+            0.4 * 1.0
+        )
+
+    def test_beta_weighs_concurrency(self):
+        """Two parallel transports raise each other's cp via beta."""
+        assay = (
+            AssayBuilder("t")
+            .mix("a", duration=4, wash_time=1.0)
+            .mix("b", duration=4, wash_time=1.0)
+            .heat("ha", duration=3, after=["a"], wash_time=1.0)
+            .heat("hb", duration=3, after=["b"], wash_time=1.0)
+            .build()
+        )
+        schedule = schedule_assay(assay, Allocation(mixers=2, heaters=2))
+        with_beta = build_connection_priorities(schedule, beta=1.0, gamma=0.0)
+        without = build_connection_priorities(schedule, beta=0.0, gamma=0.0)
+        assert sum(with_beta.priorities.values()) > sum(without.priorities.values())
+
+
+class TestEnergy:
+    def placement(self, dist: int) -> Placement:
+        return Placement(
+            ChipGrid(20, 20),
+            {
+                "Mixer1": PlacedComponent("Mixer1", 0, 0, 3, 2),
+                "Heater1": PlacedComponent("Heater1", dist, 0, 2, 1),
+                "Detector1": PlacedComponent("Detector1", 0, 10, 1, 1),
+            },
+        )
+
+    def test_energy_grows_with_distance(self):
+        priorities = build_connection_priorities(two_net_schedule())
+        near = placement_energy(self.placement(5), priorities)
+        far = placement_energy(self.placement(15), priorities)
+        assert far > near
+
+    def test_energy_zero_without_nets(self):
+        from repro.place.energy import ConnectionPriorities
+
+        energy = placement_energy(
+            self.placement(5), ConnectionPriorities(priorities={})
+        )
+        assert energy == 0.0
+
+    def test_wirelength_energy(self):
+        placement = self.placement(10)
+        value = wirelength_energy(placement, [("Mixer1", "Heater1")])
+        assert value == placement.manhattan_distance("Mixer1", "Heater1")

@@ -1,0 +1,79 @@
+"""Unit tests for the baseline construction-by-correction placer."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.place.energy import wirelength_energy
+from repro.place.greedy import (
+    construct_placement,
+    correct_placement,
+    greedy_placement,
+)
+from repro.place.grid import ChipGrid
+
+FOOTPRINTS = {
+    "Mixer1": (3, 2),
+    "Mixer2": (3, 2),
+    "Heater1": (2, 1),
+    "Detector1": (1, 1),
+    "Detector2": (1, 1),
+}
+
+
+class TestConstruction:
+    def test_lattice_is_legal(self):
+        placement = construct_placement(ChipGrid(14, 14), FOOTPRINTS)
+        assert placement.is_legal()
+        assert set(placement.components()) == set(FOOTPRINTS)
+
+    def test_lattice_spreads_over_grid(self):
+        placement = construct_placement(ChipGrid(14, 14), FOOTPRINTS)
+        xs = [placement.block(c).x for c in placement.components()]
+        ys = [placement.block(c).y for c in placement.components()]
+        assert max(xs) - min(xs) >= 5
+        assert max(ys) - min(ys) >= 5
+
+    def test_deterministic(self):
+        a = construct_placement(ChipGrid(14, 14), FOOTPRINTS)
+        b = construct_placement(ChipGrid(14, 14), FOOTPRINTS)
+        for cid in FOOTPRINTS:
+            assert a.block(cid) == b.block(cid)
+
+    def test_too_small_grid_raises(self):
+        with pytest.raises(PlacementError, match="too small"):
+            construct_placement(ChipGrid(4, 4), FOOTPRINTS)
+
+    def test_single_component_centred(self):
+        placement = construct_placement(ChipGrid(9, 9), {"Detector1": (1, 1)})
+        block = placement.block("Detector1")
+        assert (block.x, block.y) == (4, 4)
+
+
+class TestCorrection:
+    def test_correction_never_increases_wirelength(self):
+        nets = [("Mixer1", "Detector2"), ("Mixer2", "Detector1")]
+        initial = construct_placement(ChipGrid(14, 14), FOOTPRINTS)
+        corrected = correct_placement(initial, nets)
+        assert wirelength_energy(corrected, nets) <= wirelength_energy(
+            initial, nets
+        )
+
+    def test_correction_keeps_legality(self):
+        nets = [("Mixer1", "Detector2")]
+        corrected = correct_placement(
+            construct_placement(ChipGrid(14, 14), FOOTPRINTS), nets
+        )
+        assert corrected.is_legal()
+
+    def test_correction_without_nets_is_stable(self):
+        initial = construct_placement(ChipGrid(14, 14), FOOTPRINTS)
+        corrected = correct_placement(initial, [])
+        for cid in FOOTPRINTS:
+            assert corrected.block(cid) == initial.block(cid)
+
+
+class TestGreedyPlacement:
+    def test_end_to_end(self):
+        nets = [("Mixer1", "Mixer2")]
+        placement = greedy_placement(ChipGrid(14, 14), FOOTPRINTS, nets)
+        assert placement.is_legal()

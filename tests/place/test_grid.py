@@ -1,0 +1,78 @@
+"""Unit tests for the chip grid."""
+
+import pytest
+
+from repro.components.allocation import Allocation
+from repro.components.library import DEFAULT_LIBRARY
+from repro.errors import PlacementError
+from repro.place.grid import Cell, ChipGrid, auto_grid
+
+
+class TestCell:
+    def test_neighbours(self):
+        cell = Cell(3, 4)
+        assert set(cell.neighbours()) == {
+            Cell(4, 4),
+            Cell(2, 4),
+            Cell(3, 5),
+            Cell(3, 3),
+        }
+
+    def test_manhattan(self):
+        assert Cell(0, 0).manhattan(Cell(3, 4)) == 7
+        assert Cell(2, 2).manhattan(Cell(2, 2)) == 0
+
+    def test_ordering_and_hash(self):
+        assert Cell(0, 1) < Cell(1, 0)
+        assert len({Cell(1, 1), Cell(1, 1)}) == 1
+
+
+class TestChipGrid:
+    def test_contains(self):
+        grid = ChipGrid(4, 3)
+        assert grid.contains(Cell(0, 0))
+        assert grid.contains(Cell(3, 2))
+        assert not grid.contains(Cell(4, 0))
+        assert not grid.contains(Cell(0, -1))
+
+    def test_cells_row_major_count(self):
+        grid = ChipGrid(4, 3)
+        cells = list(grid.cells())
+        assert len(cells) == 12
+        assert cells[0] == Cell(0, 0)
+        assert cells[1] == Cell(1, 0)
+        assert cells[-1] == Cell(3, 2)
+
+    def test_length_mm(self):
+        grid = ChipGrid(4, 4, pitch_mm=10.0)
+        assert grid.length_mm(7) == 70.0
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(PlacementError):
+            ChipGrid(0, 5)
+        with pytest.raises(PlacementError):
+            ChipGrid(5, 5, pitch_mm=0.0)
+
+
+class TestAutoGrid:
+    def test_fits_components_with_margin(self):
+        allocation = Allocation(mixers=3, detectors=2)
+        grid = auto_grid(allocation, DEFAULT_LIBRARY)
+        total_area = 3 * 6 + 2 * 1
+        assert grid.width == grid.height
+        assert grid.cell_count >= total_area / 0.25
+
+    def test_lower_bound_for_single_component(self):
+        grid = auto_grid(Allocation(detectors=1), DEFAULT_LIBRARY)
+        assert grid.width >= DEFAULT_LIBRARY.max_dimension() + 2
+
+    def test_fill_ratio_bounds(self):
+        with pytest.raises(PlacementError):
+            auto_grid(Allocation(mixers=1), DEFAULT_LIBRARY, fill_ratio=0.0)
+        with pytest.raises(PlacementError):
+            auto_grid(Allocation(mixers=1), DEFAULT_LIBRARY, fill_ratio=1.5)
+
+    def test_larger_allocation_larger_grid(self):
+        small = auto_grid(Allocation(mixers=2), DEFAULT_LIBRARY)
+        large = auto_grid(Allocation(mixers=10), DEFAULT_LIBRARY)
+        assert large.cell_count > small.cell_count

@@ -1,0 +1,147 @@
+"""Unit tests for the placement data model and legality rules."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.place.grid import Cell, ChipGrid
+from repro.place.placement import PlacedComponent, Placement
+
+
+def block(cid, x, y, w=2, h=2):
+    return PlacedComponent(cid, x, y, w, h)
+
+
+class TestPlacedComponent:
+    def test_cells(self):
+        cells = set(block("a", 1, 2, 2, 1).cells())
+        assert cells == {Cell(1, 2), Cell(2, 2)}
+
+    def test_centre(self):
+        assert block("a", 0, 0, 3, 2).centre() == (1.0, 0.5)
+
+    def test_overlap(self):
+        assert block("a", 0, 0).overlaps(block("b", 1, 1))
+        assert not block("a", 0, 0).overlaps(block("b", 2, 0))
+
+    def test_overlap_with_spacing(self):
+        # Touching blocks overlap once a 1-cell clearance is required.
+        assert not block("a", 0, 0).overlaps(block("b", 2, 0), spacing=0)
+        assert block("a", 0, 0).overlaps(block("b", 2, 0), spacing=1)
+        assert not block("a", 0, 0).overlaps(block("b", 3, 0), spacing=1)
+
+    def test_rotated(self):
+        rotated = block("a", 1, 1, 3, 2).rotated()
+        assert (rotated.width, rotated.height) == (2, 3)
+        assert (rotated.x, rotated.y) == (1, 1)
+
+    def test_moved_to(self):
+        moved = block("a", 1, 1).moved_to(5, 6)
+        assert (moved.x, moved.y) == (5, 6)
+
+    def test_invalid_footprint(self):
+        with pytest.raises(PlacementError):
+            PlacedComponent("a", 0, 0, 0, 2)
+
+
+class TestPlacementLegality:
+    def grid(self):
+        return ChipGrid(10, 10)
+
+    def test_legal_placement(self):
+        placement = Placement(
+            self.grid(), {"a": block("a", 0, 0), "b": block("b", 5, 5)}
+        )
+        assert placement.is_legal()
+        assert placement.violations() == []
+
+    def test_out_of_bounds_detected(self):
+        placement = Placement(self.grid(), {"a": block("a", 9, 9)})
+        assert any("out of bounds" in v for v in placement.violations())
+
+    def test_touching_blocks_illegal(self):
+        placement = Placement(
+            self.grid(), {"a": block("a", 0, 0), "b": block("b", 2, 0)}
+        )
+        assert not placement.is_legal()
+
+    def test_one_cell_gap_legal(self):
+        placement = Placement(
+            self.grid(), {"a": block("a", 0, 0), "b": block("b", 3, 0)}
+        )
+        assert placement.is_legal()
+
+    def test_key_mismatch_rejected(self):
+        with pytest.raises(PlacementError, match="holds block"):
+            Placement(self.grid(), {"a": block("b", 0, 0)})
+
+    def test_disconnected_plane_illegal(self):
+        # A full-height wall of blocks splits the free plane.
+        grid = ChipGrid(7, 6)
+        wall = {
+            "w1": PlacedComponent("w1", 3, 0, 1, 2),
+            "w2": PlacedComponent("w2", 3, 3, 1, 3),
+        }
+        placement = Placement(grid, wall)
+        # w1 covers rows 0-1, w2 rows 3-5: row 2 still connects -> legal.
+        assert placement.is_legal()
+        wall["w3"] = PlacedComponent("w3", 3, 2, 1, 1)
+        # Now column 3 is fully blocked but w3 touches w1/w2.
+        placement = Placement(grid, wall)
+        assert not placement.is_legal()
+
+    def test_full_span_block_illegal(self):
+        # A single block spanning the grid's full height is a wall even
+        # though it violates no pairwise clearance.
+        grid = ChipGrid(7, 6)
+        placement = Placement(
+            grid, {"wall": PlacedComponent("wall", 3, 0, 1, 6)}
+        )
+        assert not placement.is_legal()
+        assert any("spans" in v for v in placement.violations())
+        assert not placement._free_plane_connected(placement.occupied_cells())
+
+
+class TestPlacementGeometry:
+    def placement(self):
+        return Placement(
+            ChipGrid(10, 10),
+            {"a": block("a", 0, 0), "b": block("b", 6, 6)},
+        )
+
+    def test_with_block_replaces(self):
+        updated = self.placement().with_block(block("a", 4, 0))
+        assert updated.block("a").x == 4
+        assert self.placement().block("a").x == 0  # original untouched
+
+    def test_unknown_block_raises(self):
+        with pytest.raises(PlacementError):
+            self.placement().block("zzz")
+
+    def test_occupied_cells(self):
+        occupied = self.placement().occupied_cells()
+        assert Cell(0, 0) in occupied
+        assert Cell(7, 7) in occupied
+        assert len(occupied) == 8
+
+    def test_ports_are_free_adjacent_cells(self):
+        placement = self.placement()
+        ports = placement.ports("a")
+        occupied = placement.occupied_cells()
+        block_cells = set(placement.block("a").cells())
+        for port in ports:
+            assert placement.grid.contains(port)
+            assert port not in occupied
+            assert any(n in block_cells for n in port.neighbours())
+
+    def test_corner_block_has_fewer_ports(self):
+        placement = self.placement()
+        corner_ports = placement.ports("a")  # block at the corner
+        centre = placement.with_block(block("a", 3, 3))
+        assert len(centre.ports("a")) > len(corner_ports)
+
+    def test_manhattan_distance(self):
+        assert self.placement().manhattan_distance("a", "b") == 12.0
+        assert self.placement().manhattan_distance("a", "a") == 0.0
+
+    def test_bounding_box(self):
+        assert self.placement().bounding_box_cells() == 64

@@ -1,0 +1,108 @@
+"""Property-based tests for the sequencing graph (networkx as oracle)."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assay.fluids import Fluid
+from repro.assay.graph import Operation, OperationType, SequencingGraph
+
+
+@st.composite
+def random_dags(draw):
+    """Layered random DAGs with 1..12 operations."""
+    count = draw(st.integers(min_value=1, max_value=12))
+    ops = [
+        Operation(
+            op_id=f"o{i}",
+            op_type=draw(st.sampled_from(list(OperationType))),
+            duration=draw(
+                st.floats(min_value=0.0, max_value=20.0, allow_nan=False)
+            ),
+            output_fluid=Fluid(
+                f"f{i}",
+                diffusion_coefficient=draw(
+                    st.floats(min_value=5e-8, max_value=1e-5)
+                ),
+            ),
+        )
+        for i in range(count)
+    ]
+    edges = []
+    for child in range(1, count):
+        parent_count = draw(st.integers(min_value=0, max_value=min(2, child)))
+        parents = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=child - 1),
+                min_size=parent_count,
+                max_size=parent_count,
+                unique=True,
+            )
+        )
+        edges.extend((f"o{p}", f"o{child}") for p in parents)
+    return SequencingGraph("random", ops, edges)
+
+
+def as_networkx(graph: SequencingGraph) -> nx.DiGraph:
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(graph.operation_ids)
+    nxg.add_edges_from(graph.edges)
+    return nxg
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dags())
+def test_topological_order_valid(graph):
+    order = graph.topological_order()
+    index = {op_id: i for i, op_id in enumerate(order)}
+    assert sorted(order) == sorted(graph.operation_ids)
+    for parent, child in graph.edges:
+        assert index[parent] < index[child]
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dags())
+def test_ancestors_match_networkx(graph):
+    oracle = as_networkx(graph)
+    for op_id in graph.operation_ids:
+        assert graph.ancestors(op_id) == nx.ancestors(oracle, op_id)
+        assert graph.descendants(op_id) == nx.descendants(oracle, op_id)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dags(), st.floats(min_value=0.0, max_value=5.0))
+def test_critical_path_matches_networkx_longest_path(graph, t_c):
+    oracle = as_networkx(graph)
+    # Longest path over vertices weighted by duration + t_c per edge.
+    best = 0.0
+    for source in graph.sources():
+        for target in graph.operation_ids:
+            for path in nx.all_simple_paths(oracle, source, target):
+                length = sum(
+                    graph.operation(o).duration for o in path
+                ) + t_c * (len(path) - 1)
+                best = max(best, length)
+    singles = max(
+        (graph.operation(o).duration for o in graph.operation_ids),
+        default=0.0,
+    )
+    best = max(best, singles)
+    assert graph.critical_path_length(t_c) == pytest_approx(best)
+
+
+def pytest_approx(value, rel=1e-9, absolute=1e-9):
+    import pytest
+
+    return pytest.approx(value, rel=rel, abs=absolute)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dags())
+def test_levels_consistent_with_parents(graph):
+    levels = graph.levels()
+    for op_id in graph.operation_ids:
+        parents = graph.parents(op_id)
+        if parents:
+            assert levels[op_id] == 1 + max(levels[p] for p in parents)
+        else:
+            assert levels[op_id] == 0

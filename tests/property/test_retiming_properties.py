@@ -1,0 +1,80 @@
+"""Property-based tests for routing-delay retiming."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchmarks.registry import get_benchmark
+from repro.schedule.list_scheduler import schedule_assay
+from repro.schedule.retiming import retime_with_delays
+
+
+def _schedule():
+    case = get_benchmark("Fig2a")
+    return schedule_assay(case.assay, case.allocation)
+
+
+SCHEDULE = _schedule()
+EDGES = SCHEDULE.assay.edges
+
+
+@st.composite
+def delay_maps(draw):
+    count = draw(st.integers(min_value=0, max_value=len(EDGES)))
+    chosen = draw(
+        st.lists(
+            st.sampled_from(EDGES), min_size=count, max_size=count, unique=True
+        )
+    )
+    return {
+        edge: float(draw(st.integers(min_value=0, max_value=20)))
+        for edge in chosen
+    }
+
+
+@settings(max_examples=60, deadline=None)
+@given(delay_maps())
+def test_no_operation_starts_earlier(delays):
+    retimed = retime_with_delays(SCHEDULE, delays)
+    for op_id, record in SCHEDULE.operations.items():
+        assert retimed.operation(op_id).start >= record.start - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(delay_maps())
+def test_makespan_never_shrinks(delays):
+    retimed = retime_with_delays(SCHEDULE, delays)
+    assert retimed.makespan >= SCHEDULE.makespan - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(delay_maps())
+def test_delayed_edges_respect_their_transport_constraint(delays):
+    """The retimed consumer starts no earlier than
+    ``producer end + travel + delay`` — the exact constraint retiming
+    is supposed to enforce per delayed edge."""
+    retimed = retime_with_delays(SCHEDULE, delays)
+    movement_by_edge = {
+        (m.producer, m.consumer): m for m in SCHEDULE.movements
+    }
+    for (producer, consumer), delay in delays.items():
+        movement = movement_by_edge[(producer, consumer)]
+        travel = 0.0 if movement.in_place else SCHEDULE.transport_time
+        assert (
+            retimed.operation(consumer).start
+            >= retimed.operation(producer).end + travel + delay - 1e-9
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(delay_maps())
+def test_dependencies_and_order_preserved(delays):
+    retimed = retime_with_delays(SCHEDULE, delays)
+    for parent, child in EDGES:
+        assert (
+            retimed.operation(child).start
+            >= retimed.operation(parent).end - 1e-9
+        )
+    for cid, _ in SCHEDULE.allocation.iter_components():
+        original_order = [r.op_id for r in SCHEDULE.operations_on(cid)]
+        new_order = [r.op_id for r in retimed.operations_on(cid)]
+        assert original_order == new_order

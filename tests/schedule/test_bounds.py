@@ -1,0 +1,78 @@
+"""Tests for makespan lower bounds."""
+
+import pytest
+
+from repro.assay.builder import AssayBuilder
+from repro.benchmarks.registry import TABLE1_ORDER, get_benchmark
+from repro.components.allocation import Allocation
+from repro.schedule.bounds import makespan_lower_bounds
+from repro.schedule.baseline_scheduler import schedule_assay_baseline
+from repro.schedule.list_scheduler import schedule_assay
+
+
+class TestBounds:
+    def test_chain_same_type_can_be_free(self):
+        assay = (
+            AssayBuilder("t")
+            .mix("a", duration=3)
+            .mix("b", duration=4, after=["a"])
+            .build()
+        )
+        bounds = makespan_lower_bounds(assay, Allocation(mixers=2))
+        assert bounds.critical_path == 7.0  # same-type edge may be free
+
+    def test_cross_type_edge_pays_transport(self):
+        assay = (
+            AssayBuilder("t")
+            .mix("a", duration=3)
+            .heat("b", duration=4, after=["a"])
+            .build()
+        )
+        bounds = makespan_lower_bounds(
+            assay, Allocation(mixers=1, heaters=1), transport_time=2.0
+        )
+        assert bounds.critical_path == 9.0
+
+    def test_load_bound(self):
+        assay = (
+            AssayBuilder("t")
+            .mix("a", duration=4)
+            .mix("b", duration=4)
+            .mix("c", duration=4)
+            .build()
+        )
+        bounds = makespan_lower_bounds(assay, Allocation(mixers=2))
+        assert bounds.load == 6.0  # 12s of mixing on 2 mixers
+        assert bounds.best == 6.0
+
+    def test_best_is_max(self):
+        assay = (
+            AssayBuilder("t")
+            .mix("a", duration=10)
+            .mix("b", duration=1, after=["a"])
+            .build()
+        )
+        bounds = makespan_lower_bounds(assay, Allocation(mixers=2))
+        assert bounds.best == bounds.critical_path == 11.0
+
+    @pytest.mark.parametrize("name", TABLE1_ORDER)
+    def test_ours_dominates_bounds(self, name):
+        case = get_benchmark(name)
+        bounds = makespan_lower_bounds(case.assay, case.allocation)
+        schedule = schedule_assay(case.assay, case.allocation)
+        assert schedule.makespan >= bounds.best - 1e-9
+
+    @pytest.mark.parametrize("name", TABLE1_ORDER)
+    def test_baseline_dominates_bounds(self, name):
+        case = get_benchmark(name)
+        bounds = makespan_lower_bounds(case.assay, case.allocation)
+        schedule = schedule_assay_baseline(case.assay, case.allocation)
+        assert schedule.makespan >= bounds.best - 1e-9
+
+    @pytest.mark.parametrize("name", ["PCR", "IVD", "CPA"])
+    def test_ours_within_3x_of_bound(self, name):
+        """Scheduling quality: the heuristic stays near the relaxation."""
+        case = get_benchmark(name)
+        bounds = makespan_lower_bounds(case.assay, case.allocation)
+        schedule = schedule_assay(case.assay, case.allocation)
+        assert schedule.makespan <= 3.0 * bounds.best

@@ -1,0 +1,105 @@
+"""Behavioural tests for the baseline scheduler (BA)."""
+
+import pytest
+
+from repro.assay.builder import AssayBuilder
+from repro.benchmarks.registry import get_benchmark
+from repro.components.allocation import Allocation
+from repro.schedule.baseline_scheduler import schedule_assay_baseline
+from repro.schedule.list_scheduler import schedule_assay
+from repro.schedule.validate import validate_schedule
+
+
+class TestBaselineBehaviour:
+    def test_single_operation(self):
+        assay = AssayBuilder("t").mix("a", duration=5).build()
+        schedule = schedule_assay_baseline(assay, Allocation(mixers=1))
+        assert schedule.makespan == 5.0
+
+    def test_earliest_ready_binding_round_robins_idle_components(self):
+        assay = (
+            AssayBuilder("t")
+            .mix("a", duration=4)
+            .mix("b", duration=4)
+            .mix("c", duration=4)
+            .build()
+        )
+        schedule = schedule_assay_baseline(assay, Allocation(mixers=3))
+        bindings = set(schedule.binding().values())
+        assert bindings == {"Mixer1", "Mixer2", "Mixer3"}
+
+    def test_fifo_order_processes_by_ready_time(self):
+        """An operation ready earlier is committed first even when a
+        later-ready operation has a longer tail."""
+        assay = (
+            AssayBuilder("t")
+            .mix("early", duration=2, wash_time=1.0)
+            .mix("late_parent", duration=6, wash_time=1.0)
+            .mix("late", duration=20, after=["late_parent"], wash_time=1.0)
+            .mix("follow", duration=2, after=["early"], wash_time=1.0)
+            .build()
+        )
+        schedule = schedule_assay_baseline(assay, Allocation(mixers=2))
+        validate_schedule(schedule)
+        assert schedule.operation("follow").start < schedule.operation("late").end
+
+    @pytest.mark.parametrize(
+        "name", ["PCR", "IVD", "CPA", "Synthetic1", "Synthetic2",
+                 "Synthetic3", "Synthetic4", "Fig2a"]
+    )
+    def test_all_benchmarks_schedule_validly(self, name):
+        case = get_benchmark(name)
+        schedule = schedule_assay_baseline(case.assay, case.allocation)
+        validate_schedule(schedule)
+        assert schedule.makespan > 0
+
+    def test_deterministic(self):
+        case = get_benchmark("Synthetic3")
+        first = schedule_assay_baseline(case.assay, case.allocation)
+        second = schedule_assay_baseline(case.assay, case.allocation)
+        assert first.binding() == second.binding()
+
+
+class TestOursVsBaseline:
+    """The paper's headline comparison, at the scheduling level."""
+
+    @pytest.mark.parametrize(
+        "name", ["PCR", "IVD", "CPA", "Synthetic1", "Synthetic2",
+                 "Synthetic3", "Synthetic4"]
+    )
+    def test_ours_never_slower(self, name):
+        case = get_benchmark(name)
+        ours = schedule_assay(case.assay, case.allocation)
+        baseline = schedule_assay_baseline(case.assay, case.allocation)
+        assert ours.makespan <= baseline.makespan + 1e-9
+
+    @pytest.mark.parametrize(
+        "name", ["PCR", "CPA", "Synthetic1", "Synthetic2",
+                 "Synthetic3", "Synthetic4"]
+    )
+    def test_ours_utilisation_not_worse(self, name):
+        case = get_benchmark(name)
+        ours = schedule_assay(case.assay, case.allocation)
+        baseline = schedule_assay_baseline(case.assay, case.allocation)
+        assert (
+            ours.resource_utilisation()
+            >= baseline.resource_utilisation() - 1e-9
+        )
+
+    def test_ours_strictly_faster_on_cpa(self):
+        case = get_benchmark("CPA")
+        ours = schedule_assay(case.assay, case.allocation)
+        baseline = schedule_assay_baseline(case.assay, case.allocation)
+        assert ours.makespan < baseline.makespan
+
+    def test_paper_reports_tie_on_ivd(self):
+        case = get_benchmark("IVD")
+        ours = schedule_assay(case.assay, case.allocation)
+        baseline = schedule_assay_baseline(case.assay, case.allocation)
+        assert ours.makespan == pytest.approx(baseline.makespan)
+
+    def test_ours_uses_in_place_reuse_baseline_mostly_not(self):
+        case = get_benchmark("PCR")
+        ours = schedule_assay(case.assay, case.allocation)
+        in_place_ours = sum(1 for m in ours.movements if m.in_place)
+        assert in_place_ours >= 1

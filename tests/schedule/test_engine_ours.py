@@ -1,0 +1,202 @@
+"""Behavioural tests for Algorithm 1 (the DCSA-aware list scheduler)."""
+
+import pytest
+
+from repro.assay.builder import AssayBuilder
+from repro.benchmarks.registry import get_benchmark
+from repro.components.allocation import Allocation
+from repro.errors import SchedulingError
+from repro.schedule.list_scheduler import schedule_assay
+from repro.schedule.validate import validate_schedule
+
+
+class TestBasicScheduling:
+    def test_single_operation(self):
+        assay = AssayBuilder("t").mix("a", duration=5).build()
+        schedule = schedule_assay(assay, Allocation(mixers=1))
+        record = schedule.operation("a")
+        assert (record.start, record.end) == (0.0, 5.0)
+        assert schedule.makespan == 5.0
+
+    def test_chain_pays_transport_between_different_types(self, chain_assay, chain_allocation):
+        schedule = schedule_assay(chain_assay, chain_allocation)
+        validate_schedule(schedule)
+        # m1: 0-4, transport 2, h1: 6-9, transport 2, d1: 11-13.
+        assert schedule.operation("h1").start == 6.0
+        assert schedule.operation("d1").start == 11.0
+        assert schedule.makespan == 13.0
+
+    def test_independent_ops_run_in_parallel(self):
+        assay = (
+            AssayBuilder("t")
+            .mix("a", duration=4)
+            .mix("b", duration=4)
+            .build()
+        )
+        schedule = schedule_assay(assay, Allocation(mixers=2))
+        assert schedule.operation("a").start == 0.0
+        assert schedule.operation("b").start == 0.0
+
+    def test_serialised_on_single_component_with_wash(self):
+        assay = (
+            AssayBuilder("t")
+            .mix("a", duration=4, wash_time=3.0)
+            .mix("b", duration=4, wash_time=1.0)
+            .build()
+        )
+        schedule = schedule_assay(assay, Allocation(mixers=1))
+        validate_schedule(schedule)
+        first, second = sorted(
+            schedule.operations.values(), key=lambda r: r.start
+        )
+        # The second operation waits for the first's output removal plus
+        # its Eq. 2 wash: start >= 4 (end) + wash of the first residue.
+        assert second.start >= first.end + 1.0
+
+    def test_transport_time_zero_allowed(self, chain_assay, chain_allocation):
+        schedule = schedule_assay(chain_assay, chain_allocation, transport_time=0.0)
+        validate_schedule(schedule)
+        assert schedule.operation("h1").start == 4.0
+
+    def test_negative_transport_time_rejected(self, chain_assay, chain_allocation):
+        with pytest.raises(SchedulingError):
+            schedule_assay(chain_assay, chain_allocation, transport_time=-1.0)
+
+
+class TestCaseIBinding:
+    def test_in_place_reuse_on_same_component(self):
+        """A mix child of a mix parent consumes the output in place."""
+        assay = (
+            AssayBuilder("t")
+            .mix("parent", duration=4, wash_time=5.0)
+            .mix("other", duration=3, wash_time=1.0)
+            .mix("child", duration=3, after=["parent", "other"], wash_time=1.0)
+            .build()
+        )
+        schedule = schedule_assay(assay, Allocation(mixers=2))
+        validate_schedule(schedule)
+        assert (
+            schedule.operation("child").component_id
+            == schedule.operation("parent").component_id
+        )
+        in_place = [m for m in schedule.movements if m.in_place]
+        assert [m.producer for m in in_place] == ["parent"]
+
+    def test_case1_prefers_lowest_diffusion_parent(self):
+        """Of two same-type parents, the hardest-to-wash output stays."""
+        assay = (
+            AssayBuilder("t")
+            .mix("easy", duration=4, wash_time=0.5)
+            .mix("hard", duration=4, wash_time=6.0)
+            .mix("child", duration=3, after=["easy", "hard"], wash_time=1.0)
+            .build()
+        )
+        schedule = schedule_assay(assay, Allocation(mixers=2))
+        validate_schedule(schedule)
+        assert (
+            schedule.operation("child").component_id
+            == schedule.operation("hard").component_id
+        )
+
+    def test_case1_skips_different_type_parents(self):
+        """A detect child of mix parents cannot reuse their components."""
+        assay = (
+            AssayBuilder("t")
+            .mix("m", duration=4, wash_time=6.0)
+            .detect("d", duration=2, after=["m"], wash_time=0.2)
+            .build()
+        )
+        schedule = schedule_assay(assay, Allocation(mixers=1, detectors=1))
+        validate_schedule(schedule)
+        assert schedule.operation("d").component_id == "Detector1"
+        assert all(not m.in_place for m in schedule.movements)
+
+    def test_in_place_saves_wash_and_transport(self):
+        """Fig. 5(b): keeping the parent fluid in place avoids its wash."""
+        assay = (
+            AssayBuilder("t")
+            .mix("p", duration=4, wash_time=10.0)
+            .mix("c", duration=3, after=["p"], wash_time=1.0)
+            .build()
+        )
+        schedule = schedule_assay(assay, Allocation(mixers=2))
+        validate_schedule(schedule)
+        # c starts immediately at p's end: no transport, no wash.
+        assert schedule.operation("c").start == 4.0
+        # Only c's own sink-output wash (1 s) is charged — p's 10 s
+        # residue was consumed in place, never washed.
+        assert schedule.components[
+            schedule.operation("p").component_id
+        ].wash_time_total == pytest.approx(1.0)
+
+
+class TestEvictionAndCaching:
+    def test_eviction_creates_channel_cache(self):
+        """Rebinding a component holding a fluid pushes it to a channel."""
+        assay = (
+            AssayBuilder("t")
+            .mix("a", duration=4, wash_time=1.0)
+            .detect("da", duration=20, after=["a"], wash_time=0.2)
+            .mix("b", duration=4, after=["da"], wash_time=1.0)
+            .build()
+        )
+        # One mixer: out(a) must be consumed... actually out(a) goes to
+        # the detector; use a shape where the fluid waits instead:
+        assay = (
+            AssayBuilder("t")
+            .mix("a", duration=4, wash_time=1.0)
+            .mix("b", duration=4, wash_time=1.0)
+            .mix("slow", duration=6, wash_time=1.0)
+            .mix("join", duration=3, after=["a", "slow"], wash_time=1.0)
+            .build()
+        )
+        schedule = schedule_assay(assay, Allocation(mixers=1))
+        validate_schedule(schedule)
+        evicted = [m for m in schedule.movements if m.evicted]
+        assert evicted, "single mixer must evict waiting outputs"
+        assert schedule.total_cache_time() > 0.0
+
+    def test_cache_time_zero_for_direct_transports(self, chain_assay, chain_allocation):
+        schedule = schedule_assay(chain_assay, chain_allocation)
+        assert schedule.total_cache_time() == 0.0
+
+    def test_fan_out_portions_serve_every_consumer(self):
+        assay = (
+            AssayBuilder("t")
+            .mix("src", duration=3, wash_time=1.0)
+            .mix("c1", duration=3, after=["src"], wash_time=1.0)
+            .mix("c2", duration=3, after=["src"], wash_time=1.0)
+            .mix("c3", duration=3, after=["src"], wash_time=1.0)
+            .build()
+        )
+        schedule = schedule_assay(assay, Allocation(mixers=3))
+        validate_schedule(schedule)
+        consumers = {
+            m.consumer for m in schedule.movements if m.producer == "src"
+        }
+        assert consumers == {"c1", "c2", "c3"}
+
+
+class TestBenchmarks:
+    @pytest.mark.parametrize(
+        "name", ["PCR", "IVD", "CPA", "Synthetic1", "Synthetic2",
+                 "Synthetic3", "Synthetic4", "Fig2a"]
+    )
+    def test_all_benchmarks_schedule_validly(self, name):
+        case = get_benchmark(name)
+        schedule = schedule_assay(case.assay, case.allocation)
+        validate_schedule(schedule)
+        assert schedule.makespan > 0
+        assert 0.0 < schedule.resource_utilisation() <= 1.0
+
+    def test_makespan_at_least_critical_path(self):
+        case = get_benchmark("CPA")
+        schedule = schedule_assay(case.assay, case.allocation)
+        assert schedule.makespan >= case.assay.critical_path_length(0.0)
+
+    def test_deterministic(self):
+        case = get_benchmark("Synthetic2")
+        first = schedule_assay(case.assay, case.allocation)
+        second = schedule_assay(case.assay, case.allocation)
+        assert first.binding() == second.binding()
+        assert first.makespan == second.makespan

@@ -1,0 +1,95 @@
+"""Tests for the scheduling policy plumbing and engine edge cases."""
+
+import pytest
+
+from repro.assay.builder import AssayBuilder
+from repro.components.allocation import Allocation
+from repro.errors import AllocationError, SchedulingError
+from repro.schedule.engine import (
+    BindingPolicy,
+    OrderPolicy,
+    SchedulerEngine,
+    SchedulingPolicy,
+)
+
+
+class TestSchedulingPolicy:
+    def test_ours(self):
+        policy = SchedulingPolicy.ours()
+        assert policy.order is OrderPolicy.PRIORITY
+        assert policy.binding is BindingPolicy.DCSA
+
+    def test_baseline(self):
+        policy = SchedulingPolicy.baseline()
+        assert policy.order is OrderPolicy.FIFO
+        assert policy.binding is BindingPolicy.EARLIEST_READY
+
+    def test_frozen(self):
+        policy = SchedulingPolicy.ours()
+        with pytest.raises(AttributeError):
+            policy.order = OrderPolicy.FIFO  # type: ignore[misc]
+
+
+class TestEngineEdgeCases:
+    def test_unservable_assay_rejected_up_front(self):
+        assay = AssayBuilder("t").heat("h", duration=2).build()
+        with pytest.raises(AllocationError):
+            SchedulerEngine(
+                assay, Allocation(mixers=1), SchedulingPolicy.ours()
+            )
+
+    def test_negative_transport_time_rejected(self):
+        assay = AssayBuilder("t").mix("a", duration=2).build()
+        with pytest.raises(SchedulingError):
+            SchedulerEngine(
+                assay,
+                Allocation(mixers=1),
+                SchedulingPolicy.ours(),
+                transport_time=-0.5,
+            )
+
+    def test_forced_binding_type_checked(self):
+        assay = (
+            AssayBuilder("t")
+            .mix("a", duration=2)
+            .build()
+        )
+        engine = SchedulerEngine(
+            assay, Allocation(mixers=1, heaters=1), SchedulingPolicy.ours()
+        )
+        with pytest.raises(SchedulingError, match="cannot run"):
+            engine._schedule_operation("a", engine.components["Heater1"])
+
+    def test_run_schedules_everything_once(self):
+        assay = (
+            AssayBuilder("t")
+            .mix("a", duration=2)
+            .mix("b", duration=2, after=["a"])
+            .mix("c", duration=2, after=["a"])
+            .build()
+        )
+        engine = SchedulerEngine(
+            assay, Allocation(mixers=2), SchedulingPolicy.ours()
+        )
+        schedule = engine.run()
+        assert sorted(schedule.operations) == ["a", "b", "c"]
+
+    def test_mixed_policies_all_valid(self):
+        from repro.schedule.validate import validate_schedule
+
+        assay = (
+            AssayBuilder("t")
+            .mix("a", duration=3, wash_time=2.0)
+            .mix("b", duration=4, wash_time=1.0)
+            .heat("h", duration=2, after=["a"], wash_time=1.0)
+            .mix("c", duration=3, after=["b", "a"], wash_time=2.0)
+            .detect("d", duration=2, after=["h"], wash_time=0.2)
+            .build()
+        )
+        allocation = Allocation(mixers=2, heaters=1, detectors=1)
+        for order in OrderPolicy:
+            for binding in BindingPolicy:
+                engine = SchedulerEngine(
+                    assay, allocation, SchedulingPolicy(order, binding)
+                )
+                validate_schedule(engine.run())

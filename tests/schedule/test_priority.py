@@ -1,0 +1,90 @@
+"""Unit tests for Algorithm 1 priorities (longest path to sink)."""
+
+import pytest
+
+from repro.assay.builder import AssayBuilder
+from repro.benchmarks.library import fig2a_assay
+from repro.schedule.priority import compute_priorities, critical_operations
+
+
+class TestComputePriorities:
+    def test_single_operation(self):
+        assay = AssayBuilder("t").mix("a", duration=5).build()
+        assert compute_priorities(assay, 2.0) == {"a": 5.0}
+
+    def test_chain_accumulates_durations_and_transports(self):
+        assay = (
+            AssayBuilder("t")
+            .mix("a", duration=3)
+            .mix("b", duration=4, after=["a"])
+            .mix("c", duration=5, after=["b"])
+            .build()
+        )
+        priorities = compute_priorities(assay, 2.0)
+        assert priorities["c"] == 5.0
+        assert priorities["b"] == 4 + 2 + 5
+        assert priorities["a"] == 3 + 2 + 4 + 2 + 5
+
+    def test_branching_takes_longest(self):
+        assay = (
+            AssayBuilder("t")
+            .mix("a", duration=1)
+            .mix("short", duration=2, after=["a"])
+            .mix("long", duration=10, after=["a"])
+            .build()
+        )
+        priorities = compute_priorities(assay, 2.0)
+        assert priorities["a"] == 1 + 2 + 10
+
+    def test_zero_transport_time(self):
+        assay = (
+            AssayBuilder("t")
+            .mix("a", duration=3)
+            .mix("b", duration=4, after=["a"])
+            .build()
+        )
+        assert compute_priorities(assay, 0.0)["a"] == 7.0
+
+    def test_paper_worked_example(self):
+        """Section IV-A: priority(o1) = 21 along o1→o5→o7→o10 at t_c=2."""
+        priorities = compute_priorities(fig2a_assay(), 2.0)
+        assert priorities["o1"] == pytest.approx(21.0)
+
+    def test_priority_at_least_duration(self):
+        assay = fig2a_assay()
+        priorities = compute_priorities(assay, 2.0)
+        for op in assay.operations:
+            assert priorities[op.op_id] >= op.duration
+
+    def test_parent_strictly_greater_than_child(self):
+        assay = fig2a_assay()
+        priorities = compute_priorities(assay, 2.0)
+        for parent, child in assay.edges:
+            assert priorities[parent] > priorities[child]
+
+
+class TestCriticalOperations:
+    def test_critical_path_is_connected_source_to_sink(self):
+        assay = fig2a_assay()
+        path = critical_operations(assay, 2.0)
+        assert path[0] in assay.sources()
+        assert path[-1] in assay.sinks()
+        for parent, child in zip(path, path[1:]):
+            assert child in assay.children(parent)
+
+    def test_critical_path_length_matches_priority(self):
+        assay = fig2a_assay()
+        priorities = compute_priorities(assay, 2.0)
+        path = critical_operations(assay, 2.0)
+        total = sum(assay.operation(o).duration for o in path)
+        total += 2.0 * (len(path) - 1)
+        assert total == pytest.approx(max(priorities.values()))
+
+    def test_paper_critical_path(self):
+        path = critical_operations(fig2a_assay(), 2.0)
+        # o3/o4 tie with o1's branch at 22 > 21; the returned path must
+        # be one of the maximal ones.
+        assert path in (
+            ["o3", "o6", "o8", "o9"],
+            ["o4", "o6", "o8", "o9"],
+        )

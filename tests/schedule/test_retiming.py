@@ -1,0 +1,85 @@
+"""Unit tests for routing-delay retiming."""
+
+import pytest
+
+from repro.assay.builder import AssayBuilder
+from repro.components.allocation import Allocation
+from repro.errors import SchedulingError
+from repro.schedule.list_scheduler import schedule_assay
+from repro.schedule.retiming import retime_with_delays
+
+
+def chain_schedule():
+    assay = (
+        AssayBuilder("t")
+        .mix("a", duration=4, wash_time=1.0)
+        .heat("b", duration=3, after=["a"], wash_time=1.0)
+        .detect("c", duration=2, after=["b"], wash_time=0.2)
+        .build()
+    )
+    return schedule_assay(assay, Allocation(mixers=1, heaters=1, detectors=1))
+
+
+class TestRetiming:
+    def test_no_delays_is_identity(self):
+        schedule = chain_schedule()
+        retimed = retime_with_delays(schedule, {})
+        for op_id, record in schedule.operations.items():
+            assert retimed.operation(op_id).start == record.start
+            assert retimed.operation(op_id).end == record.end
+
+    def test_delay_propagates_downstream(self):
+        schedule = chain_schedule()
+        retimed = retime_with_delays(schedule, {("a", "b"): 5.0})
+        assert retimed.operation("a").start == schedule.operation("a").start
+        assert retimed.operation("b").start == schedule.operation("b").start + 5.0
+        assert retimed.operation("c").start == schedule.operation("c").start + 5.0
+        assert retimed.makespan == schedule.makespan + 5.0
+
+    def test_leaf_delay_moves_only_makespan_tail(self):
+        schedule = chain_schedule()
+        retimed = retime_with_delays(schedule, {("b", "c"): 2.0})
+        assert retimed.operation("b").start == schedule.operation("b").start
+        assert retimed.operation("c").start == schedule.operation("c").start + 2.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulingError, match="negative"):
+            retime_with_delays(chain_schedule(), {("a", "b"): -1.0})
+
+    def test_binding_and_order_preserved(self):
+        schedule = chain_schedule()
+        retimed = retime_with_delays(schedule, {("a", "b"): 7.0})
+        assert retimed.binding() == schedule.binding()
+
+    def test_component_wash_gaps_preserved(self):
+        """Delaying one branch must not squeeze a component's wash gap."""
+        assay = (
+            AssayBuilder("t")
+            .mix("a", duration=4, wash_time=3.0)
+            .mix("b", duration=4, wash_time=1.0)
+            .mix("join", duration=2, after=["a", "b"], wash_time=1.0)
+            .build()
+        )
+        schedule = schedule_assay(assay, Allocation(mixers=1))
+        gaps_before = _component_gaps(schedule)
+        retimed = retime_with_delays(schedule, {("a", "join"): 4.0})
+        gaps_after = _component_gaps(retimed)
+        for key, gap in gaps_before.items():
+            assert gaps_after[key] >= gap - 1e-9
+
+    def test_duration_preserved(self):
+        schedule = chain_schedule()
+        retimed = retime_with_delays(schedule, {("a", "b"): 1.5})
+        for op_id, record in schedule.operations.items():
+            assert retimed.operation(op_id).duration == pytest.approx(
+                record.duration
+            )
+
+
+def _component_gaps(schedule):
+    gaps = {}
+    for cid, _ in schedule.allocation.iter_components():
+        records = schedule.operations_on(cid)
+        for earlier, later in zip(records, records[1:]):
+            gaps[(cid, earlier.op_id, later.op_id)] = later.start - earlier.end
+    return gaps

@@ -1,0 +1,94 @@
+"""Unit tests for the Schedule container and its metrics."""
+
+import pytest
+
+from repro.assay.builder import AssayBuilder
+from repro.components.allocation import Allocation
+from repro.errors import SchedulingError
+from repro.schedule.list_scheduler import schedule_assay
+from repro.schedule.schedule import ScheduledOperation
+
+
+def two_mixer_schedule():
+    assay = (
+        AssayBuilder("t")
+        .mix("a", duration=4, wash_time=1.0)
+        .mix("b", duration=6, wash_time=1.0)
+        .mix("c", duration=2, after=["a"], wash_time=1.0)
+        .build()
+    )
+    return schedule_assay(assay, Allocation(mixers=2))
+
+
+class TestScheduledOperation:
+    def test_duration(self):
+        record = ScheduledOperation("o", "Mixer1", 2.0, 7.0)
+        assert record.duration == 5.0
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(SchedulingError):
+            ScheduledOperation("o", "Mixer1", 7.0, 2.0)
+
+
+class TestScheduleAccessors:
+    def test_binding_maps_every_operation(self):
+        schedule = two_mixer_schedule()
+        binding = schedule.binding()
+        assert set(binding) == {"a", "b", "c"}
+        assert all(cid.startswith("Mixer") for cid in binding.values())
+
+    def test_operations_on_sorted_by_start(self):
+        schedule = two_mixer_schedule()
+        for cid in ("Mixer1", "Mixer2"):
+            records = schedule.operations_on(cid)
+            starts = [r.start for r in records]
+            assert starts == sorted(starts)
+
+    def test_unknown_operation_raises(self):
+        with pytest.raises(SchedulingError):
+            two_mixer_schedule().operation("zzz")
+
+    def test_makespan_is_last_end(self):
+        schedule = two_mixer_schedule()
+        assert schedule.makespan == max(r.end for r in schedule.operations.values())
+
+
+class TestScheduleMetrics:
+    def test_utilisation_in_unit_interval(self):
+        schedule = two_mixer_schedule()
+        assert 0.0 < schedule.resource_utilisation() <= 1.0
+
+    def test_utilisation_counts_idle_components_as_zero(self):
+        assay = AssayBuilder("t").mix("a", duration=4).build()
+        schedule = schedule_assay(assay, Allocation(mixers=4))
+        # One busy mixer at 100 %, three idle: average 25 %.
+        assert schedule.resource_utilisation() == pytest.approx(0.25)
+
+    def test_fully_busy_single_component(self):
+        assay = AssayBuilder("t").mix("a", duration=4).build()
+        schedule = schedule_assay(assay, Allocation(mixers=1))
+        assert schedule.resource_utilisation() == pytest.approx(1.0)
+
+    def test_transport_tasks_sorted_and_exclude_in_place(self):
+        schedule = two_mixer_schedule()
+        tasks = schedule.transport_tasks()
+        departs = [t.depart for t in tasks]
+        assert departs == sorted(departs)
+        in_place_edges = {
+            (m.producer, m.consumer)
+            for m in schedule.movements
+            if m.in_place
+        }
+        task_edges = {(t.producer, t.consumer) for t in tasks}
+        assert not (in_place_edges & task_edges)
+
+    def test_transport_count_matches_tasks(self):
+        schedule = two_mixer_schedule()
+        assert schedule.transport_count() == len(schedule.transport_tasks())
+
+    def test_concurrency_of(self):
+        schedule = two_mixer_schedule()
+        tasks = schedule.transport_tasks()
+        for task in tasks:
+            concurrent = schedule.concurrency_of(task, tasks)
+            assert 0 <= concurrent < len(tasks)

@@ -1,0 +1,116 @@
+"""Unit tests for fluid movements and transport tasks."""
+
+import pytest
+
+from repro.assay.fluids import Fluid
+from repro.errors import SchedulingError
+from repro.schedule.tasks import FluidMovement, TransportTask
+
+
+def movement(**overrides) -> FluidMovement:
+    defaults = dict(
+        producer="a",
+        consumer="b",
+        fluid=Fluid.with_wash_time("f", 2.0),
+        src_component="Mixer1",
+        dst_component="Mixer2",
+        depart=4.0,
+        arrive=6.0,
+        consume=8.0,
+    )
+    defaults.update(overrides)
+    return FluidMovement(**defaults)
+
+
+class TestFluidMovement:
+    def test_cache_and_transport_times(self):
+        m = movement()
+        assert m.transport_time == 2.0
+        assert m.cache_time == 2.0
+
+    def test_arrive_before_depart_rejected(self):
+        with pytest.raises(SchedulingError, match="arrives"):
+            movement(arrive=3.0)
+
+    def test_consume_before_arrive_rejected(self):
+        with pytest.raises(SchedulingError, match="consumed"):
+            movement(consume=5.0)
+
+    def test_in_place_with_cache_rejected(self):
+        with pytest.raises(SchedulingError, match="in-place"):
+            movement(
+                in_place=True,
+                src_component="Mixer1",
+                dst_component="Mixer1",
+                depart=8.0,
+                arrive=8.0,
+                consume=9.0,
+            )
+
+    def test_in_place_zero_times_ok(self):
+        m = movement(
+            in_place=True,
+            src_component="Mixer1",
+            dst_component="Mixer1",
+            depart=8.0,
+            arrive=8.0,
+            consume=8.0,
+        )
+        assert m.cache_time == 0.0
+        assert m.transport_time == 0.0
+
+    def test_to_transport_task(self):
+        task = movement().to_transport_task("tk0")
+        assert task.task_id == "tk0"
+        assert task.producer == "a"
+        assert task.depart == 4.0
+        assert task.consume == 8.0
+
+    def test_in_place_has_no_transport_task(self):
+        m = movement(
+            in_place=True,
+            src_component="Mixer1",
+            dst_component="Mixer1",
+            depart=8.0,
+            arrive=8.0,
+            consume=8.0,
+        )
+        with pytest.raises(SchedulingError, match="no transport task"):
+            m.to_transport_task("tk0")
+
+
+class TestTransportTask:
+    def task(self, depart=4.0, arrive=6.0, consume=8.0, wash=2.0) -> TransportTask:
+        return TransportTask(
+            task_id="tk",
+            producer="a",
+            consumer="b",
+            fluid=Fluid.with_wash_time("f", wash),
+            src_component="Mixer1",
+            dst_component="Mixer2",
+            depart=depart,
+            arrive=arrive,
+            consume=consume,
+        )
+
+    def test_occupations_exclude_wash(self):
+        task = self.task()
+        assert task.occupation == (4.0, 8.0)
+        assert task.transit_occupation == (4.0, 6.0)
+
+    def test_wash_time_from_fluid(self):
+        assert self.task(wash=3.5).wash_time == 3.5
+
+    def test_cache_time(self):
+        assert self.task().cache_time == 2.0
+
+    def test_overlap_detection(self):
+        early = self.task(depart=0.0, arrive=2.0, consume=3.0)
+        late = self.task(depart=10.0, arrive=12.0, consume=13.0)
+        touching = self.task(depart=3.0, arrive=5.0, consume=6.0)
+        overlapping = self.task(depart=2.0, arrive=4.0, consume=5.0)
+        assert not early.overlaps(late)
+        assert not late.overlaps(early)
+        assert not early.overlaps(touching)  # half-open: [0,3) vs [3,6)
+        assert early.overlaps(overlapping)
+        assert overlapping.overlaps(early)

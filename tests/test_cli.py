@@ -1,0 +1,74 @@
+"""Tests for the repro-synthesize command-line interface."""
+
+import pytest
+
+from repro.assay.builder import AssayBuilder
+from repro.assay.io import dump_assay
+from repro.cli import build_parser, run
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["PCR"])
+        assert args.assay == "PCR"
+        assert args.algorithm == "ours"
+        assert args.seed == 1
+        assert args.tc == 2.0
+
+    def test_allocation_flags(self):
+        args = build_parser().parse_args(
+            ["x.json", "-m", "2", "-H", "1", "-f", "1", "-d", "2"]
+        )
+        assert (args.mixers, args.heaters, args.filters, args.detectors) == (
+            2, 1, 1, 2,
+        )
+
+    def test_algorithm_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["PCR", "--algorithm", "magic"])
+
+
+class TestRun:
+    def test_benchmark_by_name(self, capsys):
+        assert run(["PCR", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "PCR" in out
+        assert "execution time" in out
+
+    def test_baseline_flow(self, capsys):
+        assert run(["PCR", "--algorithm", "baseline"]) == 0
+        assert "baseline" in capsys.readouterr().out
+
+    def test_unknown_assay_fails_cleanly(self, capsys):
+        assert run(["no-such-thing"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_custom_assay_json(self, tmp_path, capsys):
+        assay = (
+            AssayBuilder("tiny")
+            .mix("a", duration=3, wash_time=1.0)
+            .mix("b", duration=3, after=["a"], wash_time=1.0)
+            .build()
+        )
+        path = tmp_path / "tiny.json"
+        dump_assay(assay, path)
+        assert run([str(path), "-m", "2"]) == 0
+        assert "tiny" in capsys.readouterr().out
+
+    def test_custom_assay_without_allocation_fails(self, tmp_path, capsys):
+        assay = AssayBuilder("t").mix("a", duration=2).build()
+        path = tmp_path / "a.json"
+        dump_assay(assay, path)
+        assert run([str(path)]) == 1  # empty allocation -> AllocationError
+
+    def test_svg_output(self, tmp_path, capsys):
+        target = tmp_path / "layout.svg"
+        assert run(["PCR", "--svg", str(target)]) == 0
+        assert target.exists()
+        assert target.read_text().startswith("<?xml")
+
+    def test_show_layout_and_schedule(self, capsys):
+        assert run(["PCR", "--show-layout", "--show-schedule"]) == 0
+        out = capsys.readouterr().out
+        assert "channels:" in out
+        assert "#" in out

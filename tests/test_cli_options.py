@@ -1,0 +1,39 @@
+"""CLI option semantics: flags must actually change the run."""
+
+import re
+
+from repro.cli import run
+
+
+def _exec_time(output: str) -> float:
+    match = re.search(r"execution time :\s+([0-9.]+) s", output)
+    assert match, output
+    return float(match.group(1))
+
+
+class TestTcFlag:
+    def test_larger_tc_slower_or_equal(self, capsys):
+        assert run(["PCR", "--tc", "1"]) == 0
+        fast = _exec_time(capsys.readouterr().out)
+        assert run(["PCR", "--tc", "4"]) == 0
+        slow = _exec_time(capsys.readouterr().out)
+        assert slow >= fast
+
+
+class TestSeedFlag:
+    def test_same_seed_reproduces(self, capsys):
+        assert run(["IVD", "--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert run(["IVD", "--seed", "7"]) == 0
+        second = capsys.readouterr().out
+        # CPU time lines differ; compare everything else.
+        strip = lambda text: [
+            line for line in text.splitlines() if "cpu time" not in line
+        ]
+        assert strip(first) == strip(second)
+
+
+class TestFig2aByName:
+    def test_fig2a_is_a_known_benchmark(self, capsys):
+        assert run(["Fig2a"]) == 0
+        assert "Fig2a" in capsys.readouterr().out

@@ -1,0 +1,11 @@
+"""Run the executable examples embedded in docstrings."""
+
+import doctest
+
+import repro.assay.fluids
+
+
+def test_fluids_doctests():
+    results = doctest.testmod(repro.assay.fluids, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 2  # the calibration-point examples

@@ -1,0 +1,37 @@
+"""Unit tests for numeric helpers."""
+
+import pytest
+
+from repro.units import approx_eq, approx_ge, approx_le, clamp
+
+
+class TestApprox:
+    def test_le(self):
+        assert approx_le(1.0, 1.0)
+        assert approx_le(1.0, 1.0 + 1e-12)
+        assert approx_le(1.0 + 1e-12, 1.0)
+        assert not approx_le(1.1, 1.0)
+
+    def test_ge(self):
+        assert approx_ge(1.0, 1.0)
+        assert approx_ge(1.0, 1.0 + 1e-12)
+        assert not approx_ge(0.9, 1.0)
+
+    def test_eq(self):
+        assert approx_eq(2.0, 2.0 + 1e-12)
+        assert not approx_eq(2.0, 2.1)
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(5.0, 0.0, 10.0) == 5.0
+
+    def test_below(self):
+        assert clamp(-5.0, 0.0, 10.0) == 0.0
+
+    def test_above(self):
+        assert clamp(15.0, 0.0, 10.0) == 10.0
+
+    def test_empty_interval(self):
+        with pytest.raises(ValueError):
+            clamp(1.0, 5.0, 0.0)

@@ -1,0 +1,82 @@
+"""Tests for ASCII rendering."""
+
+from repro.benchmarks.registry import get_benchmark
+from repro.core.problem import SynthesisProblem
+from repro.place.greedy import construct_placement
+from repro.route.router import route_tasks
+from repro.schedule.list_scheduler import schedule_assay
+from repro.viz.ascii_art import (
+    render_placement,
+    render_routing,
+    render_schedule,
+)
+
+
+def artifacts(name="PCR"):
+    case = get_benchmark(name)
+    problem = SynthesisProblem(assay=case.assay, allocation=case.allocation)
+    schedule = schedule_assay(case.assay, case.allocation)
+    placement = construct_placement(problem.resolved_grid(), problem.footprints())
+    routing = route_tasks(placement, schedule.transport_tasks())
+    return schedule, placement, routing
+
+
+class TestRenderPlacement:
+    def test_grid_dimensions(self):
+        _, placement, _ = artifacts()
+        text = render_placement(placement, legend=False)
+        lines = text.splitlines()
+        assert len(lines) == placement.grid.height
+        assert all(len(line) == placement.grid.width for line in lines)
+
+    def test_every_component_in_legend(self):
+        _, placement, _ = artifacts()
+        text = render_placement(placement)
+        for cid in placement.components():
+            assert cid in text
+
+    def test_block_cells_marked(self):
+        _, placement, _ = artifacts()
+        text = render_placement(placement, legend=False)
+        lines = text.splitlines()
+        block = placement.block("Mixer1")
+        glyphs = {lines[c.y][c.x] for c in block.cells()}
+        assert len(glyphs) == 1
+        assert glyphs != {"."}
+
+
+class TestRenderRouting:
+    def test_channel_cells_marked(self):
+        _, _, routing = artifacts()
+        text = render_routing(routing, legend=False)
+        lines = text.splitlines()
+        marks = sum(line.count("+") for line in lines)
+        assert marks == routing.total_length_cells
+
+    def test_legend_reports_length(self):
+        _, _, routing = artifacts()
+        text = render_routing(routing)
+        assert f"{routing.total_length_cells} cells" in text
+
+
+class TestRenderSchedule:
+    def test_every_component_row_present(self):
+        schedule, _, _ = artifacts()
+        text = render_schedule(schedule)
+        for cid, _type in schedule.allocation.iter_components():
+            assert cid in text
+
+    def test_busy_marks_present(self):
+        schedule, _, _ = artifacts()
+        assert "#" in render_schedule(schedule)
+
+    def test_empty_schedule(self):
+        from repro.components.allocation import Allocation
+        from repro.schedule.schedule import Schedule
+        from repro.assay.builder import AssayBuilder
+
+        assay = AssayBuilder("t").mix("a", duration=1).build()
+        empty = Schedule(
+            assay=assay, allocation=Allocation(mixers=1), transport_time=2.0
+        )
+        assert "empty" in render_schedule(empty)

@@ -1,0 +1,85 @@
+"""Tests for SVG export."""
+
+import xml.etree.ElementTree as ET
+
+from repro.benchmarks.registry import get_benchmark
+from repro.core.problem import SynthesisProblem
+from repro.place.greedy import construct_placement
+from repro.route.router import route_tasks
+from repro.schedule.list_scheduler import schedule_assay
+from repro.viz.svg import (
+    congestion_to_svg,
+    layout_to_svg,
+    placement_to_svg,
+    schedule_to_svg,
+)
+
+
+def artifacts(name="PCR"):
+    case = get_benchmark(name)
+    problem = SynthesisProblem(assay=case.assay, allocation=case.allocation)
+    schedule = schedule_assay(case.assay, case.allocation)
+    placement = construct_placement(problem.resolved_grid(), problem.footprints())
+    routing = route_tasks(placement, schedule.transport_tasks())
+    return placement, routing, schedule
+
+
+class TestSvg:
+    def test_placement_svg_is_well_formed_xml(self):
+        placement, _, _ = artifacts()
+        root = ET.fromstring(placement_to_svg(placement))
+        assert root.tag.endswith("svg")
+
+    def test_layout_svg_is_well_formed_xml(self):
+        _, routing, _ = artifacts()
+        root = ET.fromstring(layout_to_svg(routing))
+        assert root.tag.endswith("svg")
+
+    def test_component_labels_present(self):
+        placement, routing, _ = artifacts()
+        svg = layout_to_svg(routing)
+        for cid in placement.components():
+            assert cid in svg
+
+    def test_channel_rects_match_used_cells(self):
+        _, routing, _ = artifacts()
+        svg = layout_to_svg(routing)
+        # Channel rectangles are the only ones with opacity markers.
+        assert svg.count('opacity="0.7"') == routing.total_length_cells
+
+    def test_canvas_scales_with_grid(self):
+        placement, _, _ = artifacts()
+        root = ET.fromstring(placement_to_svg(placement))
+        assert int(root.get("width")) == placement.grid.width * 24
+        assert int(root.get("height")) == placement.grid.height * 24
+
+
+class TestCongestionSvg:
+    def test_well_formed(self):
+        _, routing, _ = artifacts()
+        root = ET.fromstring(congestion_to_svg(routing))
+        assert root.tag.endswith("svg")
+
+    def test_one_heat_rect_per_used_cell(self):
+        _, routing, _ = artifacts()
+        svg = congestion_to_svg(routing)
+        assert svg.count("<title>") >= routing.total_length_cells
+
+
+class TestScheduleSvg:
+    def test_well_formed(self):
+        _, _, schedule = artifacts()
+        root = ET.fromstring(schedule_to_svg(schedule))
+        assert root.tag.endswith("svg")
+
+    def test_one_bar_per_operation(self):
+        _, _, schedule = artifacts()
+        svg = schedule_to_svg(schedule)
+        for op_id in schedule.operations:
+            assert op_id in svg
+
+    def test_component_labels(self):
+        _, _, schedule = artifacts()
+        svg = schedule_to_svg(schedule)
+        for cid, _t in schedule.allocation.iter_components():
+            assert cid in svg

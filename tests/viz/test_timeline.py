@@ -1,0 +1,49 @@
+"""Tests for the movement-timeline renderer."""
+
+from repro.benchmarks.registry import get_benchmark
+from repro.schedule.list_scheduler import schedule_assay
+from repro.viz.timeline import render_timeline
+
+
+def fig2a_schedule():
+    case = get_benchmark("Fig2a")
+    return schedule_assay(case.assay, case.allocation)
+
+
+class TestRenderTimeline:
+    def test_component_rows_present(self):
+        schedule = fig2a_schedule()
+        text = render_timeline(schedule)
+        for cid, _ in schedule.allocation.iter_components():
+            assert cid in text
+
+    def test_execution_marks(self):
+        assert "#" in render_timeline(fig2a_schedule())
+
+    def test_transport_rows_labelled_by_edge(self):
+        schedule = fig2a_schedule()
+        text = render_timeline(schedule)
+        channel = [m for m in schedule.movements if not m.in_place]
+        assert channel
+        sample = channel[0]
+        assert f"{sample.producer}->{sample.consumer}"[:12] in text
+
+    def test_cache_marks_present_when_fluid_cached(self):
+        case = get_benchmark("CPA")
+        schedule = schedule_assay(case.assay, case.allocation)
+        assert schedule.total_cache_time() > 0
+        assert "=" in render_timeline(schedule, width=100)
+
+    def test_legend(self):
+        assert "legend" in render_timeline(fig2a_schedule())
+
+    def test_empty_schedule(self):
+        from repro.assay.builder import AssayBuilder
+        from repro.components.allocation import Allocation
+        from repro.schedule.schedule import Schedule
+
+        assay = AssayBuilder("t").mix("a", duration=1).build()
+        empty = Schedule(
+            assay=assay, allocation=Allocation(mixers=1), transport_time=2.0
+        )
+        assert "empty" in render_timeline(empty)

@@ -1,0 +1,35 @@
+"""Tests for the configurable wash model."""
+
+import pytest
+
+from repro.assay.fluids import Fluid
+from repro.errors import ValidationError
+from repro.wash.model import DEFAULT_WASH_MODEL, WashModel
+
+
+class TestWashModel:
+    def test_default_follows_fluid(self):
+        fluid = Fluid.with_wash_time("f", 3.0)
+        assert DEFAULT_WASH_MODEL.wash_time(fluid) == 3.0
+
+    def test_default_uses_diffusion_when_no_override(self):
+        fluid = Fluid("f", diffusion_coefficient=5e-8)
+        assert DEFAULT_WASH_MODEL.wash_time(fluid) == pytest.approx(6.0)
+
+    def test_ignoring_overrides(self):
+        model = WashModel(respect_overrides=False)
+        fluid = Fluid("f", diffusion_coefficient=1e-5, wash_time_override=9.0)
+        assert model.wash_time(fluid) == pytest.approx(0.2)
+
+    def test_secondary_factors_multiply(self):
+        model = WashModel(length_factor=2.0, pressure_factor=0.5)
+        fluid = Fluid.with_wash_time("f", 3.0)
+        assert model.wash_time(fluid) == pytest.approx(3.0)
+        model = WashModel(length_factor=2.0)
+        assert model.wash_time(fluid) == pytest.approx(6.0)
+
+    def test_non_positive_factor_rejected(self):
+        with pytest.raises(ValidationError):
+            WashModel(length_factor=0.0)
+        with pytest.raises(ValidationError):
+            WashModel(width_factor=-1.0)
