@@ -24,6 +24,7 @@ from repro.assay import (
 )
 from repro.benchmarks import BenchmarkCase, benchmark_names, get_benchmark
 from repro.components import Allocation, ComponentLibrary, DEFAULT_LIBRARY
+from repro.obs import Instrumentation, JsonlSink, NullSink, RecordingSink
 from repro.schedule import (
     Schedule,
     schedule_assay,
@@ -41,8 +42,12 @@ __all__ = [
     "ComponentLibrary",
     "DEFAULT_LIBRARY",
     "Fluid",
+    "Instrumentation",
+    "JsonlSink",
+    "NullSink",
     "Operation",
     "OperationType",
+    "RecordingSink",
     "Schedule",
     "SequencingGraph",
     "SynthesisResult",

@@ -6,11 +6,21 @@ Synthesise a benchmark or a custom assay JSON from the shell::
     repro-synthesize my_assay.json -m 3 -d 2     # custom assay + allocation
     repro-synthesize CPA --algorithm baseline --svg layout.svg
     repro-synthesize IVD --show-layout --show-schedule
+    repro-synthesize PCR --profile --trace trace.jsonl
 
 The assay argument is resolved as a benchmark name first and as a JSON
 file path (written by :func:`repro.assay.dump_assay`) second.  For
 custom assays the allocation must be given through ``-m/-H/-f/-d``;
 benchmarks carry their Table I allocation.
+
+``--profile`` prints the per-phase time breakdown and algorithm
+counters after the run; ``--trace PATH.jsonl`` streams the full
+structured event trace (see ``docs/OBSERVABILITY.md``).  Both compose
+with either ``--algorithm``.
+
+Exit codes: 0 on success, 2 for command-line usage errors (argparse),
+:data:`EXIT_REPRO_ERROR` (3) for any :class:`~repro.errors.ReproError`
+— printed as a one-line message, never a traceback.
 """
 
 from __future__ import annotations
@@ -26,8 +36,14 @@ from repro.core.baseline import synthesize_baseline
 from repro.core.problem import SynthesisParameters
 from repro.core.synthesizer import synthesize
 from repro.errors import ReproError
+from repro.obs.instrument import Instrumentation
+from repro.obs.sinks import JsonlSink, NullSink
 
-__all__ = ["build_parser", "run", "main"]
+__all__ = ["build_parser", "run", "main", "EXIT_REPRO_ERROR"]
+
+#: Exit code for domain failures (:class:`ReproError`), distinct from
+#: argparse's usage-error code 2 and the generic 1.
+EXIT_REPRO_ERROR = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,6 +85,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the ASCII layout")
     parser.add_argument("--show-schedule", action="store_true",
                         help="print the ASCII schedule")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the per-phase time breakdown and "
+                             "algorithm counters after the run")
+    parser.add_argument("--trace", type=Path, default=None, metavar="PATH.jsonl",
+                        help="stream structured instrumentation events "
+                             "(spans, counters, SA convergence) to this "
+                             "JSONL file")
     return parser
 
 
@@ -97,15 +120,27 @@ def run(argv: list[str]) -> int:
     """Parse *argv* and run the requested synthesis; returns exit code."""
     args = build_parser().parse_args(argv)
     try:
+        sink = JsonlSink(args.trace) if args.trace is not None else NullSink()
+    except OSError as error:
+        print(f"error: cannot open trace file: {error}", file=sys.stderr)
+        return EXIT_REPRO_ERROR
+    instrumentation = Instrumentation(sink)
+    try:
         assay, allocation = _resolve(args)
         parameters = SynthesisParameters(seed=args.seed, transport_time=args.tc)
         if args.algorithm == "ours":
-            result = synthesize(assay, allocation, parameters)
+            result = synthesize(
+                assay, allocation, parameters, instrumentation=instrumentation
+            )
         else:
-            result = synthesize_baseline(assay, allocation, parameters)
+            result = synthesize_baseline(
+                assay, allocation, parameters, instrumentation=instrumentation
+            )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return EXIT_REPRO_ERROR
+    finally:
+        sink.close()
 
     print(result.summary())
     if args.show_layout:
@@ -123,6 +158,13 @@ def run(argv: list[str]) -> int:
 
         args.svg.write_text(layout_to_svg(result.routing), encoding="utf-8")
         print(f"\nwrote {args.svg}")
+    if args.profile:
+        from repro.obs.report import render_report
+
+        print()
+        print(render_report(instrumentation))
+    if args.trace is not None:
+        print(f"\nwrote trace to {args.trace}")
     return 0
 
 

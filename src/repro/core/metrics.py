@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.instrument import Instrumentation
 from repro.route.router import RoutingResult
 from repro.schedule.retiming import retime_with_delays
 from repro.schedule.schedule import Schedule
@@ -58,21 +59,33 @@ class SynthesisMetrics:
         }
 
 
-def channel_wash_time(routing: RoutingResult) -> Seconds:
+def channel_wash_time(
+    routing: RoutingResult,
+    instrumentation: Instrumentation | None = None,
+) -> Seconds:
     """Fig. 9 metric: total wash time charged on flow channels.
 
     For every cell, usage events are replayed in slot order; consecutive
     uses by different fluids charge the earlier fluid's wash, and the
     final residue of each used cell charges one cleanup wash.
+
+    *instrumentation* receives a ``wash.events`` counter (one per wash
+    charged) and a ``wash.total_time`` gauge.
     """
     assert routing.grid is not None
     total = 0.0
+    washes = 0
     for _cell, events in routing.grid.usage_history().items():
         ordered = sorted(events, key=lambda e: (e.slot.start, e.task_id))
         for earlier, later in zip(ordered, ordered[1:]):
             if earlier.fluid.name != later.fluid.name:
                 total += earlier.fluid.wash_time
+                washes += 1
         total += ordered[-1].fluid.wash_time
+        washes += 1
+    if instrumentation is not None:
+        instrumentation.count("wash.events", washes)
+        instrumentation.gauge("wash.total_time", total)
     return total
 
 
@@ -80,6 +93,7 @@ def compute_metrics(
     schedule: Schedule,
     routing: RoutingResult,
     cpu_time: Seconds = 0.0,
+    instrumentation: Instrumentation | None = None,
 ) -> SynthesisMetrics:
     """Derive all evaluation metrics for one synthesis run.
 
@@ -95,7 +109,7 @@ def compute_metrics(
         resource_utilisation=realised.resource_utilisation(),
         total_channel_length_mm=routing.total_length_mm(),
         total_cache_time=schedule.total_cache_time(),
-        total_channel_wash_time=channel_wash_time(routing),
+        total_channel_wash_time=channel_wash_time(routing, instrumentation),
         total_component_wash_time=schedule.total_component_wash_time(),
         transport_count=schedule.transport_count(),
         total_postponement=routing.total_postponement,

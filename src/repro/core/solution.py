@@ -8,7 +8,7 @@ this same type, so experiment harnesses treat them uniformly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.metrics import SynthesisMetrics
 from repro.core.problem import SynthesisProblem
@@ -29,6 +29,10 @@ class SynthesisResult:
     placement: Placement
     routing: RoutingResult
     metrics: SynthesisMetrics
+    #: Wall-clock seconds per pipeline phase (schedule / place / route /
+    #: metrics).  Their sum never exceeds ``metrics.cpu_time``, which is
+    #: measured around all of them by the shared pipeline driver.
+    phase_times: dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> str:
         """Multi-line human-readable report of the run."""

@@ -9,18 +9,21 @@
    occupation time slots.
 
 The returned :class:`~repro.core.solution.SynthesisResult` carries the
-Table I metrics, including the wall-clock CPU time of the run.
+Table I metrics, including the wall-clock CPU time of the run and a
+per-phase time breakdown.  Stage timing and the optional event stream
+run through the shared driver in :mod:`repro.core.pipeline`; pass an
+:class:`~repro.obs.Instrumentation` to capture SA convergence traces,
+A* expansion counters, and the rest of the pipeline telemetry.
 """
 
 from __future__ import annotations
 
-import time
-
 from repro.assay.graph import SequencingGraph
 from repro.components.allocation import Allocation
-from repro.core.metrics import compute_metrics
+from repro.core.pipeline import execute_flow
 from repro.core.problem import SynthesisParameters, SynthesisProblem
 from repro.core.solution import SynthesisResult
+from repro.obs.instrument import Instrumentation
 from repro.place.annealing import anneal_placement
 from repro.place.energy import build_connection_priorities
 from repro.route.router import route_tasks
@@ -30,42 +33,52 @@ from repro.schedule.validate import validate_schedule
 __all__ = ["synthesize", "synthesize_problem"]
 
 
-def synthesize_problem(problem: SynthesisProblem) -> SynthesisResult:
+def synthesize_problem(
+    problem: SynthesisProblem,
+    instrumentation: Instrumentation | None = None,
+) -> SynthesisResult:
     """Run the full proposed flow on a prepared problem."""
     params = problem.parameters
-    started = time.perf_counter()
 
-    schedule = schedule_assay(
-        problem.assay, problem.allocation, params.transport_time
-    )
-    validate_schedule(schedule)
+    def schedule_stage(problem: SynthesisProblem, instr: Instrumentation):
+        schedule = schedule_assay(
+            problem.assay,
+            problem.allocation,
+            params.transport_time,
+            instrumentation=instr,
+        )
+        validate_schedule(schedule)
+        return schedule
 
-    priorities = build_connection_priorities(
-        schedule, beta=params.beta, gamma=params.gamma
-    )
-    annealed = anneal_placement(
-        problem.resolved_grid(),
-        problem.footprints(),
-        priorities,
-        parameters=params.annealing(),
-        seed=params.seed,
-    )
+    def place_stage(problem, schedule, instr: Instrumentation):
+        priorities = build_connection_priorities(
+            schedule, beta=params.beta, gamma=params.gamma
+        )
+        annealed = anneal_placement(
+            problem.resolved_grid(),
+            problem.footprints(),
+            priorities,
+            parameters=params.annealing(),
+            seed=params.seed,
+            instrumentation=instr,
+        )
+        return annealed.placement
 
-    routing = route_tasks(
-        annealed.placement,
-        schedule.transport_tasks(),
-        initial_weight=params.initial_cell_weight,
-    )
+    def route_stage(problem, schedule, placement, instr: Instrumentation):
+        return route_tasks(
+            placement,
+            schedule.transport_tasks(),
+            initial_weight=params.initial_cell_weight,
+            instrumentation=instr,
+        )
 
-    cpu_time = time.perf_counter() - started
-    metrics = compute_metrics(schedule, routing, cpu_time=cpu_time)
-    return SynthesisResult(
-        problem=problem,
-        algorithm="ours",
-        schedule=schedule,
-        placement=annealed.placement,
-        routing=routing,
-        metrics=metrics,
+    return execute_flow(
+        problem,
+        "ours",
+        schedule_stage,
+        place_stage,
+        route_stage,
+        instrumentation=instrumentation,
     )
 
 
@@ -74,6 +87,7 @@ def synthesize(
     allocation: Allocation,
     parameters: SynthesisParameters | None = None,
     seed: int | None = None,
+    instrumentation: Instrumentation | None = None,
 ) -> SynthesisResult:
     """Convenience wrapper: build the problem and run the proposed flow.
 
@@ -85,6 +99,10 @@ def synthesize(
         Flow parameters; ``None`` selects the paper's defaults.
     seed:
         Shorthand to override only the annealer seed of *parameters*.
+    instrumentation:
+        Optional :class:`~repro.obs.Instrumentation` receiving spans,
+        counters, and convergence events; ``None`` keeps the
+        zero-overhead default (phase times are still measured).
     """
     params = parameters or SynthesisParameters()
     if seed is not None:
@@ -94,4 +112,4 @@ def synthesize(
     problem = SynthesisProblem(
         assay=assay, allocation=allocation, parameters=params
     )
-    return synthesize_problem(problem)
+    return synthesize_problem(problem, instrumentation=instrumentation)

@@ -4,12 +4,16 @@
 the baseline under identical parameters and returns a
 :class:`BenchmarkComparison` holding both results; :func:`run_all` does
 so for every Table I row.  ``python -m repro.experiments.runner`` prints
-every table and figure of the evaluation section in one go.
+every table and figure of the evaluation section in one go; add
+``--profile`` for the cross-benchmark phase/counter breakdown or
+``--trace PATH.jsonl`` for the full event stream.
 """
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable
 
 from repro.benchmarks.registry import TABLE1_ORDER, get_benchmark
@@ -18,6 +22,7 @@ from repro.core.metrics import improvement
 from repro.core.problem import SynthesisParameters, SynthesisProblem
 from repro.core.solution import SynthesisResult
 from repro.core.synthesizer import synthesize_problem
+from repro.obs.instrument import Instrumentation
 
 __all__ = ["BenchmarkComparison", "run_benchmark", "run_all"]
 
@@ -59,38 +64,78 @@ class BenchmarkComparison:
 def run_benchmark(
     name: str,
     parameters: SynthesisParameters | None = None,
+    instrumentation: Instrumentation | None = None,
 ) -> BenchmarkComparison:
-    """Synthesise *name* with both algorithms under one parameter set."""
+    """Synthesise *name* with both algorithms under one parameter set.
+
+    With *instrumentation* the two runs are wrapped in
+    ``bench.<name> > ours / baseline`` spans, so a shared trace (or the
+    ``--profile`` report) attributes every phase and counter to its
+    benchmark and algorithm.
+    """
     params = parameters or SynthesisParameters(seed=1)
     case = get_benchmark(name)
     problem = SynthesisProblem(
         assay=case.assay, allocation=case.allocation, parameters=params
     )
-    ours = synthesize_problem(problem)
-    baseline = synthesize_problem_baseline(problem)
+    instr = instrumentation if instrumentation is not None else Instrumentation()
+    with instr.span(f"bench.{name}"):
+        with instr.span("ours"):
+            ours = synthesize_problem(problem, instrumentation=instr)
+        with instr.span("baseline"):
+            baseline = synthesize_problem_baseline(problem, instrumentation=instr)
     return BenchmarkComparison(name=name, ours=ours, baseline=baseline)
 
 
 def run_all(
     names: Iterable[str] = TABLE1_ORDER,
     parameters: SynthesisParameters | None = None,
+    instrumentation: Instrumentation | None = None,
 ) -> list[BenchmarkComparison]:
     """Run every requested benchmark (Table I rows by default)."""
-    return [run_benchmark(name, parameters) for name in names]
+    return [
+        run_benchmark(name, parameters, instrumentation=instrumentation)
+        for name in names
+    ]
 
 
-def main() -> None:  # pragma: no cover - exercised via CLI
+def main(argv: list[str] | None = None) -> None:  # pragma: no cover - CLI
     """Print Table I, Fig. 8, and Fig. 9 from one set of runs."""
     from repro.experiments.fig8 import render_fig8
     from repro.experiments.fig9 import render_fig9
     from repro.experiments.table1 import render_table1
+    from repro.obs.report import render_report
+    from repro.obs.sinks import JsonlSink, NullSink
 
-    comparisons = run_all()
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Run every Table I benchmark with both algorithms.",
+    )
+    parser.add_argument("--profile", action="store_true",
+                        help="print the phase/counter breakdown after the tables")
+    parser.add_argument("--trace", type=Path, default=None, metavar="PATH.jsonl",
+                        help="stream instrumentation events to this JSONL file")
+    args = parser.parse_args(argv)
+
+    try:
+        sink = JsonlSink(args.trace) if args.trace is not None else NullSink()
+    except OSError as error:
+        parser.exit(3, f"error: cannot open trace file: {error}\n")
+    instrumentation = Instrumentation(sink)
+    try:
+        comparisons = run_all(instrumentation=instrumentation)
+    finally:
+        sink.close()
     print(render_table1(comparisons))
     print()
     print(render_fig8(comparisons))
     print()
     print(render_fig9(comparisons))
+    if args.profile:
+        print()
+        print(render_report(instrumentation))
+    if args.trace is not None:
+        print(f"\nwrote trace to {args.trace}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,46 @@
+"""Observability: structured tracing, phase timers, algorithm counters.
+
+``repro.obs`` is the measurement substrate of the synthesis pipeline.
+It is dependency-free (stdlib only) and imports nothing from the rest
+of :mod:`repro`, so every stage — scheduler, placer, router, metrics —
+can depend on it without cycles.
+
+Three concepts:
+
+* **Spans** — hierarchical phase timers (``synthesize > place``).
+  Every pipeline entry point accepts an optional
+  :class:`Instrumentation` and wraps its phases in spans; the per-phase
+  wall-clock totals surface as ``SynthesisResult.phase_times``.
+* **Counters / gauges** — algorithm statistics (A* nodes expanded, SA
+  moves accepted per temperature, scheduler ready-queue depth, wash
+  events, router conflict retries), aggregated in memory and optionally
+  streamed as events.
+* **Event sinks** — :class:`NullSink` (the zero-overhead default: no
+  event objects are ever constructed), :class:`JsonlSink` (one JSON
+  object per line, streamed to a file — the ``--trace`` flag), and
+  :class:`RecordingSink` (in-memory capture for tests).
+
+See ``docs/OBSERVABILITY.md`` for the event schema and usage.
+"""
+
+from repro.obs.events import Event
+from repro.obs.instrument import Instrumentation, Span
+from repro.obs.report import (
+    render_counter_table,
+    render_phase_table,
+    render_report,
+)
+from repro.obs.sinks import JsonlSink, NullSink, RecordingSink, Sink
+
+__all__ = [
+    "Event",
+    "Instrumentation",
+    "JsonlSink",
+    "NullSink",
+    "RecordingSink",
+    "Sink",
+    "Span",
+    "render_counter_table",
+    "render_phase_table",
+    "render_report",
+]

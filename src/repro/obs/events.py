@@ -1,0 +1,61 @@
+"""The structured event record shared by every sink.
+
+One :class:`Event` is one observation: a span starting or ending, a
+counter increment, a gauge sample, or a free-form point event.  Events
+are immutable and JSON-serialisable; the schema is documented in
+``docs/OBSERVABILITY.md`` and asserted by the round-trip tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["Event", "EVENT_KINDS"]
+
+#: The closed set of event kinds a sink may receive.
+EVENT_KINDS = ("span_start", "span_end", "counter", "gauge", "point")
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured observation emitted by an :class:`Instrumentation`.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`EVENT_KINDS`.
+    name:
+        Span name, counter/gauge name, or point-event name.
+    time:
+        Seconds since the owning instrumentation's epoch (its creation).
+    span_id:
+        Id of the span this event belongs to — for ``span_start`` /
+        ``span_end`` the span itself, otherwise the innermost open span
+        (``None`` at top level).
+    parent_id:
+        Id of the enclosing span, if any.
+    fields:
+        Kind-specific payload (e.g. ``{"delta": 3, "total": 42}`` for a
+        counter, or the keyword arguments of a point event).
+    """
+
+    kind: str
+    name: str
+    time: float
+    span_id: int | None = None
+    parent_id: int | None = None
+    fields: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        """Flat, stable dictionary form used by :class:`JsonlSink`."""
+        record: dict[str, Any] = {
+            "kind": self.kind,
+            "name": self.name,
+            "t": self.time,
+            "span": self.span_id,
+            "parent": self.parent_id,
+        }
+        if self.fields:
+            record["fields"] = dict(self.fields)
+        return record

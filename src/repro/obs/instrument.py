@@ -1,0 +1,250 @@
+"""Hierarchical spans, counters, and gauges.
+
+:class:`Instrumentation` is the single object threaded through the
+synthesis pipeline.  It always maintains cheap in-memory aggregates —
+per-span-path wall-clock totals, counter totals, last gauge values — and
+*additionally* streams structured events to its sink unless the sink is
+a :class:`~repro.obs.sinks.NullSink` (the default), in which case no
+event objects are constructed at all.
+
+Usage::
+
+    instr = Instrumentation()              # aggregates only, no events
+    with instr.span("synthesize"):
+        with instr.span("place") as place:
+            instr.count("sa.moves_accepted", 12)
+            instr.event("sa.step", temperature=100.0, energy=42.0)
+        print(place.duration)
+    print(instr.phase_times(("synthesize",)))   # {"place": ...}
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.obs.events import Event
+from repro.obs.sinks import NullSink, Sink
+
+__all__ = ["Instrumentation", "Span"]
+
+
+@dataclass
+class Span:
+    """Handle for one open (or finished) phase timer."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    #: Full path from the root span, e.g. ``("synthesize", "place")``.
+    path: tuple[str, ...]
+    started: float
+    #: Wall-clock duration in seconds; set when the span closes.
+    duration: float | None = None
+    _now: Callable[[], float] = field(default=time.perf_counter, repr=False)
+
+    def elapsed(self) -> float:
+        """Seconds since the span started (usable while still open)."""
+        return (self._now() - self.started) if self.duration is None else self.duration
+
+    @property
+    def label(self) -> str:
+        return " > ".join(self.path)
+
+
+class Instrumentation:
+    """Span timers + counters/gauges + optional event stream.
+
+    Parameters
+    ----------
+    sink:
+        Event destination; ``None`` means :class:`NullSink` — aggregates
+        are still kept, but no events are built or emitted.
+    clock:
+        Monotonic time source (seconds).  Injectable for deterministic
+        tests; defaults to :func:`time.perf_counter`.
+    """
+
+    def __init__(
+        self,
+        sink: Sink | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.sink: Sink = sink if sink is not None else NullSink()
+        #: True when events flow to the sink; NullSink (and subclasses)
+        #: short-circuit every emission with this single flag.
+        self.active: bool = not isinstance(self.sink, NullSink)
+        self._clock = clock
+        self._epoch = clock()
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self._span_totals: dict[tuple[str, ...], float] = {}
+        self._span_counts: dict[tuple[str, ...], int] = {}
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Seconds since this instrumentation was created."""
+        return self._clock() - self._epoch
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    @property
+    def current_span(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """Open a nested phase timer for the duration of the ``with`` body."""
+        parent = self.current_span
+        handle = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            path=(parent.path + (name,)) if parent is not None else (name,),
+            started=self.now(),
+            _now=self.now,
+        )
+        self._next_id += 1
+        self._stack.append(handle)
+        # Seed the totals at first open so aggregate iteration order is
+        # chronological (parents before children) for tree rendering.
+        self._span_totals.setdefault(handle.path, 0.0)
+        if self.active:
+            self.sink.emit(
+                Event(
+                    kind="span_start",
+                    name=name,
+                    time=handle.started,
+                    span_id=handle.span_id,
+                    parent_id=handle.parent_id,
+                )
+            )
+        try:
+            yield handle
+        finally:
+            ended = self.now()
+            handle.duration = ended - handle.started
+            self._stack.pop()
+            self._span_totals[handle.path] += handle.duration
+            self._span_counts[handle.path] = (
+                self._span_counts.get(handle.path, 0) + 1
+            )
+            if self.active:
+                self.sink.emit(
+                    Event(
+                        kind="span_end",
+                        name=name,
+                        time=ended,
+                        span_id=handle.span_id,
+                        parent_id=handle.parent_id,
+                        fields={"duration": handle.duration},
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Counters / gauges / point events
+    # ------------------------------------------------------------------
+    def count(self, name: str, delta: float = 1) -> None:
+        """Add *delta* to counter *name* (creates it at zero)."""
+        total = self._counters.get(name, 0) + delta
+        self._counters[name] = total
+        if self.active:
+            span = self.current_span
+            self.sink.emit(
+                Event(
+                    kind="counter",
+                    name=name,
+                    time=self.now(),
+                    span_id=span.span_id if span else None,
+                    parent_id=span.parent_id if span else None,
+                    fields={"delta": delta, "total": total},
+                )
+            )
+
+    def gauge(self, name: str, value: float) -> None:
+        """Sample gauge *name* at *value* (last value wins in aggregates)."""
+        self._gauges[name] = value
+        if self.active:
+            span = self.current_span
+            self.sink.emit(
+                Event(
+                    kind="gauge",
+                    name=name,
+                    time=self.now(),
+                    span_id=span.span_id if span else None,
+                    parent_id=span.parent_id if span else None,
+                    fields={"value": value},
+                )
+            )
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Emit a free-form point event (no-op with a :class:`NullSink`)."""
+        if not self.active:
+            return
+        span = self.current_span
+        self.sink.emit(
+            Event(
+                kind="point",
+                name=name,
+                time=self.now(),
+                span_id=span.span_id if span else None,
+                parent_id=span.parent_id if span else None,
+                fields=fields,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def counters(self) -> dict[str, float]:
+        """Counter totals accumulated so far (a copy)."""
+        return dict(self._counters)
+
+    @property
+    def gauges(self) -> dict[str, float]:
+        """Last sampled value of every gauge (a copy)."""
+        return dict(self._gauges)
+
+    def span_totals(self) -> dict[tuple[str, ...], float]:
+        """Accumulated wall-clock seconds per span path (a copy)."""
+        return dict(self._span_totals)
+
+    def span_seconds(self, path: tuple[str, ...] | str) -> float:
+        """Total seconds spent in the span at *path* (0.0 if never run)."""
+        if isinstance(path, str):
+            path = (path,)
+        return self._span_totals.get(tuple(path), 0.0)
+
+    def phase_times(
+        self, parent: tuple[str, ...] | str | None = None
+    ) -> dict[str, float]:
+        """Durations of the direct child spans of *parent*.
+
+        ``parent=None`` returns the root spans.  Keys are leaf span
+        names; values accumulate across repeated runs of the same phase.
+        """
+        if parent is None:
+            prefix: tuple[str, ...] = ()
+        elif isinstance(parent, str):
+            prefix = (parent,)
+        else:
+            prefix = tuple(parent)
+        depth = len(prefix) + 1
+        return {
+            path[-1]: seconds
+            for path, seconds in self._span_totals.items()
+            if len(path) == depth and path[: len(prefix)] == prefix
+        }
+
+    def span_counts(self) -> dict[tuple[str, ...], int]:
+        """Number of completed runs per span path (a copy)."""
+        return dict(self._span_counts)

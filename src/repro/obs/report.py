@@ -1,0 +1,89 @@
+"""Human-readable profile reports from an :class:`Instrumentation`.
+
+Two table primitives — a per-phase time breakdown (tree-indented, with
+percentages of total) and a counter/gauge summary — plus
+:func:`render_report`, which combines them into the ``--profile``
+output of the CLI.  Pure string formatting; no I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.obs.instrument import Instrumentation
+
+__all__ = ["render_phase_table", "render_counter_table", "render_report"]
+
+
+def _rule(title: str, width: int = 58) -> str:
+    bar = "-" * max(2, width - len(title) - 4)
+    return f"-- {title} {bar}"
+
+
+def render_phase_table(
+    phase_times: Mapping[str, float],
+    total: float | None = None,
+    title: str = "phase",
+) -> str:
+    """Flat one-level phase breakdown (e.g. ``SynthesisResult.phase_times``).
+
+    *total* supplies the 100% reference (the run's CPU time); when
+    omitted, the phases' own sum is used.
+    """
+    reference = total if total is not None else sum(phase_times.values())
+    name_width = max([len(title), *(len(n) for n in phase_times)], default=len(title))
+    lines = [f"{title:<{name_width}}   {'time (s)':>10}   {'%':>6}"]
+    for name, seconds in phase_times.items():
+        share = (seconds / reference * 100.0) if reference > 0 else 0.0
+        lines.append(f"{name:<{name_width}}   {seconds:>10.4f}   {share:>6.1f}")
+    if total is not None:
+        lines.append(f"{'total (cpu)':<{name_width}}   {total:>10.4f}   {100.0:>6.1f}")
+    return "\n".join(lines)
+
+
+def render_counter_table(
+    counters: Mapping[str, float], title: str = "counter"
+) -> str:
+    """Name/value table of counter totals (or last gauge values)."""
+    if not counters:
+        return f"(no {title}s recorded)"
+    name_width = max(len(title), *(len(n) for n in counters))
+    lines = [f"{title:<{name_width}}   {'value':>12}"]
+    for name in sorted(counters):
+        value = counters[name]
+        rendered = f"{value:g}" if isinstance(value, float) else str(value)
+        lines.append(f"{name:<{name_width}}   {rendered:>12}")
+    return "\n".join(lines)
+
+
+def _render_span_tree(instr: Instrumentation) -> str:
+    totals = instr.span_totals()
+    counts = instr.span_counts()
+    if not totals:
+        return "(no spans recorded)"
+    roots_total = sum(t for path, t in totals.items() if len(path) == 1)
+    label_width = max(
+        len("phase"), *(len("  " * (len(path) - 1) + path[-1]) for path in totals)
+    )
+    lines = [f"{'phase':<{label_width}}   {'calls':>5}   {'time (s)':>10}   {'%':>6}"]
+    for path, seconds in totals.items():
+        label = "  " * (len(path) - 1) + path[-1]
+        share = (seconds / roots_total * 100.0) if roots_total > 0 else 0.0
+        lines.append(
+            f"{label:<{label_width}}   {counts.get(path, 0):>5}   "
+            f"{seconds:>10.4f}   {share:>6.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_report(instr: Instrumentation) -> str:
+    """Full profile: span tree, counter totals, last gauge values."""
+    sections = [_rule("phase times"), _render_span_tree(instr)]
+    counters = instr.counters
+    if counters:
+        sections += ["", _rule("counters"), render_counter_table(counters)]
+    gauges = instr.gauges
+    if gauges:
+        sections += ["", _rule("gauges (last value)"),
+                     render_counter_table(gauges, title="gauge")]
+    return "\n".join(sections)

@@ -1,0 +1,118 @@
+"""Event sinks: where instrumentation events go.
+
+* :class:`NullSink` — the zero-overhead default.  An
+  :class:`~repro.obs.instrument.Instrumentation` built on it never
+  constructs :class:`~repro.obs.events.Event` objects at all (it checks
+  the sink type once, up front), so the fully-instrumented pipeline pays
+  only for its in-memory counter/timer bookkeeping.
+* :class:`JsonlSink` — streams one JSON object per event to a file;
+  this is what the CLI's ``--trace PATH.jsonl`` flag installs.
+* :class:`RecordingSink` — keeps events in a list with small query
+  helpers; intended for tests and interactive inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable
+
+from repro.obs.events import Event
+
+__all__ = ["Sink", "NullSink", "JsonlSink", "RecordingSink", "read_jsonl"]
+
+
+class Sink:
+    """Interface every sink implements.
+
+    Sinks are context managers so callers can write
+    ``with JsonlSink(path) as sink: ...`` and be sure the stream is
+    flushed; :meth:`close` is idempotent.
+    """
+
+    def emit(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class NullSink(Sink):
+    """Discard everything.
+
+    The instrumentation layer special-cases this type (including
+    subclasses): when the sink is a ``NullSink`` no events are built or
+    emitted, making it safe to leave instrumentation permanently wired
+    into hot paths.
+    """
+
+    def emit(self, event: Event) -> None:  # pragma: no cover - never called
+        pass
+
+
+class RecordingSink(Sink):
+    """In-memory sink with query helpers, for tests."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def emit(self, event: Event) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def of_kind(self, kind: str) -> list[Event]:
+        """All recorded events of one kind (e.g. ``"span_end"``)."""
+        return [e for e in self.events if e.kind == kind]
+
+    def named(self, name: str) -> list[Event]:
+        """All recorded events carrying exactly this name."""
+        return [e for e in self.events if e.name == name]
+
+    def names(self) -> set[str]:
+        return {e.name for e in self.events}
+
+
+class JsonlSink(Sink):
+    """Stream events as JSON Lines to a path or open text stream.
+
+    When given a path the file is opened on construction and owned by
+    the sink (closed by :meth:`close`); an already-open stream is
+    borrowed and left open.
+    """
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        if isinstance(target, (str, Path)):
+            self._stream: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self.emitted = 0
+
+    def emit(self, event: Event) -> None:
+        self._stream.write(json.dumps(event.to_json(), sort_keys=True))
+        self._stream.write("\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._owns_stream and not self._stream.closed:
+            self._stream.close()
+        elif not self._owns_stream:
+            self._stream.flush()
+
+
+def read_jsonl(path: str | Path) -> Iterable[dict]:
+    """Parse a trace file written by :class:`JsonlSink`, line by line."""
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

@@ -17,6 +17,7 @@ import random
 from dataclasses import dataclass
 
 from repro.errors import PlacementError
+from repro.obs.instrument import Instrumentation
 from repro.place.energy import ConnectionPriorities, placement_energy
 from repro.place.grid import ChipGrid
 from repro.place.moves import random_move, random_placement
@@ -75,6 +76,7 @@ def anneal_placement(
     priorities: ConnectionPriorities,
     parameters: AnnealingParameters | None = None,
     seed: int = 0,
+    instrumentation: Instrumentation | None = None,
 ) -> AnnealingResult:
     """Run the SA placer and return the best placement found.
 
@@ -90,6 +92,11 @@ def anneal_placement(
         SA knobs; ``None`` selects the paper's defaults.
     seed:
         RNG seed — annealing is fully deterministic given the seed.
+    instrumentation:
+        Optional :class:`~repro.obs.Instrumentation`; receives move
+        counters (``sa.moves_*``) and one ``sa.step`` convergence event
+        per temperature (temperature, energy, best energy, acceptance
+        ratio) — the trace Fig.-style solver papers report.
     """
     params = parameters or AnnealingParameters()
     rng = random.Random(seed)
@@ -110,20 +117,44 @@ def anneal_placement(
     trace: list[float] = []
     temperature = params.initial_temperature
     while temperature > params.min_temperature:
+        # Per-temperature tallies are kept in locals and flushed once per
+        # cooling step, so instrumentation stays off the per-move path.
+        step_accepted = 0
+        step_trials = 0
         for _ in range(params.iterations_per_temperature):
             candidate = random_move(current, rng)
             if candidate is None:
                 continue
-            trials += 1
+            step_trials += 1
             candidate_energy = placement_energy(candidate, priorities)
             delta = candidate_energy - current_energy
             if delta < 0 or rng.random() < math.exp(-delta / temperature):
                 current, current_energy = candidate, candidate_energy
-                accepted += 1
+                step_accepted += 1
                 if current_energy < best_energy:
                     best, best_energy = current, current_energy
+        accepted += step_accepted
+        trials += step_trials
         trace.append(current_energy)
+        if instrumentation is not None:
+            instrumentation.count("sa.moves_proposed", step_trials)
+            instrumentation.count("sa.moves_accepted", step_accepted)
+            instrumentation.count("sa.moves_rejected", step_trials - step_accepted)
+            instrumentation.count("sa.temperature_steps")
+            instrumentation.event(
+                "sa.step",
+                temperature=temperature,
+                energy=current_energy,
+                best_energy=best_energy,
+                acceptance_ratio=(
+                    step_accepted / step_trials if step_trials else 0.0
+                ),
+            )
         temperature *= params.cooling_rate
+
+    if instrumentation is not None:
+        instrumentation.gauge("sa.final_energy", best_energy)
+        instrumentation.gauge("sa.initial_energy", initial_energy)
 
     return AnnealingResult(
         placement=best,

@@ -20,6 +20,7 @@ from __future__ import annotations
 import heapq
 from typing import Iterable, Sequence
 
+from repro.obs.instrument import Instrumentation
 from repro.place.grid import Cell
 from repro.route.grid_graph import RoutingGrid
 from repro.route.timeslots import TimeSlot
@@ -38,6 +39,7 @@ def find_path(
     targets: Iterable[Cell],
     slot: TimeSlot,
     goal_slot: TimeSlot | None = None,
+    instrumentation: Instrumentation | None = None,
 ) -> tuple[Cell, ...] | None:
     """A* from any source port to any target port under Eq. 5.
 
@@ -46,6 +48,11 @@ def find_path(
     occupation the path's final cell must accommodate, covering the
     distributed-channel cache beside the destination.  A target cell
     whose goal slot is blocked may still be crossed in transit.
+
+    *instrumentation* receives the search statistics once per call:
+    ``astar.searches``, ``astar.nodes_expanded`` (closed-set additions),
+    ``astar.nodes_reopened`` (cost improvements of an already-discovered
+    cell), and ``astar.failures`` for exhausted searches.
 
     Returns the cell path (source and target inclusive) or ``None`` when
     no admissible path exists.  Deterministic: ties in cost are broken
@@ -56,10 +63,15 @@ def find_path(
     target_list = [t for t in targets if grid.is_routable(t)]
     source_list = [s for s in sources if grid.is_free(s, slot)]
     if not target_list or not source_list:
+        _flush_search_stats(instrumentation, expanded=0, reopened=0, found=False)
         return None
     target_set = set(target_list)
 
     # Priority queue entries: (f, tie, cell); g/w accumulated separately.
+    # Search statistics are tallied in locals and flushed once per call,
+    # keeping instrumentation off the per-expansion path.
+    expanded = 0
+    reopened = 0
     open_heap: list[tuple[float, tuple[int, int], Cell]] = []
     accumulated: dict[Cell, float] = {}
     parent: dict[Cell, Cell | None] = {}
@@ -71,14 +83,17 @@ def find_path(
             f = cost + _heuristic(source, target_list)
             heapq.heappush(open_heap, (f, (source.x, source.y), source))
 
+    path: tuple[Cell, ...] | None = None
     closed: set[Cell] = set()
     while open_heap:
         _f, _tie, cell = heapq.heappop(open_heap)
         if cell in closed:
             continue
         closed.add(cell)
+        expanded += 1
         if cell in target_set and grid.is_free(cell, goal_slot):
-            return _reconstruct(parent, cell)
+            path = _reconstruct(parent, cell)
+            break
         for neighbour in cell.neighbours():
             if neighbour in closed:
                 continue
@@ -86,11 +101,35 @@ def find_path(
                 continue
             cost = accumulated[cell] + 1.0 + grid.weight(neighbour)
             if cost < accumulated.get(neighbour, float("inf")):
+                if neighbour in accumulated:
+                    reopened += 1
                 accumulated[neighbour] = cost
                 parent[neighbour] = cell
                 f = cost + _heuristic(neighbour, target_list)
                 heapq.heappush(open_heap, (f, (neighbour.x, neighbour.y), neighbour))
-    return None
+    _flush_search_stats(
+        instrumentation, expanded=expanded, reopened=reopened, found=path is not None
+    )
+    return path
+
+
+def _flush_search_stats(
+    instrumentation: Instrumentation | None,
+    expanded: int,
+    reopened: int,
+    found: bool,
+) -> None:
+    """Record one search's tallies on the instrumentation, if any."""
+    if instrumentation is None:
+        return
+    instrumentation.count("astar.searches")
+    instrumentation.count("astar.nodes_expanded", expanded)
+    instrumentation.count("astar.nodes_reopened", reopened)
+    if not found:
+        instrumentation.count("astar.failures")
+    instrumentation.event(
+        "astar.search", expanded=expanded, reopened=reopened, found=found
+    )
 
 
 def _reconstruct(parent: dict[Cell, Cell | None], cell: Cell) -> tuple[Cell, ...]:

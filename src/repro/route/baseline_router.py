@@ -23,6 +23,7 @@ them into the baseline's final execution time.
 from __future__ import annotations
 
 from repro.errors import RoutingError
+from repro.obs.instrument import Instrumentation
 from repro.place.grid import Cell
 from repro.place.placement import Placement
 from repro.route.astar import find_path
@@ -42,7 +43,10 @@ __all__ = ["route_tasks_baseline"]
 
 
 def _shortest_path(
-    grid: RoutingGrid, sources: list[Cell], targets: list[Cell]
+    grid: RoutingGrid,
+    sources: list[Cell],
+    targets: list[Cell],
+    instrumentation: Instrumentation | None = None,
 ) -> tuple[Cell, ...] | None:
     """Uniform-cost shortest path ignoring slots and weights.
 
@@ -50,7 +54,10 @@ def _shortest_path(
     view with an always-empty slot: geometry only.
     """
     probe = TimeSlot(0.0, 0.0)  # zero-length slot conflicts with nothing
-    return find_path(_ZeroWeightView(grid), sources, targets, probe)
+    return find_path(
+        _ZeroWeightView(grid), sources, targets, probe,
+        instrumentation=instrumentation,
+    )
 
 
 class _ZeroWeightView:
@@ -92,8 +99,15 @@ class _UniformCostView:
 def route_tasks_baseline(
     placement: Placement,
     tasks: list[TransportTask],
+    instrumentation: Instrumentation | None = None,
 ) -> RoutingResult:
-    """Route *tasks* with the construction-by-correction strategy."""
+    """Route *tasks* with the construction-by-correction strategy.
+
+    *instrumentation* receives ``route.tasks_routed``,
+    ``route.conflict_retries`` (postponement steps), and
+    ``route.reroutes`` (accepted correction detours), plus the A*
+    statistics of every search.
+    """
     grid = RoutingGrid(placement, initial_weight=0.0)
     result = RoutingResult(placement=placement, grid=grid)
     ordered = sorted(tasks, key=lambda t: (t.depart, t.task_id))
@@ -110,7 +124,7 @@ def route_tasks_baseline(
             # then correct below like any other path.
             cells: tuple[Cell, ...] | None = (sources[0],)
         else:
-            cells = _shortest_path(grid, sources, targets)
+            cells = _shortest_path(grid, sources, targets, instrumentation)
         if cells is None:
             raise RoutingError(
                 f"task {task.task_id} ({task.src_component} -> "
@@ -131,6 +145,7 @@ def route_tasks_baseline(
                     sources,
                     targets,
                     _transit_slot(task, delay),
+                    instrumentation=instrumentation,
                 )
                 if rerouted is not None:
                     candidate = plan_path_slots(
@@ -139,8 +154,12 @@ def route_tasks_baseline(
                     if candidate is not None:
                         cells = rerouted
                         slots = candidate
+                        if instrumentation is not None:
+                            instrumentation.count("route.reroutes")
                         break
             delay += 1.0
+            if instrumentation is not None:
+                instrumentation.count("route.conflict_retries")
             slots = plan_path_slots(
                 grid, cells, task, delay, avoid_for_cache=all_ports
             )
@@ -153,4 +172,12 @@ def route_tasks_baseline(
                 postponement=delay,
             )
         )
+        if instrumentation is not None:
+            instrumentation.count("route.tasks_routed")
+            instrumentation.event(
+                "route.task",
+                task_id=task.task_id,
+                cells=len(cells),
+                postponement=delay,
+            )
     return result

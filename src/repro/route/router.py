@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import RoutingError
+from repro.obs.instrument import Instrumentation
 from repro.place.grid import Cell
 from repro.place.placement import Placement
 from repro.route.astar import find_path
@@ -182,12 +183,18 @@ def route_tasks(
     placement: Placement,
     tasks: list[TransportTask],
     initial_weight: float = DEFAULT_INITIAL_WEIGHT,
+    instrumentation: Instrumentation | None = None,
 ) -> RoutingResult:
     """Route *tasks* (Algorithm 2, lines 9–18).
 
     Tasks are processed in non-decreasing start time (the caller's list
     order is re-sorted defensively).  Raises :class:`RoutingError` when
     even the postponement fallback cannot realise a task.
+
+    *instrumentation* receives per-task ``route.task`` events plus the
+    ``route.tasks_routed`` / ``route.self_loops`` /
+    ``route.conflict_retries`` counters (and the A* search statistics
+    via :func:`~repro.route.astar.find_path`).
     """
     grid = RoutingGrid(placement, initial_weight)
     result = RoutingResult(placement=placement, grid=grid)
@@ -208,7 +215,13 @@ def route_tasks(
                 cells = _route_self_loop(grid, sources, _cache_slot(task, delay))
                 slots = [_cache_slot(task, delay)] if cells else None
             else:
-                cells = find_path(grid, sources, targets, _transit_slot(task, delay))
+                cells = find_path(
+                    grid,
+                    sources,
+                    targets,
+                    _transit_slot(task, delay),
+                    instrumentation=instrumentation,
+                )
                 slots = (
                     plan_path_slots(
                         grid, cells, task, delay, avoid_for_cache=all_ports
@@ -219,6 +232,8 @@ def route_tasks(
             if slots is not None:
                 break
             delay += _POSTPONE_STEP
+            if instrumentation is not None:
+                instrumentation.count("route.conflict_retries")
         if cells is None or slots is None:
             raise RoutingError(
                 f"task {task.task_id} ({task.src_component} -> "
@@ -235,4 +250,14 @@ def route_tasks(
                 postponement=delay,
             )
         )
+        if instrumentation is not None:
+            instrumentation.count("route.tasks_routed")
+            if task.src_component == task.dst_component:
+                instrumentation.count("route.self_loops")
+            instrumentation.event(
+                "route.task",
+                task_id=task.task_id,
+                cells=len(cells),
+                postponement=delay,
+            )
     return result

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.assay.graph import SequencingGraph
 from repro.components.allocation import Allocation
+from repro.obs.instrument import Instrumentation
 from repro.schedule.engine import (
     DEFAULT_TRANSPORT_TIME,
     SchedulerEngine,
@@ -25,6 +26,7 @@ def schedule_assay_baseline(
     assay: SequencingGraph,
     allocation: Allocation,
     transport_time: Seconds = DEFAULT_TRANSPORT_TIME,
+    instrumentation: Instrumentation | None = None,
 ) -> Schedule:
     """Bind and schedule *assay* with the baseline (earliest-ready) policy.
 
@@ -33,6 +35,10 @@ def schedule_assay_baseline(
     be swapped freely in experiment harnesses.
     """
     engine = SchedulerEngine(
-        assay, allocation, SchedulingPolicy.baseline(), transport_time
+        assay,
+        allocation,
+        SchedulingPolicy.baseline(),
+        transport_time,
+        instrumentation=instrumentation,
     )
     return engine.run()

@@ -45,6 +45,7 @@ from repro.components.instances import (
     build_component_states,
 )
 from repro.errors import SchedulingError
+from repro.obs.instrument import Instrumentation
 from repro.schedule.priority import compute_priorities
 from repro.schedule.schedule import Schedule, ScheduledOperation
 from repro.schedule.tasks import FluidMovement
@@ -128,6 +129,7 @@ class SchedulerEngine:
         allocation: Allocation,
         policy: SchedulingPolicy,
         transport_time: Seconds = DEFAULT_TRANSPORT_TIME,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         if transport_time < 0:
             raise SchedulingError(
@@ -138,6 +140,7 @@ class SchedulerEngine:
         self.allocation = allocation
         self.policy = policy
         self.transport_time = transport_time
+        self.instrumentation = instrumentation
         self.components: dict[str, ComponentState] = build_component_states(
             allocation
         )
@@ -161,7 +164,10 @@ class SchedulerEngine:
         for op_id in ready:
             self._ready_time[op_id] = 0.0
 
+        instr = self.instrumentation
         while ready:
+            if instr is not None:
+                instr.gauge("schedule.ready_queue_depth", len(ready))
             op_id = self._dequeue(ready)
             self._schedule_operation(op_id)
             for child in self.assay.children(op_id):
@@ -343,6 +349,15 @@ class SchedulerEngine:
             op_id=op_id, component_id=target.cid, start=start, end=end
         )
         self._settle_output(op_id, target, end)
+        if self.instrumentation is not None:
+            self.instrumentation.count("schedule.operations")
+            self.instrumentation.event(
+                "schedule.op",
+                op_id=op_id,
+                component=target.cid,
+                start=start,
+                end=end,
+            )
 
     def _fluid_since(self, cid: str, producer: str) -> Seconds:
         state = self.components[cid]
@@ -374,6 +389,8 @@ class SchedulerEngine:
                 depart,
                 target.cid,
             )
+            if self.instrumentation is not None:
+                self.instrumentation.count("schedule.evictions")
 
     def _deliver_portion(
         self, parent: str, op_id: str, target: ComponentState, start: Seconds
@@ -443,6 +460,10 @@ class SchedulerEngine:
                 )
         self._movements.append(movement)
         del self._portions[(parent, op_id)]
+        if self.instrumentation is not None:
+            self.instrumentation.count("schedule.movements")
+            if movement.in_place:
+                self.instrumentation.count("schedule.in_place_bindings")
 
     def _settle_output(
         self, op_id: str, target: ComponentState, end: Seconds

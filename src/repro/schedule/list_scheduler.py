@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.assay.graph import SequencingGraph
 from repro.components.allocation import Allocation
+from repro.obs.instrument import Instrumentation
 from repro.schedule.engine import (
     DEFAULT_TRANSPORT_TIME,
     SchedulerEngine,
@@ -24,6 +25,7 @@ def schedule_assay(
     assay: SequencingGraph,
     allocation: Allocation,
     transport_time: Seconds = DEFAULT_TRANSPORT_TIME,
+    instrumentation: Instrumentation | None = None,
 ) -> Schedule:
     """Bind and schedule *assay* onto *allocation* with Algorithm 1.
 
@@ -36,6 +38,10 @@ def schedule_assay(
     transport_time:
         The constant inter-component transport time ``t_c`` (paper
         default 2.0 s).
+    instrumentation:
+        Optional :class:`~repro.obs.Instrumentation` receiving the
+        scheduler's counters (operations, evictions, movements) and the
+        ready-queue depth gauge.
 
     Returns
     -------
@@ -44,6 +50,10 @@ def schedule_assay(
         (including distributed-channel cache intervals).
     """
     engine = SchedulerEngine(
-        assay, allocation, SchedulingPolicy.ours(), transport_time
+        assay,
+        allocation,
+        SchedulingPolicy.ours(),
+        transport_time,
+        instrumentation=instrumentation,
     )
     return engine.run()

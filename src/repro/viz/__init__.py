@@ -1,6 +1,7 @@
-"""Visualisation of layouts and schedules (ASCII and SVG)."""
+"""Visualisation of layouts, schedules, and profiles (ASCII and SVG)."""
 
 from repro.viz.ascii_art import render_placement, render_routing, render_schedule
+from repro.viz.profile import render_profile
 from repro.viz.svg import (
     congestion_to_svg,
     layout_to_svg,
@@ -15,6 +16,7 @@ __all__ = [
     "placement_to_svg",
     "schedule_to_svg",
     "render_placement",
+    "render_profile",
     "render_routing",
     "render_schedule",
     "render_timeline",

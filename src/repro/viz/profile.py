@@ -1,0 +1,31 @@
+"""ASCII profile views of synthesis runs.
+
+Companions to the layout/schedule renderers: where
+:mod:`repro.viz.ascii_art` shows *what* was synthesised, this module
+shows *where the CPU time went*.  The table primitives live in
+:mod:`repro.obs.report`; here they are bound to the result types.
+"""
+
+from __future__ import annotations
+
+from repro.core.solution import SynthesisResult
+from repro.obs.report import render_phase_table
+
+__all__ = ["render_profile"]
+
+
+def render_profile(result: SynthesisResult) -> str:
+    """Per-phase CPU-time table of one synthesis run.
+
+    Example output::
+
+        phase         time (s)        %
+        schedule        0.0006      0.4
+        place           0.1699     99.1
+        route           0.0007      0.4
+        metrics         0.0001      0.1
+        total (cpu)     0.1714    100.0
+    """
+    return render_phase_table(
+        result.phase_times, total=result.metrics.cpu_time
+    )

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.instrument import Instrumentation
 from repro.place.grid import Cell
 from repro.route.router import RoutingResult
 from repro.units import Seconds
@@ -53,7 +54,10 @@ class WashPlan:
         return [event for event in self.events if event.cell == cell]
 
 
-def plan_channel_washes(routing: RoutingResult) -> WashPlan:
+def plan_channel_washes(
+    routing: RoutingResult,
+    instrumentation: Instrumentation | None = None,
+) -> WashPlan:
     """Derive the explicit wash plan of a routed layout.
 
     Per cell, usage events are replayed in slot order: a wash of the
@@ -86,4 +90,8 @@ def plan_channel_washes(routing: RoutingResult) -> WashPlan:
             )
         )
     events.sort(key=lambda e: (e.earliest_start, e.cell.x, e.cell.y))
-    return WashPlan(events=events)
+    plan = WashPlan(events=events)
+    if instrumentation is not None:
+        instrumentation.count("wash.planned_events", plan.event_count)
+        instrumentation.gauge("wash.plan_duration", plan.total_duration)
+    return plan

@@ -1,0 +1,147 @@
+"""Unit tests for spans, counters, and gauges."""
+
+import pytest
+
+from repro.obs.instrument import Instrumentation
+from repro.obs.sinks import NullSink, RecordingSink
+
+
+class FakeClock:
+    """Deterministic clock advancing by an explicit amount."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
+
+
+class TestSpans:
+    def test_nesting_paths_and_parent_ids(self):
+        sink = RecordingSink()
+        instr = Instrumentation(sink)
+        with instr.span("outer") as outer:
+            with instr.span("inner") as inner:
+                pass
+        assert outer.path == ("outer",)
+        assert inner.path == ("outer", "inner")
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        starts = sink.of_kind("span_start")
+        ends = sink.of_kind("span_end")
+        assert [e.name for e in starts] == ["outer", "inner"]
+        assert [e.name for e in ends] == ["inner", "outer"]
+
+    def test_timing_monotonic_with_fake_clock(self):
+        clock = FakeClock()
+        instr = Instrumentation(clock=clock)
+        with instr.span("a") as a:
+            clock.advance(1.0)
+            with instr.span("b") as b:
+                clock.advance(2.0)
+            clock.advance(0.5)
+        assert b.duration == pytest.approx(2.0)
+        assert a.duration == pytest.approx(3.5)
+        # A child span can never outlast its parent.
+        assert b.duration <= a.duration
+        assert instr.span_seconds("a") == pytest.approx(3.5)
+        assert instr.span_seconds(("a", "b")) == pytest.approx(2.0)
+
+    def test_elapsed_while_open(self):
+        clock = FakeClock()
+        instr = Instrumentation(clock=clock)
+        with instr.span("x") as x:
+            clock.advance(4.0)
+            assert x.elapsed() == pytest.approx(4.0)
+        assert x.elapsed() == pytest.approx(x.duration)
+
+    def test_repeated_spans_accumulate(self):
+        clock = FakeClock()
+        instr = Instrumentation(clock=clock)
+        for _ in range(3):
+            with instr.span("loop"):
+                clock.advance(1.0)
+        assert instr.span_seconds("loop") == pytest.approx(3.0)
+        assert instr.span_counts()[("loop",)] == 3
+
+    def test_span_closed_on_exception(self):
+        instr = Instrumentation()
+        with pytest.raises(ValueError):
+            with instr.span("broken"):
+                raise ValueError("boom")
+        assert instr.current_span is None
+        assert ("broken",) in instr.span_totals()
+
+    def test_phase_times_children_of_parent(self):
+        clock = FakeClock()
+        instr = Instrumentation(clock=clock)
+        with instr.span("synthesize"):
+            with instr.span("schedule"):
+                clock.advance(1.0)
+            with instr.span("place"):
+                clock.advance(2.0)
+        phases = instr.phase_times("synthesize")
+        assert list(phases) == ["schedule", "place"]
+        assert phases["place"] == pytest.approx(2.0)
+        roots = instr.phase_times()
+        assert list(roots) == ["synthesize"]
+
+
+class TestCountersAndGauges:
+    def test_counter_aggregation(self):
+        instr = Instrumentation()
+        instr.count("moves")
+        instr.count("moves", 4)
+        instr.count("other", 2.5)
+        assert instr.counters == {"moves": 5, "other": 2.5}
+
+    def test_gauge_last_value_wins(self):
+        instr = Instrumentation()
+        instr.gauge("depth", 3)
+        instr.gauge("depth", 7)
+        assert instr.gauges == {"depth": 7}
+
+    def test_counter_events_carry_running_total(self):
+        sink = RecordingSink()
+        instr = Instrumentation(sink)
+        with instr.span("s"):
+            instr.count("n", 2)
+            instr.count("n", 3)
+        events = sink.named("n")
+        assert [e.fields["total"] for e in events] == [2, 5]
+        assert all(e.span_id is not None for e in events)
+
+    def test_point_event_fields(self):
+        sink = RecordingSink()
+        instr = Instrumentation(sink)
+        instr.event("sa.step", temperature=100.0, energy=4.2)
+        (event,) = sink.named("sa.step")
+        assert event.kind == "point"
+        assert event.fields == {"temperature": 100.0, "energy": 4.2}
+
+
+class TestNullDefault:
+    def test_null_sink_emits_nothing(self):
+        class CountingNull(NullSink):
+            emitted = 0
+
+            def emit(self, event):
+                CountingNull.emitted += 1
+
+        sink = CountingNull()
+        instr = Instrumentation(sink)
+        assert instr.active is False
+        with instr.span("s"):
+            instr.count("c", 3)
+            instr.gauge("g", 1)
+            instr.event("e", x=1)
+        assert CountingNull.emitted == 0
+        # Aggregates still maintained.
+        assert instr.counters == {"c": 3}
+        assert instr.span_seconds("s") >= 0.0
+
+    def test_default_instrumentation_is_inactive(self):
+        assert Instrumentation().active is False

@@ -1,0 +1,91 @@
+"""Regression guard: NullSink instrumentation costs <5% on PCR.
+
+The instrumentation layer is wired permanently into the pipeline, so the
+default (NullSink) path must stay essentially free.  This benchmark runs
+the proposed flow both ways — through the instrumented pipeline driver
+and as a hand-rolled uninstrumented stage loop — and compares best-of-N
+wall-clock times.  A small absolute epsilon absorbs scheduler jitter on
+runs this short.
+"""
+
+import time
+
+import pytest
+
+from repro.core.problem import SynthesisParameters, SynthesisProblem
+from repro.core.synthesizer import synthesize_problem
+from repro.place.annealing import anneal_placement
+from repro.place.energy import build_connection_priorities
+from repro.route.router import route_tasks
+from repro.schedule.list_scheduler import schedule_assay
+from repro.schedule.validate import validate_schedule
+from repro.core.metrics import compute_metrics
+
+REPS = 5
+#: Allowed overhead: 5% relative plus 2 ms absolute jitter allowance.
+RELATIVE_BUDGET = 0.05
+ABSOLUTE_SLACK = 0.002
+
+
+def _benchmark_problem(pcr_case) -> SynthesisProblem:
+    # A mid-sized annealing schedule: long enough to time stably,
+    # short enough to repeat REPS times in a test.
+    params = SynthesisParameters(
+        initial_temperature=1000.0,
+        min_temperature=1.0,
+        cooling_rate=0.9,
+        iterations_per_temperature=50,
+        seed=1,
+    )
+    return SynthesisProblem(
+        assay=pcr_case.assay, allocation=pcr_case.allocation, parameters=params
+    )
+
+
+def _uninstrumented_once(problem: SynthesisProblem) -> float:
+    """The pre-instrumentation pipeline, timed with a bare perf_counter."""
+    params = problem.parameters
+    started = time.perf_counter()
+    schedule = schedule_assay(
+        problem.assay, problem.allocation, params.transport_time
+    )
+    validate_schedule(schedule)
+    priorities = build_connection_priorities(
+        schedule, beta=params.beta, gamma=params.gamma
+    )
+    annealed = anneal_placement(
+        problem.resolved_grid(),
+        problem.footprints(),
+        priorities,
+        parameters=params.annealing(),
+        seed=params.seed,
+    )
+    routing = route_tasks(
+        annealed.placement,
+        schedule.transport_tasks(),
+        initial_weight=params.initial_cell_weight,
+    )
+    compute_metrics(schedule, routing)
+    return time.perf_counter() - started
+
+
+def _instrumented_once(problem: SynthesisProblem) -> float:
+    started = time.perf_counter()
+    synthesize_problem(problem)  # default NullSink instrumentation
+    return time.perf_counter() - started
+
+
+class TestNullSinkOverhead:
+    def test_overhead_below_budget(self, pcr_case):
+        problem = _benchmark_problem(pcr_case)
+        # Warm up caches/allocators once per variant, then interleave.
+        _uninstrumented_once(problem)
+        _instrumented_once(problem)
+        bare = min(_uninstrumented_once(problem) for _ in range(REPS))
+        instrumented = min(_instrumented_once(problem) for _ in range(REPS))
+        budget = bare * (1.0 + RELATIVE_BUDGET) + ABSOLUTE_SLACK
+        assert instrumented <= budget, (
+            f"NullSink instrumentation overhead too high: "
+            f"{instrumented:.4f}s vs {bare:.4f}s bare "
+            f"(budget {budget:.4f}s)"
+        )

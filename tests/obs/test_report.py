@@ -1,0 +1,70 @@
+"""The profile report renderers."""
+
+from repro.obs.instrument import Instrumentation
+from repro.obs.report import (
+    render_counter_table,
+    render_phase_table,
+    render_report,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def _instr_with_activity() -> Instrumentation:
+    clock = FakeClock()
+    instr = Instrumentation(clock=clock)
+    with instr.span("synthesize"):
+        with instr.span("schedule"):
+            clock.t += 1.0
+        with instr.span("place"):
+            clock.t += 3.0
+        instr.count("astar.nodes_expanded", 42)
+        instr.gauge("sa.final_energy", 10.5)
+    return instr
+
+
+class TestPhaseTable:
+    def test_flat_table_with_total(self):
+        table = render_phase_table(
+            {"schedule": 1.0, "place": 3.0}, total=4.0
+        )
+        assert "schedule" in table
+        assert "75.0" in table  # place share
+        assert "total (cpu)" in table
+
+    def test_percentages_relative_to_own_sum_without_total(self):
+        table = render_phase_table({"a": 1.0, "b": 1.0})
+        assert table.count("50.0") == 2
+
+    def test_empty_phase_times(self):
+        assert "phase" in render_phase_table({})
+
+
+class TestCounterTable:
+    def test_sorted_rows(self):
+        table = render_counter_table({"b": 2, "a": 1})
+        assert table.index("a") < table.index("b")
+
+    def test_empty(self):
+        assert "no counter" in render_counter_table({})
+
+
+class TestReport:
+    def test_sections_and_tree_indentation(self):
+        report = render_report(_instr_with_activity())
+        assert "phase times" in report
+        assert "counters" in report
+        assert "gauges" in report
+        assert "\n  schedule" in report  # child indented under root
+        assert "astar.nodes_expanded" in report
+        assert "sa.final_energy" in report
+
+    def test_empty_instrumentation(self):
+        report = render_report(Instrumentation())
+        assert "no spans recorded" in report

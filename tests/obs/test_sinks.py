@@ -1,0 +1,64 @@
+"""Sink behaviour: JSONL round-trip, recording, resource handling."""
+
+import io
+import json
+
+from repro.obs.events import EVENT_KINDS, Event
+from repro.obs.instrument import Instrumentation
+from repro.obs.sinks import JsonlSink, RecordingSink, read_jsonl
+
+
+def _drive(instr: Instrumentation) -> None:
+    with instr.span("synthesize"):
+        with instr.span("place"):
+            instr.count("sa.moves_accepted", 12)
+            instr.event("sa.step", temperature=50.0, energy=3.0,
+                        acceptance_ratio=0.5)
+        instr.gauge("depth", 2)
+
+
+class TestJsonlSink:
+    def test_round_trip_every_line_parses(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            _drive(Instrumentation(sink))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == sink.emitted > 0
+        records = [json.loads(line) for line in lines]
+        for record in records:
+            assert record["kind"] in EVENT_KINDS
+            assert isinstance(record["name"], str)
+            assert isinstance(record["t"], float)
+        # Events inside spans carry the span id of their enclosing span.
+        span_starts = {r["span"] for r in records if r["kind"] == "span_start"}
+        counters = [r for r in records if r["kind"] == "counter"]
+        assert counters and all(r["span"] in span_starts for r in counters)
+
+    def test_read_jsonl_helper(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(path) as sink:
+            _drive(Instrumentation(sink))
+        records = list(read_jsonl(path))
+        assert len(records) == sink.emitted
+        point = [r for r in records if r["kind"] == "point"]
+        assert point[0]["fields"]["temperature"] == 50.0
+
+    def test_borrowed_stream_not_closed(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream)
+        sink.emit(Event(kind="point", name="x", time=0.0))
+        sink.close()
+        assert not stream.closed
+        assert json.loads(stream.getvalue())["name"] == "x"
+
+
+class TestRecordingSink:
+    def test_capture_and_queries(self):
+        sink = RecordingSink()
+        _drive(Instrumentation(sink))
+        assert "sa.step" in sink.names()
+        assert len(sink.of_kind("span_end")) == 2
+        (step,) = sink.named("sa.step")
+        assert step.fields["acceptance_ratio"] == 0.5
+        sink.clear()
+        assert sink.events == []

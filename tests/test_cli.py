@@ -1,10 +1,12 @@
 """Tests for the repro-synthesize command-line interface."""
 
+import json
+
 import pytest
 
 from repro.assay.builder import AssayBuilder
 from repro.assay.io import dump_assay
-from repro.cli import build_parser, run
+from repro.cli import EXIT_REPRO_ERROR, build_parser, run
 
 
 class TestParser:
@@ -40,8 +42,11 @@ class TestRun:
         assert "baseline" in capsys.readouterr().out
 
     def test_unknown_assay_fails_cleanly(self, capsys):
-        assert run(["no-such-thing"]) == 1
-        assert "error:" in capsys.readouterr().err
+        assert run(["no-such-thing"]) == EXIT_REPRO_ERROR
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
 
     def test_custom_assay_json(self, tmp_path, capsys):
         assay = (
@@ -59,7 +64,8 @@ class TestRun:
         assay = AssayBuilder("t").mix("a", duration=2).build()
         path = tmp_path / "a.json"
         dump_assay(assay, path)
-        assert run([str(path)]) == 1  # empty allocation -> AllocationError
+        # empty allocation -> AllocationError -> the distinct exit code
+        assert run([str(path)]) == EXIT_REPRO_ERROR
 
     def test_svg_output(self, tmp_path, capsys):
         target = tmp_path / "layout.svg"
@@ -72,3 +78,58 @@ class TestRun:
         out = capsys.readouterr().out
         assert "channels:" in out
         assert "#" in out
+
+
+class TestObservabilityFlags:
+    def test_profile_prints_phase_breakdown(self, capsys):
+        assert run(["PCR", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "phase times" in out
+        for phase in ("schedule", "place", "route", "metrics"):
+            assert phase in out
+        assert "counters" in out
+        assert "astar.nodes_expanded" in out
+
+    def test_trace_writes_parseable_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert run(["PCR", "--trace", str(trace)]) == 0
+        assert f"wrote trace to {trace}" in capsys.readouterr().out
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines() if line
+        ]
+        assert records
+        names = {r["name"] for r in records}
+        assert "sa.step" in names  # SA convergence events
+        assert "astar.nodes_expanded" in names  # A* counters
+        sa_fields = next(r for r in records if r["name"] == "sa.step")["fields"]
+        assert {"temperature", "energy", "acceptance_ratio"} <= set(sa_fields)
+        assert all("span" in r for r in records)
+
+    def test_profile_and_trace_compose_with_baseline(self, tmp_path, capsys):
+        trace = tmp_path / "baseline.jsonl"
+        assert run(
+            ["PCR", "--algorithm", "baseline", "--profile",
+             "--trace", str(trace)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "phase times" in out
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines() if line
+        ]
+        assert {r["name"] for r in records} >= {"synthesize", "route.tasks_routed"}
+
+    def test_unwritable_trace_path_fails_cleanly(self, tmp_path, capsys):
+        target = tmp_path / "no-such-dir" / "trace.jsonl"
+        assert run(["PCR", "--trace", str(target)]) == EXIT_REPRO_ERROR
+        err = capsys.readouterr().err
+        assert "cannot open trace file" in err
+        assert "Traceback" not in err
+
+    def test_trace_file_written_even_on_error(self, tmp_path, capsys):
+        trace = tmp_path / "err.jsonl"
+        assay = AssayBuilder("t").mix("a", duration=2).build()
+        path = tmp_path / "a.json"
+        dump_assay(assay, path)
+        assert run([str(path), "--trace", str(trace)]) == EXIT_REPRO_ERROR
+        assert trace.exists()  # sink opened and closed cleanly
