@@ -38,6 +38,7 @@ from repro.core.synthesizer import synthesize
 from repro.errors import ReproError
 from repro.obs.instrument import Instrumentation
 from repro.obs.sinks import JsonlSink, NullSink
+from repro.place.annealing import PLACEMENT_ENGINES
 
 __all__ = ["build_parser", "run", "main", "EXIT_REPRO_ERROR"]
 
@@ -77,6 +78,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="allocated detectors (custom assays)")
     parser.add_argument("--seed", type=int, default=1,
                         help="annealer seed (default: 1)")
+    parser.add_argument("--engine",
+                        choices=PLACEMENT_ENGINES,
+                        default="incremental",
+                        help="SA placement engine: the incremental "
+                             "delta-energy workspace or the reference "
+                             "full-recompute path; both give identical "
+                             "seeded results (default: incremental)")
     parser.add_argument("--tc", type=float, default=2.0,
                         help="transport time t_c in seconds (default: 2.0)")
     parser.add_argument("--svg", type=Path, default=None,
@@ -127,7 +135,11 @@ def run(argv: list[str]) -> int:
     instrumentation = Instrumentation(sink)
     try:
         assay, allocation = _resolve(args)
-        parameters = SynthesisParameters(seed=args.seed, transport_time=args.tc)
+        parameters = SynthesisParameters(
+            seed=args.seed,
+            transport_time=args.tc,
+            placement_engine=args.engine,
+        )
         if args.algorithm == "ours":
             result = synthesize(
                 assay, allocation, parameters, instrumentation=instrumentation

@@ -16,7 +16,7 @@ from repro.assay.validation import check_assay
 from repro.components.allocation import Allocation
 from repro.components.library import DEFAULT_LIBRARY, ComponentLibrary
 from repro.errors import ValidationError
-from repro.place.annealing import AnnealingParameters
+from repro.place.annealing import PLACEMENT_ENGINES, AnnealingParameters
 from repro.place.grid import DEFAULT_PITCH_MM, ChipGrid, auto_grid
 from repro.units import Millimetres, Seconds
 
@@ -49,6 +49,10 @@ class SynthesisParameters:
     grid_fill_ratio: float = 0.25
     #: RNG seed for the annealer.
     seed: int = 0
+    #: SA engine: ``"incremental"`` (delta-energy workspace) or
+    #: ``"reference"`` (immutable full-recompute oracle).  Both yield
+    #: identical seeded results; the choice only affects runtime.
+    placement_engine: str = "incremental"
 
     def __post_init__(self) -> None:
         if self.transport_time < 0:
@@ -57,6 +61,11 @@ class SynthesisParameters:
             raise ValidationError("Eq. 4 weights must be non-negative")
         if self.initial_cell_weight < 0:
             raise ValidationError("initial cell weight must be non-negative")
+        if self.placement_engine not in PLACEMENT_ENGINES:
+            raise ValidationError(
+                f"unknown placement engine {self.placement_engine!r}; "
+                f"expected one of {PLACEMENT_ENGINES}"
+            )
 
     def annealing(self) -> AnnealingParameters:
         """The SA-stage subset of these parameters."""

@@ -61,6 +61,7 @@ def synthesize_problem(
             parameters=params.annealing(),
             seed=params.seed,
             instrumentation=instr,
+            engine=params.placement_engine,
         )
         return annealed.placement
 

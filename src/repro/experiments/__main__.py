@@ -1,6 +1,25 @@
-"""``python -m repro.experiments`` — run the full evaluation harness."""
+"""``python -m repro.experiments`` — evaluation and benchmarking CLIs.
 
-from repro.experiments.runner import main
+Without a subcommand this runs the full paper evaluation (Table I,
+Fig. 8, Fig. 9).  ``python -m repro.experiments bench`` runs the
+placement-engine perf comparison instead (see
+:mod:`repro.experiments.bench`).
+"""
+
+import sys
+
+
+def main() -> None:
+    argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        from repro.experiments.bench import main as bench_main
+
+        bench_main(argv[1:])
+    else:
+        from repro.experiments.runner import main as runner_main
+
+        runner_main(argv)
+
 
 if __name__ == "__main__":
     main()

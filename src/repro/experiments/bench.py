@@ -1,0 +1,138 @@
+"""``python -m repro.experiments bench`` — engine perf comparison.
+
+Times every requested benchmark through the full pipeline once per
+placement engine (reference vs incremental), prints the before/after
+table, and writes the machine-readable ``BENCH_pr2.json`` artifact.
+
+Options::
+
+    --quick              PCR / IVD / CPA only, fewer repeats (CI mode)
+    --benchmarks A B     explicit benchmark subset
+    --seed N             annealer seed shared by both engines
+    --repeats N          timed repetitions per engine (min is kept)
+    --output PATH        JSON artifact path (default: BENCH_pr2.json)
+    --require-speedup B  exit non-zero if the incremental engine is
+                         slower than the reference on benchmark B
+
+Exit codes: 0 on success; 1 when a ``--require-speedup`` gate fails or
+the two engines disagree on any best energy (which the parity guarantee
+forbids).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.benchmarks.registry import TABLE1_ORDER, benchmark_names
+from repro.perf.harness import run_suite
+from repro.perf.report import (
+    comparisons_to_payload,
+    render_bench_table,
+    write_bench_json,
+)
+
+__all__ = ["build_parser", "run", "main"]
+
+#: Subset exercised by ``--quick``: the smallest benchmark (the CI
+#: gate's subject), a mid-size one, and one large enough to show the
+#: incremental engine's asymptotic win.
+QUICK_BENCHMARKS = ("PCR", "IVD", "CPA")
+
+#: Default artifact name; the trailing tag names the PR that introduced
+#: the numbers, so successive optimisation PRs each leave their own
+#: trajectory point in-tree.
+DEFAULT_OUTPUT = "BENCH_pr2.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments bench",
+        description=(
+            "Time the SA placement engines (reference vs incremental) "
+            "across benchmarks and write the BENCH JSON artifact."
+        ),
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"run only {', '.join(QUICK_BENCHMARKS)} with 2 repeats",
+    )
+    parser.add_argument(
+        "--benchmarks", nargs="+", metavar="NAME", default=None,
+        choices=benchmark_names(),
+        help="explicit benchmark subset (default: all Table I rows)",
+    )
+    parser.add_argument("--seed", type=int, default=1,
+                        help="annealer seed for both engines (default: 1)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed repetitions per engine; the minimum "
+                             "is kept (default: 3, or 2 with --quick)")
+    parser.add_argument("--output", type=Path, default=Path(DEFAULT_OUTPUT),
+                        help=f"JSON artifact path (default: {DEFAULT_OUTPUT})")
+    parser.add_argument(
+        "--require-speedup", metavar="NAME", default=None,
+        choices=benchmark_names(),
+        help="exit non-zero when the incremental engine is slower than "
+             "the reference on this benchmark (CI gate)",
+    )
+    return parser
+
+
+def run(argv: list[str]) -> int:
+    args = build_parser().parse_args(argv)
+    if args.benchmarks is not None:
+        names = tuple(args.benchmarks)
+    elif args.quick:
+        names = QUICK_BENCHMARKS
+    else:
+        names = TABLE1_ORDER
+    repeats = args.repeats if args.repeats is not None else (2 if args.quick else 3)
+    if args.require_speedup is not None and args.require_speedup not in names:
+        names = names + (args.require_speedup,)
+
+    comparisons = run_suite(names, seed=args.seed, repeats=repeats)
+    print(render_bench_table(comparisons))
+
+    payload = comparisons_to_payload(
+        comparisons, label=args.output.stem, quick=args.quick
+    )
+    write_bench_json(args.output, payload)
+    print(f"\nwrote {args.output}")
+
+    status = 0
+    mismatched = [c.benchmark for c in comparisons if not c.energies_match]
+    if mismatched:
+        print(
+            "error: engines disagree on best energy for: "
+            + ", ".join(mismatched),
+            file=sys.stderr,
+        )
+        status = 1
+    if args.require_speedup is not None:
+        gate = next(
+            c for c in comparisons if c.benchmark == args.require_speedup
+        )
+        if gate.place_speedup < 1.0:
+            print(
+                f"error: incremental engine slower than reference on "
+                f"{gate.benchmark} "
+                f"({gate.incremental.place_time:.3f}s vs "
+                f"{gate.reference.place_time:.3f}s)",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print(
+                f"speedup gate OK: {gate.benchmark} placement "
+                f"{gate.place_speedup:.2f}x"
+            )
+    return status
+
+
+def main(argv: list[str] | None = None) -> None:  # pragma: no cover
+    raise SystemExit(run(sys.argv[1:] if argv is None else argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

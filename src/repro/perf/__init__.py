@@ -1,0 +1,39 @@
+"""Performance measurement harness for the synthesis pipeline.
+
+The paper's evaluation (Table I) reports runtime as a first-class
+metric, and every optimisation PR needs before/after numbers against
+the same yardstick.  This package is that yardstick:
+
+* :mod:`repro.perf.harness` runs benchmarks through the full pipeline
+  once per placement engine, reading the per-phase wall-clock times the
+  :mod:`repro.obs` spans already measure, and pairs the runs into
+  engine comparisons;
+* :mod:`repro.perf.report` renders the comparison table and the
+  machine-readable JSON artifact (``BENCH_*.json``) committed at the
+  repo root, which successive PRs append their trajectory to.
+
+Run it via ``python -m repro.experiments bench`` (see
+``docs/PERFORMANCE.md``).
+"""
+
+from repro.perf.harness import (
+    BenchComparison,
+    BenchRun,
+    run_engine,
+    run_suite,
+)
+from repro.perf.report import (
+    comparisons_to_payload,
+    render_bench_table,
+    write_bench_json,
+)
+
+__all__ = [
+    "BenchComparison",
+    "BenchRun",
+    "comparisons_to_payload",
+    "render_bench_table",
+    "run_engine",
+    "run_suite",
+    "write_bench_json",
+]

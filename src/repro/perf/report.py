@@ -1,0 +1,94 @@
+"""Rendering of benchmark comparisons: text table and JSON artifact.
+
+The JSON payload is the schema of the committed ``BENCH_*.json``
+artifacts — one file per optimisation PR, so the perf trajectory of the
+codebase is recorded in-tree next to the code that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from typing import Iterable
+
+from repro.perf.harness import BenchComparison
+
+__all__ = [
+    "comparisons_to_payload",
+    "render_bench_table",
+    "write_bench_json",
+]
+
+
+def comparisons_to_payload(
+    comparisons: Iterable[BenchComparison],
+    label: str,
+    quick: bool = False,
+) -> dict:
+    """Machine-readable bench result (the ``BENCH_*.json`` schema)."""
+    comparisons = list(comparisons)
+    rows = []
+    for comparison in comparisons:
+        rows.append(
+            {
+                "benchmark": comparison.benchmark,
+                "seed": comparison.reference.seed,
+                "repeats": comparison.reference.repeats,
+                "reference": _run_payload(comparison.reference),
+                "incremental": _run_payload(comparison.incremental),
+                "place_speedup": round(comparison.place_speedup, 3),
+                "total_speedup": round(comparison.total_speedup, 3),
+                "energies_match": comparison.energies_match,
+            }
+        )
+    return {
+        "label": label,
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": rows,
+        "max_place_speedup": (
+            round(max(c.place_speedup for c in comparisons), 3)
+            if comparisons
+            else None
+        ),
+        "all_energies_match": all(c.energies_match for c in comparisons),
+    }
+
+
+def _run_payload(run) -> dict:
+    return {
+        "engine": run.engine,
+        "placement_energy": run.placement_energy,
+        "place_s": round(run.place_time, 6),
+        "route_s": round(run.route_time, 6),
+        "total_s": round(run.total_time, 6),
+    }
+
+
+def write_bench_json(path: Path, payload: dict) -> None:
+    """Write the payload as stable, diff-friendly JSON."""
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def render_bench_table(comparisons: Iterable[BenchComparison]) -> str:
+    """Aligned before/after comparison table, one row per benchmark."""
+    header = (
+        f"{'Benchmark':12s} {'ref place':>10s} {'inc place':>10s} "
+        f"{'speedup':>8s} {'ref total':>10s} {'inc total':>10s} "
+        f"{'speedup':>8s}  {'energy':s}"
+    )
+    lines = [header, "-" * len(header)]
+    for c in comparisons:
+        energy = "match" if c.energies_match else "MISMATCH"
+        lines.append(
+            f"{c.benchmark:12s} "
+            f"{c.reference.place_time:9.3f}s {c.incremental.place_time:9.3f}s "
+            f"{c.place_speedup:7.2f}x "
+            f"{c.reference.total_time:9.3f}s {c.incremental.total_time:9.3f}s "
+            f"{c.total_speedup:7.2f}x  {energy}"
+        )
+    return "\n".join(lines)

@@ -1,9 +1,15 @@
 """Placement stage (Algorithm 2, lines 1–8) and the baseline placer."""
 
 from repro.place.annealing import (
+    PLACEMENT_ENGINES,
     AnnealingParameters,
     AnnealingResult,
     anneal_placement,
+)
+from repro.place.incremental import (
+    AppliedMove,
+    PendingMove,
+    PlacementWorkspace,
 )
 from repro.place.energy import (
     ConnectionPriorities,
@@ -23,11 +29,15 @@ from repro.place.placement import PlacedComponent, Placement
 __all__ = [
     "AnnealingParameters",
     "AnnealingResult",
+    "AppliedMove",
     "Cell",
     "ChipGrid",
     "ConnectionPriorities",
+    "PLACEMENT_ENGINES",
+    "PendingMove",
     "PlacedComponent",
     "Placement",
+    "PlacementWorkspace",
     "anneal_placement",
     "auto_grid",
     "build_connection_priorities",

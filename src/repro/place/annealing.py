@@ -8,6 +8,22 @@ Defaults are the paper's: ``T0=10000, Tmin=1.0, α=0.9, Imax=150``.
 
 The best placement ever seen is returned (not merely the final one) —
 standard practice that only improves on the paper's description.
+
+Two interchangeable engines implement the move loop:
+
+* ``engine="incremental"`` (default) — the
+  :class:`~repro.place.incremental.PlacementWorkspace`: in-place
+  apply/undo moves, occupancy-index legality, and delta energy over only
+  the nets incident to the moved components.
+* ``engine="reference"`` — the original immutable path (one new
+  :class:`~repro.place.placement.Placement`, full legality scan, and
+  full Eq. 3 evaluation per trial), kept as the correctness oracle.
+
+Both engines consume the seeded RNG through the *identical* draw
+sequence and make identical accept/reject decisions, so a given seed
+yields the same best placement and — because the returned best energy
+is always a full Eq. 3 evaluation — bit-identical best energy.  The
+parity tests in ``tests/place/test_incremental.py`` assert this.
 """
 
 from __future__ import annotations
@@ -20,10 +36,36 @@ from repro.errors import PlacementError
 from repro.obs.instrument import Instrumentation
 from repro.place.energy import ConnectionPriorities, placement_energy
 from repro.place.grid import ChipGrid
+from repro.place.incremental import PlacementWorkspace
 from repro.place.moves import random_move, random_placement
 from repro.place.placement import Placement
 
-__all__ = ["AnnealingParameters", "AnnealingResult", "anneal_placement"]
+__all__ = [
+    "AnnealingParameters",
+    "AnnealingResult",
+    "anneal_placement",
+    "PLACEMENT_ENGINES",
+]
+
+#: Valid values of :func:`anneal_placement`'s ``engine`` parameter.
+PLACEMENT_ENGINES = ("incremental", "reference")
+
+#: Move kinds in the reference sampler's tuple order — the incremental
+#: sampler draws from this tuple so both engines consume the RNG
+#: identically (``rng.choice`` on any length-3 sequence draws the same
+#: underlying integer).
+_MOVE_KINDS = ("translate", "swap", "rotate")
+
+#: Below this magnitude the incident-nets delta estimate cannot be
+#: trusted to carry the same *sign* as the reference engine's
+#: full-evaluation difference (symmetric moves have a true delta of
+#: exactly zero, and the two computations round differently), so the
+#: incremental engine falls back to the exact delta.  A wrong sign
+#: would desynchronise the engines' RNG streams: ``delta < 0`` accepts
+#: without drawing ``rng.random()``.  The estimate and the exact delta
+#: agree within ~1e-11, so any estimate beyond this threshold has a
+#: reliable sign.
+_EXACT_DELTA_THRESHOLD = 1e-6
 
 
 @dataclass(frozen=True)
@@ -77,6 +119,8 @@ def anneal_placement(
     parameters: AnnealingParameters | None = None,
     seed: int = 0,
     instrumentation: Instrumentation | None = None,
+    engine: str = "incremental",
+    verify: bool = False,
 ) -> AnnealingResult:
     """Run the SA placer and return the best placement found.
 
@@ -91,13 +135,27 @@ def anneal_placement(
     parameters:
         SA knobs; ``None`` selects the paper's defaults.
     seed:
-        RNG seed — annealing is fully deterministic given the seed.
+        RNG seed — annealing is fully deterministic given the seed,
+        and the same seed gives the same result on either engine.
     instrumentation:
         Optional :class:`~repro.obs.Instrumentation`; receives move
         counters (``sa.moves_*``) and one ``sa.step`` convergence event
         per temperature (temperature, energy, best energy, acceptance
         ratio) — the trace Fig.-style solver papers report.
+    engine:
+        ``"incremental"`` (default) or ``"reference"`` — see the module
+        docstring.
+    verify:
+        Incremental engine only: after every accepted move, assert the
+        accumulated energy agrees with a from-scratch Eq. 3 evaluation
+        within ``1e-9`` and the occupancy index matches the blocks.
+        Slow; meant for tests and debugging.
     """
+    if engine not in PLACEMENT_ENGINES:
+        raise PlacementError(
+            f"unknown placement engine {engine!r}; "
+            f"expected one of {PLACEMENT_ENGINES}"
+        )
     params = parameters or AnnealingParameters()
     rng = random.Random(seed)
 
@@ -108,6 +166,56 @@ def anneal_placement(
             f"{len(footprints)} components on a "
             f"{grid.width}x{grid.height} grid"
         )
+    if engine == "reference":
+        return _anneal_reference(current, priorities, params, rng, instrumentation)
+    return _anneal_incremental(
+        current, priorities, params, rng, instrumentation, verify=verify
+    )
+
+
+def _flush_step(
+    instrumentation: Instrumentation | None,
+    temperature: float,
+    energy: float,
+    best_energy: float,
+    step_trials: int,
+    step_accepted: int,
+) -> None:
+    """Per-temperature instrumentation flush shared by both engines."""
+    if instrumentation is None:
+        return
+    instrumentation.count("sa.moves_proposed", step_trials)
+    instrumentation.count("sa.moves_accepted", step_accepted)
+    instrumentation.count("sa.moves_rejected", step_trials - step_accepted)
+    instrumentation.count("sa.temperature_steps")
+    instrumentation.event(
+        "sa.step",
+        temperature=temperature,
+        energy=energy,
+        best_energy=best_energy,
+        acceptance_ratio=(step_accepted / step_trials if step_trials else 0.0),
+    )
+
+
+def _flush_final(
+    instrumentation: Instrumentation | None,
+    initial_energy: float,
+    best_energy: float,
+) -> None:
+    if instrumentation is None:
+        return
+    instrumentation.gauge("sa.final_energy", best_energy)
+    instrumentation.gauge("sa.initial_energy", initial_energy)
+
+
+def _anneal_reference(
+    current: Placement,
+    priorities: ConnectionPriorities,
+    params: AnnealingParameters,
+    rng: random.Random,
+    instrumentation: Instrumentation | None,
+) -> AnnealingResult:
+    """The original immutable move loop (full recompute per trial)."""
     current_energy = placement_energy(current, priorities)
     best, best_energy = current, current_energy
     initial_energy = current_energy
@@ -136,26 +244,118 @@ def anneal_placement(
         accepted += step_accepted
         trials += step_trials
         trace.append(current_energy)
-        if instrumentation is not None:
-            instrumentation.count("sa.moves_proposed", step_trials)
-            instrumentation.count("sa.moves_accepted", step_accepted)
-            instrumentation.count("sa.moves_rejected", step_trials - step_accepted)
-            instrumentation.count("sa.temperature_steps")
-            instrumentation.event(
-                "sa.step",
-                temperature=temperature,
-                energy=current_energy,
-                best_energy=best_energy,
-                acceptance_ratio=(
-                    step_accepted / step_trials if step_trials else 0.0
-                ),
-            )
+        _flush_step(
+            instrumentation, temperature, current_energy, best_energy,
+            step_trials, step_accepted,
+        )
         temperature *= params.cooling_rate
 
-    if instrumentation is not None:
-        instrumentation.gauge("sa.final_energy", best_energy)
-        instrumentation.gauge("sa.initial_energy", initial_energy)
+    _flush_final(instrumentation, initial_energy, best_energy)
+    return AnnealingResult(
+        placement=best,
+        energy=best_energy,
+        initial_energy=initial_energy,
+        accepted_moves=accepted,
+        trials=trials,
+        energy_trace=trace,
+    )
 
+
+def _sample_pending_move(
+    workspace: PlacementWorkspace, rng: random.Random, attempts: int = 20
+):
+    """Incremental twin of :func:`~repro.place.moves.random_move`.
+
+    Replicates the reference sampler's RNG draw sequence exactly — same
+    move-kind choice, same component choices, same ``randint`` bounds,
+    and the same early-return points that skip draws — so a shared seed
+    drives both engines through identical move proposals.
+    """
+    components = workspace.components()
+    for _ in range(attempts):
+        kind = rng.choice(_MOVE_KINDS)
+        pending = None
+        if kind == "translate":
+            if components:
+                cid = rng.choice(components)
+                block = workspace.block(cid)
+                max_x = workspace.grid.width - block.width
+                max_y = workspace.grid.height - block.height
+                if max_x >= 0 and max_y >= 0:
+                    x = rng.randint(0, max_x)
+                    y = rng.randint(0, max_y)
+                    pending = workspace.propose_translate(cid, x, y)
+        elif kind == "swap":
+            if len(components) >= 2:
+                cid_a, cid_b = rng.sample(components, 2)
+                pending = workspace.propose_swap(cid_a, cid_b)
+        else:  # rotate
+            if components:
+                cid = rng.choice(components)
+                pending = workspace.propose_rotate(cid)
+        if pending is not None:
+            return pending
+    return None
+
+
+def _anneal_incremental(
+    current: Placement,
+    priorities: ConnectionPriorities,
+    params: AnnealingParameters,
+    rng: random.Random,
+    instrumentation: Instrumentation | None,
+    verify: bool = False,
+) -> AnnealingResult:
+    """The incremental move loop over a :class:`PlacementWorkspace`."""
+    workspace = PlacementWorkspace(current, priorities)
+    current_energy = workspace.energy
+    initial_energy = current_energy
+    best_blocks = workspace.snapshot_blocks()
+    best_energy = current_energy
+
+    accepted = 0
+    trials = 0
+    trace: list[float] = []
+    exp = math.exp
+    temperature = params.initial_temperature
+    while temperature > params.min_temperature:
+        step_accepted = 0
+        step_trials = 0
+        for _ in range(params.iterations_per_temperature):
+            pending = _sample_pending_move(workspace, rng)
+            if pending is None:
+                continue
+            step_trials += 1
+            delta = pending.delta
+            if -_EXACT_DELTA_THRESHOLD < delta < _EXACT_DELTA_THRESHOLD:
+                delta = workspace.exact_delta(pending)
+            if delta < 0 or rng.random() < exp(-delta / temperature):
+                if verify:
+                    applied = workspace.apply(pending)
+                    workspace.check_consistency()
+                    if abs(pending.delta - applied.delta) > 1e-9:
+                        raise PlacementError(
+                            f"delta estimate {pending.delta!r} disagrees "
+                            f"with realised change {applied.delta!r}"
+                        )
+                else:
+                    workspace.commit(pending)
+                current_energy = workspace.energy
+                step_accepted += 1
+                if current_energy < best_energy:
+                    best_energy = current_energy
+                    best_blocks = workspace.snapshot_blocks()
+        accepted += step_accepted
+        trials += step_trials
+        trace.append(current_energy)
+        _flush_step(
+            instrumentation, temperature, current_energy, best_energy,
+            step_trials, step_accepted,
+        )
+        temperature *= params.cooling_rate
+
+    best = Placement(workspace.grid, best_blocks)
+    _flush_final(instrumentation, initial_energy, best_energy)
     return AnnealingResult(
         placement=best,
         energy=best_energy,

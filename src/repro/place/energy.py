@@ -67,13 +67,13 @@ def build_connection_priorities(
     are omitted.
     """
     tasks = schedule.transport_tasks()
+    concurrent = schedule.concurrencies(tasks)
     priorities: dict[tuple[str, str], float] = defaultdict(float)
     for task in tasks:
         if task.src_component == task.dst_component:
             continue
-        concurrent = schedule.concurrency_of(task, tasks)
         key = _net_key(task.src_component, task.dst_component)
-        priorities[key] += beta * concurrent + gamma * task.wash_time
+        priorities[key] += beta * concurrent[task.task_id] + gamma * task.wash_time
     return ConnectionPriorities(priorities=dict(priorities))
 
 

@@ -56,9 +56,10 @@ def swap(
     cid_a, cid_b = pair if pair is not None else rng.sample(components, 2)
     block_a = placement.block(cid_a)
     block_b = placement.block(cid_b)
-    candidate = placement.with_block(
-        block_a.moved_to(block_b.x, block_b.y)
-    ).with_block(block_b.moved_to(block_a.x, block_a.y))
+    candidate = placement.with_blocks(
+        block_a.moved_to(block_b.x, block_b.y),
+        block_b.moved_to(block_a.x, block_a.y),
+    )
     return _legal_or_none(candidate)
 
 

@@ -102,6 +102,17 @@ class Placement:
         updated[block.cid] = block
         return Placement(self.grid, updated)
 
+    def with_blocks(self, *blocks: PlacedComponent) -> "Placement":
+        """A copy of this placement with several blocks replaced at once.
+
+        Multi-block moves (swap) compose their updates into one candidate
+        so only a single copy is built and a single legality check runs.
+        """
+        updated = dict(self._blocks)
+        for block in blocks:
+            updated[block.cid] = block
+        return Placement(self.grid, updated)
+
     # ------------------------------------------------------------------
     # Geometry
     # ------------------------------------------------------------------

@@ -69,44 +69,65 @@ def find_path(
 
     # Priority queue entries: (f, tie, cell); g/w accumulated separately.
     # Search statistics are tallied in locals and flushed once per call,
-    # keeping instrumentation off the per-expansion path.
+    # keeping instrumentation off the per-expansion path.  The heuristic
+    # is memoised per cell for the duration of the search (targets never
+    # change mid-search), and the hot grid methods are bound to locals.
     expanded = 0
     reopened = 0
     open_heap: list[tuple[float, tuple[int, int], Cell]] = []
     accumulated: dict[Cell, float] = {}
     parent: dict[Cell, Cell | None] = {}
+    h_cache: dict[Cell, int] = {}
+    h_get = h_cache.get
+    acc_get = accumulated.get
+    is_free = grid.is_free
+    weight = grid.weight
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    inf = float("inf")
     for source in source_list:
-        cost = 1.0 + grid.weight(source)  # the source cell itself is used
-        if cost < accumulated.get(source, float("inf")):
+        cost = 1.0 + weight(source)  # the source cell itself is used
+        if cost < acc_get(source, inf):
             accumulated[source] = cost
             parent[source] = None
-            f = cost + _heuristic(source, target_list)
-            heapq.heappush(open_heap, (f, (source.x, source.y), source))
+            h = _heuristic(source, target_list)
+            h_cache[source] = h
+            heappush(open_heap, (cost + h, (source.x, source.y), source))
 
     path: tuple[Cell, ...] | None = None
     closed: set[Cell] = set()
     while open_heap:
-        _f, _tie, cell = heapq.heappop(open_heap)
+        _f, _tie, cell = heappop(open_heap)
         if cell in closed:
             continue
         closed.add(cell)
         expanded += 1
-        if cell in target_set and grid.is_free(cell, goal_slot):
+        if cell in target_set and is_free(cell, goal_slot):
             path = _reconstruct(parent, cell)
             break
+        base = accumulated[cell] + 1.0
         for neighbour in cell.neighbours():
+            # A consistent heuristic settles a cell's cost when it is
+            # closed, so a closed neighbour can never improve — skipping
+            # here avoids the is_free/weight work *and* the heap push.
             if neighbour in closed:
                 continue
-            if not grid.is_free(neighbour, slot):
+            if not is_free(neighbour, slot):
                 continue
-            cost = accumulated[cell] + 1.0 + grid.weight(neighbour)
-            if cost < accumulated.get(neighbour, float("inf")):
-                if neighbour in accumulated:
+            cost = base + weight(neighbour)
+            old = acc_get(neighbour, inf)
+            if cost < old:
+                if old is not inf:
                     reopened += 1
                 accumulated[neighbour] = cost
                 parent[neighbour] = cell
-                f = cost + _heuristic(neighbour, target_list)
-                heapq.heappush(open_heap, (f, (neighbour.x, neighbour.y), neighbour))
+                h = h_get(neighbour)
+                if h is None:
+                    h = _heuristic(neighbour, target_list)
+                    h_cache[neighbour] = h
+                heappush(
+                    open_heap, (cost + h, (neighbour.x, neighbour.y), neighbour)
+                )
     _flush_search_stats(
         instrumentation, expanded=expanded, reopened=reopened, found=path is not None
     )

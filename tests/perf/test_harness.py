@@ -1,0 +1,147 @@
+"""Tests for the perf benchmark harness and its reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.harness import BenchComparison, BenchRun, run_engine, run_suite
+from repro.perf.report import (
+    comparisons_to_payload,
+    render_bench_table,
+    write_bench_json,
+)
+
+
+def fake_run(engine, place=1.0, total=1.5, energy=42.0):
+    return BenchRun(
+        benchmark="PCR",
+        engine=engine,
+        seed=1,
+        repeats=2,
+        placement_energy=energy,
+        phase_times={"schedule": 0.01, "place": place, "route": 0.2},
+        total_time=total,
+    )
+
+
+def fake_comparison(ref_place=1.0, inc_place=0.25, inc_energy=42.0):
+    return BenchComparison(
+        benchmark="PCR",
+        reference=fake_run("reference", place=ref_place),
+        incremental=fake_run("incremental", place=inc_place, total=0.6,
+                             energy=inc_energy),
+    )
+
+
+class TestBenchRun:
+    def test_phase_accessors(self):
+        run = fake_run("reference")
+        assert run.place_time == 1.0
+        assert run.route_time == 0.2
+
+    def test_speedups(self):
+        comparison = fake_comparison()
+        assert comparison.place_speedup == pytest.approx(4.0)
+        assert comparison.total_speedup == pytest.approx(2.5)
+        assert comparison.energies_match
+
+    def test_energy_mismatch_detected(self):
+        comparison = fake_comparison(inc_energy=41.0)
+        assert not comparison.energies_match
+
+
+class TestRunEngine:
+    def test_validates_engine(self):
+        with pytest.raises(ValueError, match="unknown placement engine"):
+            run_engine("PCR", "warp", repeats=1)
+
+    def test_validates_repeats(self):
+        with pytest.raises(ValueError, match="repeats"):
+            run_engine("PCR", "incremental", repeats=0)
+
+    def test_measures_pcr(self):
+        run = run_engine("PCR", "incremental", seed=1, repeats=1)
+        assert run.benchmark == "PCR"
+        assert run.engine == "incremental"
+        assert run.place_time > 0
+        assert run.total_time >= run.place_time
+        assert run.placement_energy > 0
+        assert set(run.phase_times) >= {"schedule", "place", "route"}
+
+
+class TestRunSuite:
+    def test_engines_agree_on_energy(self):
+        (comparison,) = run_suite(["PCR"], seed=1, repeats=1)
+        assert comparison.benchmark == "PCR"
+        assert comparison.energies_match
+        assert comparison.reference.placement_energy == (
+            comparison.incremental.placement_energy
+        )
+
+
+class TestReport:
+    def test_payload_schema(self):
+        payload = comparisons_to_payload(
+            [fake_comparison()], label="BENCH_test", quick=True
+        )
+        assert payload["label"] == "BENCH_test"
+        assert payload["quick"] is True
+        assert payload["all_energies_match"] is True
+        assert payload["max_place_speedup"] == pytest.approx(4.0)
+        (row,) = payload["benchmarks"]
+        assert row["benchmark"] == "PCR"
+        assert row["reference"]["engine"] == "reference"
+        assert row["incremental"]["engine"] == "incremental"
+        assert row["place_speedup"] == pytest.approx(4.0)
+
+    def test_payload_empty(self):
+        payload = comparisons_to_payload([], label="x")
+        assert payload["benchmarks"] == []
+        assert payload["max_place_speedup"] is None
+        assert payload["all_energies_match"] is True
+
+    def test_write_json_round_trip(self, tmp_path):
+        path = tmp_path / "bench.json"
+        payload = comparisons_to_payload([fake_comparison()], label="t")
+        write_bench_json(path, payload)
+        assert json.loads(path.read_text(encoding="utf-8")) == payload
+
+    def test_table_lists_all_benchmarks(self):
+        table = render_bench_table([fake_comparison()])
+        assert "PCR" in table
+        assert "4.00x" in table
+        assert "match" in table
+
+    def test_table_flags_mismatch(self):
+        table = render_bench_table([fake_comparison(inc_energy=1.0)])
+        assert "MISMATCH" in table
+
+
+class TestBenchCli:
+    def test_quick_run_writes_artifact(self, tmp_path, capsys):
+        from repro.experiments.bench import run
+
+        out = tmp_path / "bench.json"
+        status = run([
+            "--benchmarks", "PCR", "--repeats", "1",
+            "--output", str(out), "--require-speedup", "PCR",
+        ])
+        captured = capsys.readouterr()
+        assert out.exists()
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["all_energies_match"] is True
+        assert [row["benchmark"] for row in payload["benchmarks"]] == ["PCR"]
+        assert "PCR" in captured.out
+        # The gate verdict is reported either way; with a healthy build
+        # the incremental engine wins and the exit status is 0.
+        assert status in (0, 1)
+        if status == 0:
+            assert "speedup gate OK" in captured.out
+
+    def test_rejects_unknown_benchmark(self):
+        from repro.experiments.bench import run
+
+        with pytest.raises(SystemExit):
+            run(["--benchmarks", "NotABenchmark"])

@@ -113,6 +113,14 @@ class TestPlacementGeometry:
         assert updated.block("a").x == 4
         assert self.placement().block("a").x == 0  # original untouched
 
+    def test_with_blocks_replaces_several_at_once(self):
+        original = self.placement()
+        updated = original.with_blocks(block("a", 6, 6), block("b", 0, 0))
+        assert updated.block("a").x == 6
+        assert updated.block("b").x == 0
+        assert original.block("a").x == 0  # original untouched
+        assert original.block("b").x == 6
+
     def test_unknown_block_raises(self):
         with pytest.raises(PlacementError):
             self.placement().block("zzz")

@@ -92,3 +92,70 @@ class TestScheduleMetrics:
         for task in tasks:
             concurrent = schedule.concurrency_of(task, tasks)
             assert 0 <= concurrent < len(tasks)
+
+
+class TestConcurrenciesSweep:
+    """The O(T log T) sweep must equal the quadratic oracle exactly."""
+
+    def test_matches_concurrency_of(self):
+        schedule = two_mixer_schedule()
+        tasks = schedule.transport_tasks()
+        sweep = schedule.concurrencies(tasks)
+        assert set(sweep) == {t.task_id for t in tasks}
+        for task in tasks:
+            assert sweep[task.task_id] == schedule.concurrency_of(task, tasks)
+
+    def test_default_task_list(self):
+        schedule = two_mixer_schedule()
+        assert schedule.concurrencies() == schedule.concurrencies(
+            schedule.transport_tasks()
+        )
+
+    @pytest.mark.parametrize(
+        "name", ["PCR", "IVD", "CPA", "Synthetic1", "Synthetic2"]
+    )
+    def test_matches_oracle_on_benchmarks(self, name):
+        from repro.benchmarks.registry import get_benchmark
+
+        case = get_benchmark(name)
+        schedule = schedule_assay(case.assay, case.allocation)
+        tasks = schedule.transport_tasks()
+        sweep = schedule.concurrencies(tasks)
+        for task in tasks:
+            assert sweep[task.task_id] == schedule.concurrency_of(task, tasks)
+
+    def test_zero_length_occupations(self):
+        """Degenerate ``[t, t]`` slots: no self-overlap, strict overlap
+        with enclosing intervals — the sweep's corner cases."""
+        from repro.assay.fluids import Fluid
+        from repro.schedule.tasks import TransportTask
+
+        def task(tid, depart, arrive, consume):
+            return TransportTask(
+                task_id=tid,
+                producer=f"p{tid}",
+                consumer=f"c{tid}",
+                fluid=Fluid(name="f"),
+                src_component="Mixer1",
+                dst_component="Mixer2",
+                depart=depart,
+                arrive=arrive,
+                consume=consume,
+            )
+
+        tasks = [
+            task("a", 5.0, 5.0, 5.0),   # zero-length at t=5
+            task("b", 5.0, 5.0, 5.0),   # another at the same instant
+            task("c", 4.0, 5.0, 6.0),   # encloses t=5
+            task("d", 5.0, 6.0, 7.0),   # starts exactly at t=5
+            task("e", 2.0, 3.0, 5.0),   # ends exactly at t=5
+        ]
+        schedule = two_mixer_schedule()
+        sweep = schedule.concurrencies(tasks)
+        for t in tasks:
+            assert sweep[t.task_id] == schedule.concurrency_of(t, tasks)
+        # Spot-check the semantics: zero-length tasks overlap only the
+        # enclosing interval, never each other or the touching ones.
+        assert sweep["a"] == 1
+        assert sweep["b"] == 1
+        assert sweep["c"] == 4  # a, b, d ((4,6)∩(5,7)≠∅), e ((4,6)∩(2,5)≠∅)

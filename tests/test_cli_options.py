@@ -37,3 +37,23 @@ class TestFig2aByName:
     def test_fig2a_is_a_known_benchmark(self, capsys):
         assert run(["Fig2a"]) == 0
         assert "Fig2a" in capsys.readouterr().out
+
+
+class TestEngineFlag:
+    def test_engines_reproduce_identical_results(self, capsys):
+        """Both placement engines must print the same synthesis summary
+        for a shared seed (the engine-parity guarantee, end to end)."""
+        assert run(["PCR", "--seed", "3", "--engine", "reference"]) == 0
+        reference = capsys.readouterr().out
+        assert run(["PCR", "--seed", "3", "--engine", "incremental"]) == 0
+        incremental = capsys.readouterr().out
+        strip = lambda text: [
+            line for line in text.splitlines() if "cpu time" not in line
+        ]
+        assert strip(reference) == strip(incremental)
+
+    def test_unknown_engine_rejected(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):  # argparse usage error
+            run(["PCR", "--engine", "quantum"])
