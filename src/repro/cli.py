@@ -7,6 +7,7 @@ Synthesise a benchmark or a custom assay JSON from the shell::
     repro-synthesize CPA --algorithm baseline --svg layout.svg
     repro-synthesize IVD --show-layout --show-schedule
     repro-synthesize PCR --profile --trace trace.jsonl
+    repro-synthesize CPA --restarts 8 --jobs 4   # multi-start placement
 
 The assay argument is resolved as a benchmark name first and as a JSON
 file path (written by :func:`repro.assay.dump_assay`) second.  For
@@ -85,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "delta-energy workspace or the reference "
                              "full-recompute path; both give identical "
                              "seeded results (default: incremental)")
+    parser.add_argument("--restarts", type=int, default=1,
+                        help="independent SA restarts; the best placement "
+                             "wins deterministically (default: 1)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the restarts; the "
+                             "result is identical for every value "
+                             "(default: 1, 0 = one per CPU)")
     parser.add_argument("--tc", type=float, default=2.0,
                         help="transport time t_c in seconds (default: 2.0)")
     parser.add_argument("--svg", type=Path, default=None,
@@ -139,6 +147,8 @@ def run(argv: list[str]) -> int:
             seed=args.seed,
             transport_time=args.tc,
             placement_engine=args.engine,
+            restarts=args.restarts,
+            jobs=args.jobs,
         )
         if args.algorithm == "ours":
             result = synthesize(

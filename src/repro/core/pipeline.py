@@ -13,6 +13,13 @@ here).
 ``cpu_time`` is read at the end of the root span, after the metrics
 phase, so ``sum(phase_times.values()) <= cpu_time`` always holds — the
 guard the test-suite asserts.
+
+Under the parallel execution layer (:mod:`repro.parallel`) the place
+stage may fan restarts out to worker processes; the ``place`` span —
+and hence ``phase_times["place"]`` — then measures the parent's
+wall-clock across dispatch *and* reduction, which is the end-to-end
+figure users experience, while the workers' own CPU shows up in the
+merged SA counters rather than the span tree.
 """
 
 from __future__ import annotations

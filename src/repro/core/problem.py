@@ -53,6 +53,16 @@ class SynthesisParameters:
     #: ``"reference"`` (immutable full-recompute oracle).  Both yield
     #: identical seeded results; the choice only affects runtime.
     placement_engine: str = "incremental"
+    #: Independent SA restarts; the best placement wins under the
+    #: ``(energy, derived seed)`` total order.  Restart 0 keeps the base
+    #: seed, restart ``k`` uses ``seed*1000+k``, so ``restarts=1`` is
+    #: exactly the single-anneal pipeline and best-of-N energy is never
+    #: worse than the single run.
+    restarts: int = 1
+    #: Worker processes for fanning restarts out
+    #: (:mod:`repro.parallel`); the result is bit-identical for every
+    #: value.  ``1`` runs inline, ``0`` means one worker per CPU.
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.transport_time < 0:
@@ -65,6 +75,14 @@ class SynthesisParameters:
             raise ValidationError(
                 f"unknown placement engine {self.placement_engine!r}; "
                 f"expected one of {PLACEMENT_ENGINES}"
+            )
+        if self.restarts < 1:
+            raise ValidationError(
+                f"restarts must be >= 1, got {self.restarts}"
+            )
+        if self.jobs < 0:
+            raise ValidationError(
+                f"jobs must be >= 1 (or 0 for one per CPU), got {self.jobs}"
             )
 
     def annealing(self) -> AnnealingParameters:

@@ -4,7 +4,10 @@
 
 1. **Binding & scheduling** — Algorithm 1 (priority list scheduling with
    the Case I / Case II DCSA binding strategy);
-2. **Placement** — simulated annealing under the Eq. 3 / Eq. 4 energy;
+2. **Placement** — simulated annealing under the Eq. 3 / Eq. 4 energy,
+   optionally as deterministic multi-start across a process pool
+   (``SynthesisParameters.restarts`` / ``jobs``, see
+   :mod:`repro.parallel`);
 3. **Routing** — transportation-conflict-aware A* with cell weights and
    occupation time slots.
 
@@ -24,7 +27,7 @@ from repro.core.pipeline import execute_flow
 from repro.core.problem import SynthesisParameters, SynthesisProblem
 from repro.core.solution import SynthesisResult
 from repro.obs.instrument import Instrumentation
-from repro.place.annealing import anneal_placement
+from repro.parallel.multistart import anneal_multistart
 from repro.place.energy import build_connection_priorities
 from repro.route.router import route_tasks
 from repro.schedule.list_scheduler import schedule_assay
@@ -54,14 +57,16 @@ def synthesize_problem(
         priorities = build_connection_priorities(
             schedule, beta=params.beta, gamma=params.gamma
         )
-        annealed = anneal_placement(
+        annealed = anneal_multistart(
             problem.resolved_grid(),
             problem.footprints(),
             priorities,
             parameters=params.annealing(),
-            seed=params.seed,
-            instrumentation=instr,
+            base_seed=params.seed,
+            restarts=params.restarts,
+            jobs=params.jobs,
             engine=params.placement_engine,
+            instrumentation=instr,
         )
         return annealed.placement
 

@@ -18,6 +18,7 @@ __all__ = [
     "PlacementError",
     "RoutingError",
     "ValidationError",
+    "ParallelExecutionError",
 ]
 
 
@@ -72,3 +73,14 @@ class RoutingError(ReproError):
 
 class ValidationError(ReproError):
     """Raised when a produced artefact violates a documented invariant."""
+
+
+class ParallelExecutionError(ReproError):
+    """Raised when the process-pool execution layer itself fails.
+
+    Domain errors raised *inside* a worker are re-raised with their
+    original type (see :mod:`repro.parallel.pool`); this class covers
+    infrastructure failures — a broken or timed-out pool, an invalid
+    job count — so they still honour ``except ReproError`` guards and
+    the CLI's exit-code-3 contract.
+    """

@@ -1,9 +1,11 @@
 """``python -m repro.experiments`` — evaluation and benchmarking CLIs.
 
 Without a subcommand this runs the full paper evaluation (Table I,
-Fig. 8, Fig. 9).  ``python -m repro.experiments bench`` runs the
+Fig. 8, Fig. 9); add ``--jobs N`` to fan the benchmarks out over a
+process pool.  ``python -m repro.experiments bench`` runs the
 placement-engine perf comparison instead (see
-:mod:`repro.experiments.bench`).
+:mod:`repro.experiments.bench`), with ``--jobs``/``--repeat``/
+``--scaling``/``--multistart`` for the parallel-layer measurements.
 """
 
 import sys

@@ -2,21 +2,31 @@
 
 Times every requested benchmark through the full pipeline once per
 placement engine (reference vs incremental), prints the before/after
-table, and writes the machine-readable ``BENCH_pr2.json`` artifact.
+table, and writes the machine-readable ``BENCH_pr3.json`` artifact.
 
 Options::
 
     --quick              PCR / IVD / CPA only, fewer repeats (CI mode)
     --benchmarks A B     explicit benchmark subset
     --seed N             annealer seed shared by both engines
-    --repeats N          timed repetitions per engine (min is kept)
-    --output PATH        JSON artifact path (default: BENCH_pr2.json)
+    --repeat N           timed repetitions per engine; the median is
+                         reported with the min/max spread alongside
+                         (--repeats is accepted as an alias)
+    --jobs N             worker processes for the per-benchmark fan-out
+                         (0 = one per CPU); results are identical for
+                         every value
+    --scaling JOBS...    also wall-clock the suite at these job levels
+                         (e.g. --scaling 1 2 4) and record the rows
+    --multistart N       also record best-of-N-restarts placement
+                         energy vs the single run per benchmark
+    --output PATH        JSON artifact path (default: BENCH_pr3.json)
     --require-speedup B  exit non-zero if the incremental engine is
                          slower than the reference on benchmark B
 
-Exit codes: 0 on success; 1 when a ``--require-speedup`` gate fails or
+Exit codes: 0 on success; 1 when a ``--require-speedup`` gate fails,
 the two engines disagree on any best energy (which the parity guarantee
-forbids).
+forbids), or a multi-start energy degrades below the single run (which
+the seed-derivation scheme forbids).
 """
 
 from __future__ import annotations
@@ -26,10 +36,16 @@ import sys
 from pathlib import Path
 
 from repro.benchmarks.registry import TABLE1_ORDER, benchmark_names
-from repro.perf.harness import run_suite
+from repro.perf.harness import (
+    measure_jobs_scaling,
+    measure_multistart,
+    run_suite,
+)
 from repro.perf.report import (
     comparisons_to_payload,
     render_bench_table,
+    render_multistart_table,
+    render_scaling_table,
     write_bench_json,
 )
 
@@ -43,7 +59,11 @@ QUICK_BENCHMARKS = ("PCR", "IVD", "CPA")
 #: Default artifact name; the trailing tag names the PR that introduced
 #: the numbers, so successive optimisation PRs each leave their own
 #: trajectory point in-tree.
-DEFAULT_OUTPUT = "BENCH_pr2.json"
+DEFAULT_OUTPUT = "BENCH_pr3.json"
+
+#: Benchmarks the ``--multistart`` section covers by default (two
+#: Table I rows, per the multi-start acceptance check).
+MULTISTART_BENCHMARKS = ("PCR", "IVD")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,9 +85,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=1,
                         help="annealer seed for both engines (default: 1)")
-    parser.add_argument("--repeats", type=int, default=None,
-                        help="timed repetitions per engine; the minimum "
-                             "is kept (default: 3, or 2 with --quick)")
+    parser.add_argument("--repeat", "--repeats", dest="repeat", type=int,
+                        default=None,
+                        help="timed repetitions per engine; the median is "
+                             "kept and the min/max spread recorded "
+                             "(default: 3, or 2 with --quick)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the benchmark fan-out; "
+                             "results are identical for every value "
+                             "(default: 1, 0 = one per CPU)")
+    parser.add_argument("--scaling", nargs="+", type=int, metavar="JOBS",
+                        default=None,
+                        help="also wall-clock the suite at these job "
+                             "levels (e.g. --scaling 1 2 4) and record "
+                             "the rows in the artifact")
+    parser.add_argument("--multistart", type=int, metavar="N", default=None,
+                        help="also record best-of-N-restarts placement "
+                             "energy vs the single run")
+    parser.add_argument("--multistart-benchmarks", nargs="+", metavar="NAME",
+                        default=None, choices=benchmark_names(),
+                        help="benchmarks for the --multistart section "
+                             f"(default: {', '.join(MULTISTART_BENCHMARKS)})")
     parser.add_argument("--output", type=Path, default=Path(DEFAULT_OUTPUT),
                         help=f"JSON artifact path (default: {DEFAULT_OUTPUT})")
     parser.add_argument(
@@ -87,15 +125,43 @@ def run(argv: list[str]) -> int:
         names = QUICK_BENCHMARKS
     else:
         names = TABLE1_ORDER
-    repeats = args.repeats if args.repeats is not None else (2 if args.quick else 3)
+    repeats = args.repeat if args.repeat is not None else (2 if args.quick else 3)
     if args.require_speedup is not None and args.require_speedup not in names:
         names = names + (args.require_speedup,)
 
-    comparisons = run_suite(names, seed=args.seed, repeats=repeats)
+    comparisons = run_suite(
+        names, seed=args.seed, repeats=repeats, jobs=args.jobs
+    )
     print(render_bench_table(comparisons))
 
+    scaling = None
+    if args.scaling is not None:
+        scaling = measure_jobs_scaling(
+            names, jobs_levels=tuple(args.scaling), seed=args.seed,
+            repeats=min(repeats, 2),
+        )
+        print()
+        print(render_scaling_table(scaling))
+
+    multistart = None
+    if args.multistart is not None:
+        multistart_names = tuple(
+            args.multistart_benchmarks or MULTISTART_BENCHMARKS
+        )
+        multistart = measure_multistart(
+            multistart_names, restarts=args.multistart, seed=args.seed,
+            jobs=args.jobs,
+        )
+        print()
+        print(render_multistart_table(multistart))
+
     payload = comparisons_to_payload(
-        comparisons, label=args.output.stem, quick=args.quick
+        comparisons,
+        label=args.output.stem,
+        quick=args.quick,
+        jobs=args.jobs,
+        jobs_scaling=scaling,
+        multistart=multistart,
     )
     write_bench_json(args.output, payload)
     print(f"\nwrote {args.output}")
@@ -109,6 +175,15 @@ def run(argv: list[str]) -> int:
             file=sys.stderr,
         )
         status = 1
+    if multistart is not None:
+        degraded = [r["benchmark"] for r in multistart if not r["non_degraded"]]
+        if degraded:
+            print(
+                "error: multi-start energy degraded below the single run "
+                "for: " + ", ".join(degraded),
+                file=sys.stderr,
+            )
+            status = 1
     if args.require_speedup is not None:
         gate = next(
             c for c in comparisons if c.benchmark == args.require_speedup

@@ -3,10 +3,17 @@
 :func:`run_benchmark` synthesises a benchmark with the proposed flow and
 the baseline under identical parameters and returns a
 :class:`BenchmarkComparison` holding both results; :func:`run_all` does
-so for every Table I row.  ``python -m repro.experiments.runner`` prints
-every table and figure of the evaluation section in one go; add
-``--profile`` for the cross-benchmark phase/counter breakdown or
-``--trace PATH.jsonl`` for the full event stream.
+so for every Table I row, optionally fanning the per-benchmark
+syntheses out over a process pool (``jobs``).  Each pooled child runs
+with its own :class:`~repro.obs.Instrumentation` and ships its phase
+timers and counters back to the parent, which merges them in benchmark
+order — so the ``--profile`` report carries the same span/counter keys
+for any job count.  ``python -m repro.experiments.runner`` prints every
+table and figure of the evaluation section in one go; add ``--jobs N``
+to parallelise, ``--profile`` for the cross-benchmark phase/counter
+breakdown, or ``--trace PATH.jsonl`` for the full event stream (serial
+runs only stream per-move events; pooled children contribute
+aggregates).
 """
 
 from __future__ import annotations
@@ -22,7 +29,8 @@ from repro.core.metrics import improvement
 from repro.core.problem import SynthesisParameters, SynthesisProblem
 from repro.core.solution import SynthesisResult
 from repro.core.synthesizer import synthesize_problem
-from repro.obs.instrument import Instrumentation
+from repro.obs.instrument import Instrumentation, InstrumentationSnapshot
+from repro.parallel.pool import run_tasks
 
 __all__ = ["BenchmarkComparison", "run_benchmark", "run_all"]
 
@@ -87,16 +95,47 @@ def run_benchmark(
     return BenchmarkComparison(name=name, ours=ours, baseline=baseline)
 
 
+def _benchmark_worker(
+    payload: tuple[str, SynthesisParameters | None],
+) -> tuple[BenchmarkComparison, "InstrumentationSnapshot"]:
+    """Pool entry point: one benchmark with private instrumentation."""
+    name, parameters = payload
+    instr = Instrumentation()
+    comparison = run_benchmark(name, parameters, instrumentation=instr)
+    return comparison, instr.snapshot()
+
+
 def run_all(
     names: Iterable[str] = TABLE1_ORDER,
     parameters: SynthesisParameters | None = None,
     instrumentation: Instrumentation | None = None,
+    jobs: int = 1,
 ) -> list[BenchmarkComparison]:
-    """Run every requested benchmark (Table I rows by default)."""
-    return [
-        run_benchmark(name, parameters, instrumentation=instrumentation)
-        for name in names
-    ]
+    """Run every requested benchmark (Table I rows by default).
+
+    ``jobs > 1`` dispatches the per-benchmark syntheses to a process
+    pool (:mod:`repro.parallel`).  Results and merged telemetry are
+    identical for every job count: comparisons come back in benchmark
+    order and each child's instrumentation snapshot is absorbed into
+    *instrumentation* in that same order.
+    """
+    names = list(names)
+    if jobs == 1:
+        return [
+            run_benchmark(name, parameters, instrumentation=instrumentation)
+            for name in names
+        ]
+    outcomes = run_tasks(
+        _benchmark_worker,
+        [(name, parameters) for name in names],
+        jobs=jobs,
+    )
+    comparisons = []
+    for comparison, snapshot in outcomes:
+        if instrumentation is not None:
+            instrumentation.absorb(snapshot)
+        comparisons.append(comparison)
+    return comparisons
 
 
 def main(argv: list[str] | None = None) -> None:  # pragma: no cover - CLI
@@ -111,6 +150,10 @@ def main(argv: list[str] | None = None) -> None:  # pragma: no cover - CLI
         prog="repro-experiments",
         description="Run every Table I benchmark with both algorithms.",
     )
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the per-benchmark "
+                             "fan-out; results are identical for every "
+                             "value (default: 1, 0 = one per CPU)")
     parser.add_argument("--profile", action="store_true",
                         help="print the phase/counter breakdown after the tables")
     parser.add_argument("--trace", type=Path, default=None, metavar="PATH.jsonl",
@@ -123,7 +166,7 @@ def main(argv: list[str] | None = None) -> None:  # pragma: no cover - CLI
         parser.exit(3, f"error: cannot open trace file: {error}\n")
     instrumentation = Instrumentation(sink)
     try:
-        comparisons = run_all(instrumentation=instrumentation)
+        comparisons = run_all(instrumentation=instrumentation, jobs=args.jobs)
     finally:
         sink.close()
     print(render_table1(comparisons))

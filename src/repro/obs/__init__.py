@@ -24,7 +24,7 @@ See ``docs/OBSERVABILITY.md`` for the event schema and usage.
 """
 
 from repro.obs.events import Event
-from repro.obs.instrument import Instrumentation, Span
+from repro.obs.instrument import Instrumentation, InstrumentationSnapshot, Span
 from repro.obs.report import (
     render_counter_table,
     render_phase_table,
@@ -35,6 +35,7 @@ from repro.obs.sinks import JsonlSink, NullSink, RecordingSink, Sink
 __all__ = [
     "Event",
     "Instrumentation",
+    "InstrumentationSnapshot",
     "JsonlSink",
     "NullSink",
     "RecordingSink",

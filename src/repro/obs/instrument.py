@@ -28,7 +28,24 @@ from typing import Any, Callable, Iterator
 from repro.obs.events import Event
 from repro.obs.sinks import NullSink, Sink
 
-__all__ = ["Instrumentation", "Span"]
+__all__ = ["Instrumentation", "InstrumentationSnapshot", "Span"]
+
+
+@dataclass(frozen=True)
+class InstrumentationSnapshot:
+    """Picklable aggregate state of an :class:`Instrumentation`.
+
+    This is how telemetry crosses a process boundary: a worker runs with
+    its own instrumentation, ships ``snapshot()`` back as data, and the
+    parent folds it in with :meth:`Instrumentation.absorb`.  Only the
+    cheap aggregates travel — span wall-clock totals and run counts,
+    counter totals, last gauge values — never live event streams.
+    """
+
+    span_totals: dict[tuple[str, ...], float]
+    span_counts: dict[tuple[str, ...], int]
+    counters: dict[str, float]
+    gauges: dict[str, float]
 
 
 @dataclass
@@ -248,3 +265,40 @@ class Instrumentation:
     def span_counts(self) -> dict[tuple[str, ...], int]:
         """Number of completed runs per span path (a copy)."""
         return dict(self._span_counts)
+
+    # ------------------------------------------------------------------
+    # Cross-process merge
+    # ------------------------------------------------------------------
+    def snapshot(self) -> InstrumentationSnapshot:
+        """Freeze the current aggregates into a picklable snapshot."""
+        return InstrumentationSnapshot(
+            span_totals=dict(self._span_totals),
+            span_counts=dict(self._span_counts),
+            counters=dict(self._counters),
+            gauges=dict(self._gauges),
+        )
+
+    def absorb(
+        self,
+        snapshot: InstrumentationSnapshot,
+        prefix: tuple[str, ...] = (),
+    ) -> None:
+        """Fold a child instrumentation's aggregates into this one.
+
+        Span totals and run counts are *added* (child paths optionally
+        re-rooted under *prefix*), counters are summed, and gauges keep
+        last-value-wins semantics in absorb order.  Callers must absorb
+        children in a deterministic order (submission order, not
+        completion order) so merged aggregates are reproducible for any
+        worker count.  No events are emitted — the merge is aggregate
+        bookkeeping only.
+        """
+        for path, seconds in snapshot.span_totals.items():
+            full = prefix + tuple(path)
+            self._span_totals[full] = self._span_totals.get(full, 0.0) + seconds
+        for path, runs in snapshot.span_counts.items():
+            full = prefix + tuple(path)
+            self._span_counts[full] = self._span_counts.get(full, 0) + runs
+        for name, total in snapshot.counters.items():
+            self._counters[name] = self._counters.get(name, 0) + total
+        self._gauges.update(snapshot.gauges)

@@ -1,0 +1,164 @@
+"""Deterministic multi-start simulated-annealing placement.
+
+The paper's SA placer (Sec. IV-B) is seeded, so independent anneals
+from different seeds are embarrassingly parallel — the classic way to
+buy placement quality with cores instead of wall-clock.  This module
+makes that *deterministic*:
+
+* **Seed derivation** — :func:`multistart_seeds` maps a base seed to
+  ``restarts`` distinct seeds.  Restart 0 keeps the base seed itself
+  (so the single-run trajectory is always among the candidates and
+  best-of-N energy can never be worse than the single run); restart
+  ``k >= 1`` uses ``base_seed * 1000 + k``.
+* **Total-order reduction** — :func:`select_best` picks the winner by
+  ``(energy, derived seed)``.  The order is total, so the reduction is
+  independent of completion order and worker count: ``jobs=8`` returns
+  bit-identically what ``jobs=1`` returns.
+* **Merged instrumentation** — each restart runs under its own
+  :class:`~repro.obs.Instrumentation`; the aggregates are absorbed into
+  the caller's instrumentation in seed order, so SA counters in the
+  ``--profile`` report cover every restart regardless of ``jobs``.
+
+``restarts=1, jobs=1`` short-circuits to a direct
+:func:`~repro.place.annealing.anneal_placement` call with the caller's
+instrumentation — bit-identical to the pre-parallel pipeline, including
+the live ``sa.step`` event stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlacementError
+from repro.obs.instrument import Instrumentation, InstrumentationSnapshot
+from repro.parallel.pool import run_tasks
+from repro.place.annealing import (
+    AnnealingParameters,
+    AnnealingResult,
+    anneal_placement,
+)
+from repro.place.energy import ConnectionPriorities
+from repro.place.grid import ChipGrid
+
+__all__ = [
+    "RestartOutcome",
+    "anneal_multistart",
+    "multistart_seeds",
+    "select_best",
+]
+
+
+def multistart_seeds(base_seed: int, restarts: int) -> tuple[int, ...]:
+    """The derived seed of every restart (restart 0 keeps the base seed)."""
+    if restarts < 1:
+        raise PlacementError(f"restarts must be >= 1, got {restarts}")
+    return (base_seed,) + tuple(
+        base_seed * 1000 + k for k in range(1, restarts)
+    )
+
+
+@dataclass(frozen=True)
+class RestartOutcome:
+    """One restart's annealing result plus its telemetry aggregates."""
+
+    seed: int
+    result: AnnealingResult
+    snapshot: InstrumentationSnapshot
+
+
+@dataclass(frozen=True)
+class _AnnealTask:
+    """Picklable description of one restart (the pool payload)."""
+
+    grid: ChipGrid
+    footprints: dict[str, tuple[int, int]]
+    priorities: ConnectionPriorities
+    parameters: AnnealingParameters
+    seed: int
+    engine: str
+
+
+def _run_anneal_task(task: _AnnealTask) -> RestartOutcome:
+    """Worker entry point: one seeded anneal with private instrumentation."""
+    instr = Instrumentation()
+    result = anneal_placement(
+        task.grid,
+        task.footprints,
+        task.priorities,
+        parameters=task.parameters,
+        seed=task.seed,
+        instrumentation=instr,
+        engine=task.engine,
+    )
+    return RestartOutcome(
+        seed=task.seed, result=result, snapshot=instr.snapshot()
+    )
+
+
+def select_best(outcomes: list[RestartOutcome]) -> RestartOutcome:
+    """Reduce restarts to the winner under the ``(energy, seed)`` order.
+
+    Energy ties (identical placements found from different seeds are
+    common on small grids) break towards the *smallest derived seed* —
+    a total order, so any permutation of *outcomes* yields the same
+    winner.
+    """
+    if not outcomes:
+        raise PlacementError("no restart outcomes to reduce")
+    return min(outcomes, key=lambda o: (o.result.energy, o.seed))
+
+
+def anneal_multistart(
+    grid: ChipGrid,
+    footprints: dict[str, tuple[int, int]],
+    priorities: ConnectionPriorities,
+    parameters: AnnealingParameters | None = None,
+    base_seed: int = 0,
+    restarts: int = 1,
+    jobs: int = 1,
+    engine: str = "incremental",
+    instrumentation: Instrumentation | None = None,
+) -> AnnealingResult:
+    """Best of *restarts* independent anneals, fanned out over *jobs*.
+
+    Determinism contract: the returned result depends only on
+    ``(base_seed, restarts)`` — never on ``jobs`` — and
+    ``restarts=1, jobs=1`` is the unmodified single-anneal path.
+    """
+    if restarts == 1 and jobs == 1:
+        return anneal_placement(
+            grid,
+            footprints,
+            priorities,
+            parameters=parameters,
+            seed=base_seed,
+            instrumentation=instrumentation,
+            engine=engine,
+        )
+    params = parameters or AnnealingParameters()
+    tasks = [
+        _AnnealTask(
+            grid=grid,
+            footprints=footprints,
+            priorities=priorities,
+            parameters=params,
+            seed=seed,
+            engine=engine,
+        )
+        for seed in multistart_seeds(base_seed, restarts)
+    ]
+    outcomes = run_tasks(_run_anneal_task, tasks, jobs=jobs)
+    if instrumentation is not None:
+        # Absorb in seed order (submission order), not completion order,
+        # so merged aggregates are identical for every jobs value.
+        for outcome in outcomes:
+            instrumentation.absorb(outcome.snapshot)
+            instrumentation.count("sa.restarts")
+            instrumentation.event(
+                "sa.restart",
+                seed=outcome.seed,
+                energy=outcome.result.energy,
+                initial_energy=outcome.result.initial_energy,
+                accepted_moves=outcome.result.accepted_moves,
+            )
+    return select_best(outcomes).result

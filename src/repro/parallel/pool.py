@@ -1,0 +1,160 @@
+"""Process-pool task fan-out with deterministic result order.
+
+:func:`run_tasks` is the single pool primitive the rest of the code
+builds on.  Its contract:
+
+* Results come back in **submission order**, never completion order —
+  every caller's reduction is therefore independent of scheduling.
+* ``jobs=1`` runs the tasks inline in the calling process: no fork, no
+  pickling, exceptions propagate natively.  This is the reference
+  behaviour the pooled path must reproduce.
+* ``jobs>1`` dispatches to a :class:`~concurrent.futures.ProcessPoolExecutor`.
+  A :class:`~repro.errors.ReproError` raised inside a worker crosses
+  the pool boundary losslessly: the worker catches it, ships
+  ``(type, message, traceback text)`` back as data, and the parent
+  re-raises an exception of the *original type* with the *original
+  message* (the formatted worker traceback is attached as
+  ``worker_traceback``).  Plain exception pickling cannot guarantee
+  this — subclasses with custom ``__init__`` signatures (e.g.
+  :class:`~repro.errors.GraphCycleError`) round-trip incorrectly — and
+  a bare ``BrokenProcessPool`` would break the CLI's exit-code-3
+  contract for domain errors.
+* Pool-infrastructure failures (a dead worker, a timeout) surface as
+  :class:`~repro.errors.ParallelExecutionError`, which *is* a
+  :class:`~repro.errors.ReproError`, so existing ``except ReproError``
+  guards and the CLI exit code keep working.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from traceback import format_exc
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import ParallelExecutionError, ReproError
+
+__all__ = ["resolve_jobs", "run_tasks"]
+
+
+@dataclass(frozen=True)
+class _WorkerFailure:
+    """Picklable record of a :class:`ReproError` raised in a worker."""
+
+    exc_module: str
+    exc_qualname: str
+    message: str
+    traceback_text: str
+
+
+def _guarded_call(fn: Callable[[Any], Any], payload: Any) -> Any:
+    """Worker-side wrapper: turn domain errors into data, not pickles."""
+    try:
+        return fn(payload)
+    except ReproError as error:
+        cls = type(error)
+        return _WorkerFailure(
+            exc_module=cls.__module__,
+            exc_qualname=cls.__qualname__,
+            message=str(error),
+            traceback_text=format_exc(),
+        )
+
+
+def _rebuild_exception(failure: _WorkerFailure) -> ReproError:
+    """Reconstruct the original exception type and message in the parent.
+
+    The class is re-imported and instantiated via ``__new__`` (bypassing
+    any custom ``__init__`` signature) with ``args`` set to the original
+    message, which is exactly what ``str(exc)`` renders.  Anything that
+    goes wrong degrades to a :class:`ParallelExecutionError` carrying
+    the same message — still a :class:`ReproError`.
+    """
+    try:
+        module = __import__(failure.exc_module, fromlist=["_"])
+        cls = module
+        for part in failure.exc_qualname.split("."):
+            cls = getattr(cls, part)
+        if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+            raise TypeError(f"{failure.exc_qualname} is not a ReproError")
+        exc = cls.__new__(cls)
+        exc.args = (failure.message,)
+    except Exception:
+        exc = ParallelExecutionError(
+            f"{failure.exc_qualname}: {failure.message}"
+        )
+    exc.worker_traceback = failure.traceback_text
+    return exc
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a job count: ``None``/``0`` means one per CPU."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ParallelExecutionError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def run_tasks(
+    fn: Callable[[Any], Any],
+    payloads: Iterable[Any],
+    jobs: int = 1,
+    timeout: float | None = None,
+) -> list[Any]:
+    """Apply *fn* to every payload, optionally across a process pool.
+
+    Parameters
+    ----------
+    fn:
+        A module-level (picklable) callable of one argument.
+    payloads:
+        Task inputs; each must be picklable when ``jobs > 1``.
+    jobs:
+        Worker processes.  ``1`` runs inline (the reference semantics);
+        ``0``/``None`` means one worker per CPU.
+    timeout:
+        Optional overall deadline in seconds for the pooled path; a
+        wedged worker then raises :class:`ParallelExecutionError`
+        instead of hanging the parent forever.
+
+    Returns
+    -------
+    list
+        ``[fn(p) for p in payloads]`` — identical (and identically
+        ordered) for every ``jobs`` value.
+    """
+    items: Sequence[Any] = list(payloads)
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+
+    results: list[Any] = []
+    deadline = None if timeout is None else time.monotonic() + timeout
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+            futures = [pool.submit(_guarded_call, fn, item) for item in items]
+            for future in futures:
+                remaining: float | None = None
+                if deadline is not None:
+                    remaining = max(0.0, deadline - time.monotonic())
+                try:
+                    results.append(future.result(timeout=remaining))
+                except FutureTimeoutError:
+                    for pending in futures:
+                        pending.cancel()
+                    raise ParallelExecutionError(
+                        f"worker pool timed out after {timeout:.1f}s "
+                        f"({len(results)}/{len(items)} tasks finished)"
+                    ) from None
+    except BrokenExecutor as error:
+        raise ParallelExecutionError(
+            f"worker pool broke: {error or type(error).__name__}"
+        ) from error
+    for result in results:
+        if isinstance(result, _WorkerFailure):
+            raise _rebuild_exception(result) from None
+    return results

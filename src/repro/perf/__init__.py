@@ -19,12 +19,16 @@ Run it via ``python -m repro.experiments bench`` (see
 from repro.perf.harness import (
     BenchComparison,
     BenchRun,
+    measure_jobs_scaling,
+    measure_multistart,
     run_engine,
     run_suite,
 )
 from repro.perf.report import (
     comparisons_to_payload,
     render_bench_table,
+    render_multistart_table,
+    render_scaling_table,
     write_bench_json,
 )
 
@@ -32,7 +36,11 @@ __all__ = [
     "BenchComparison",
     "BenchRun",
     "comparisons_to_payload",
+    "measure_jobs_scaling",
+    "measure_multistart",
     "render_bench_table",
+    "render_multistart_table",
+    "render_scaling_table",
     "run_engine",
     "run_suite",
     "write_bench_json",

@@ -8,6 +8,7 @@ codebase is recorded in-tree next to the code that produced it.
 from __future__ import annotations
 
 import json
+import os
 import platform
 from pathlib import Path
 from typing import Iterable
@@ -17,6 +18,8 @@ from repro.perf.harness import BenchComparison
 __all__ = [
     "comparisons_to_payload",
     "render_bench_table",
+    "render_multistart_table",
+    "render_scaling_table",
     "write_bench_json",
 ]
 
@@ -25,8 +28,17 @@ def comparisons_to_payload(
     comparisons: Iterable[BenchComparison],
     label: str,
     quick: bool = False,
+    jobs: int = 1,
+    jobs_scaling: list[dict] | None = None,
+    multistart: list[dict] | None = None,
 ) -> dict:
-    """Machine-readable bench result (the ``BENCH_*.json`` schema)."""
+    """Machine-readable bench result (the ``BENCH_*.json`` schema).
+
+    *jobs_scaling* and *multistart* attach the optional parallel-layer
+    sections (see :func:`repro.perf.harness.measure_jobs_scaling` and
+    :func:`~repro.perf.harness.measure_multistart`); *jobs* records the
+    worker count the engine comparison itself ran under.
+    """
     comparisons = list(comparisons)
     rows = []
     for comparison in comparisons:
@@ -35,6 +47,7 @@ def comparisons_to_payload(
                 "benchmark": comparison.benchmark,
                 "seed": comparison.reference.seed,
                 "repeats": comparison.reference.repeats,
+                "statistic": "median",
                 "reference": _run_payload(comparison.reference),
                 "incremental": _run_payload(comparison.incremental),
                 "place_speedup": round(comparison.place_speedup, 3),
@@ -42,11 +55,13 @@ def comparisons_to_payload(
                 "energies_match": comparison.energies_match,
             }
         )
-    return {
+    payload = {
         "label": label,
         "quick": quick,
+        "jobs": jobs,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
         "benchmarks": rows,
         "max_place_speedup": (
             round(max(c.place_speedup for c in comparisons), 3)
@@ -55,16 +70,31 @@ def comparisons_to_payload(
         ),
         "all_energies_match": all(c.energies_match for c in comparisons),
     }
+    if jobs_scaling is not None:
+        payload["jobs_scaling"] = jobs_scaling
+    if multistart is not None:
+        payload["multistart"] = multistart
+        payload["multistart_non_degraded"] = all(
+            row["non_degraded"] for row in multistart
+        )
+    return payload
 
 
 def _run_payload(run) -> dict:
-    return {
+    payload = {
         "engine": run.engine,
         "placement_energy": run.placement_energy,
         "place_s": round(run.place_time, 6),
         "route_s": round(run.route_time, 6),
         "total_s": round(run.total_time, 6),
     }
+    if run.total_min is not None and run.total_max is not None:
+        payload["total_min_s"] = round(run.total_min, 6)
+        payload["total_max_s"] = round(run.total_max, 6)
+    if run.phase_min:
+        payload["place_min_s"] = round(run.phase_min.get("place", 0.0), 6)
+        payload["place_max_s"] = round(run.phase_max.get("place", 0.0), 6)
+    return payload
 
 
 def write_bench_json(path: Path, payload: dict) -> None:
@@ -72,6 +102,39 @@ def write_bench_json(path: Path, payload: dict) -> None:
     path.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
+
+
+def render_scaling_table(rows: Iterable[dict]) -> str:
+    """Wall-clock per ``--jobs`` level (see ``measure_jobs_scaling``)."""
+    rows = list(rows)
+    header = f"{'jobs':>4s} {'wall (s)':>10s} {'speedup':>8s}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        speedup = row.get("speedup_vs_serial")
+        lines.append(
+            f"{row['jobs']:>4d} {row['wall_s']:>9.3f}s "
+            f"{(f'{speedup:.2f}x' if speedup else '-'):>8s}"
+        )
+    if rows:
+        lines.append(f"(host cpu_count = {rows[0].get('cpu_count')})")
+    return "\n".join(lines)
+
+
+def render_multistart_table(rows: Iterable[dict]) -> str:
+    """Single-run vs best-of-restarts energy per benchmark."""
+    header = (
+        f"{'Benchmark':12s} {'restarts':>8s} {'single E':>10s} "
+        f"{'best-of-N E':>11s} {'impr %':>7s}  {'verdict':s}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        verdict = "ok" if row["non_degraded"] else "DEGRADED"
+        lines.append(
+            f"{row['benchmark']:12s} {row['restarts']:>8d} "
+            f"{row['single_energy']:>10.4f} {row['multistart_energy']:>11.4f} "
+            f"{row['improvement_pct']:>7.2f}  {verdict}"
+        )
+    return "\n".join(lines)
 
 
 def render_bench_table(comparisons: Iterable[BenchComparison]) -> str:

@@ -106,6 +106,10 @@ class AnnealingResult:
     accepted_moves: int
     trials: int
     energy_trace: list[float]
+    #: The RNG seed that produced this result; under multi-start
+    #: (:func:`repro.parallel.anneal_multistart`) this identifies the
+    #: winning restart.
+    seed: int | None = None
 
     @property
     def acceptance_ratio(self) -> float:
@@ -167,10 +171,15 @@ def anneal_placement(
             f"{grid.width}x{grid.height} grid"
         )
     if engine == "reference":
-        return _anneal_reference(current, priorities, params, rng, instrumentation)
-    return _anneal_incremental(
-        current, priorities, params, rng, instrumentation, verify=verify
-    )
+        result = _anneal_reference(
+            current, priorities, params, rng, instrumentation
+        )
+    else:
+        result = _anneal_incremental(
+            current, priorities, params, rng, instrumentation, verify=verify
+        )
+    result.seed = seed
+    return result
 
 
 def _flush_step(

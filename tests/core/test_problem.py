@@ -35,6 +35,19 @@ class TestSynthesisParameters:
         with pytest.raises(ValidationError):
             SynthesisParameters(initial_cell_weight=-5.0)
 
+    def test_parallel_defaults_are_serial(self):
+        params = SynthesisParameters()
+        assert params.restarts == 1
+        assert params.jobs == 1
+
+    def test_invalid_parallel_values_rejected(self):
+        with pytest.raises(ValidationError, match="restarts"):
+            SynthesisParameters(restarts=0)
+        with pytest.raises(ValidationError, match="jobs"):
+            SynthesisParameters(jobs=-1)
+        # jobs=0 means "one worker per CPU" and is accepted.
+        assert SynthesisParameters(jobs=0).jobs == 0
+
 
 class TestSynthesisProblem:
     def test_validates_assay_against_allocation(self):

@@ -1,0 +1,163 @@
+"""Tests for deterministic multi-start annealing and its reduction."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.core.problem import SynthesisParameters, SynthesisProblem
+from repro.errors import PlacementError
+from repro.obs import Instrumentation
+from repro.parallel.multistart import (
+    RestartOutcome,
+    anneal_multistart,
+    multistart_seeds,
+    select_best,
+)
+from repro.place.annealing import (
+    AnnealingParameters,
+    AnnealingResult,
+    anneal_placement,
+)
+from repro.place.energy import build_connection_priorities
+from repro.schedule.list_scheduler import schedule_assay
+
+#: A fast SA schedule for tests (same shape the runner tests use).
+FAST = AnnealingParameters(
+    initial_temperature=50.0,
+    min_temperature=1.0,
+    cooling_rate=0.7,
+    iterations_per_temperature=25,
+)
+
+
+def _problem_inputs(name="PCR", seed=1):
+    case = get_benchmark(name)
+    params = SynthesisParameters(seed=seed)
+    problem = SynthesisProblem(
+        assay=case.assay, allocation=case.allocation, parameters=params
+    )
+    schedule = schedule_assay(
+        problem.assay, problem.allocation, params.transport_time
+    )
+    priorities = build_connection_priorities(
+        schedule, beta=params.beta, gamma=params.gamma
+    )
+    return problem.resolved_grid(), problem.footprints(), priorities
+
+
+class TestSeedDerivation:
+    def test_single_restart_keeps_base_seed(self):
+        assert multistart_seeds(7, 1) == (7,)
+
+    def test_derived_seeds_scheme(self):
+        assert multistart_seeds(7, 4) == (7, 7001, 7002, 7003)
+
+    def test_seeds_distinct(self):
+        seeds = multistart_seeds(3, 16)
+        assert len(set(seeds)) == 16
+
+    def test_invalid_restarts_rejected(self):
+        with pytest.raises(PlacementError, match="restarts"):
+            multistart_seeds(1, 0)
+
+
+def _fake_outcome(seed: int, energy: float) -> RestartOutcome:
+    result = AnnealingResult(
+        placement=None,
+        energy=energy,
+        initial_energy=energy,
+        accepted_moves=0,
+        trials=0,
+        energy_trace=[],
+        seed=seed,
+    )
+    return RestartOutcome(seed=seed, result=result, snapshot=None)
+
+
+class TestSelectBest:
+    def test_minimum_energy_wins(self):
+        outcomes = [_fake_outcome(1, 5.0), _fake_outcome(1001, 3.0)]
+        assert select_best(outcomes).seed == 1001
+
+    def test_energy_tie_breaks_to_smallest_seed(self):
+        outcomes = [
+            _fake_outcome(1002, 3.0),
+            _fake_outcome(1, 3.0),
+            _fake_outcome(1001, 3.0),
+        ]
+        assert select_best(outcomes).seed == 1
+
+    def test_reduction_is_order_independent(self):
+        """Any completion order must elect the same winner."""
+        outcomes = [
+            _fake_outcome(seed, energy)
+            for seed, energy in [
+                (1, 4.0), (1001, 3.0), (1002, 3.0), (1003, 5.0), (1004, 3.0),
+            ]
+        ]
+        rng = random.Random(0)
+        winners = set()
+        for _ in range(20):
+            shuffled = outcomes[:]
+            rng.shuffle(shuffled)
+            winners.add(select_best(shuffled).seed)
+        assert winners == {1001}
+
+    def test_empty_rejected(self):
+        with pytest.raises(PlacementError, match="no restart outcomes"):
+            select_best([])
+
+
+class TestAnnealMultistart:
+    def test_single_restart_is_the_plain_anneal(self):
+        grid, footprints, priorities = _problem_inputs()
+        direct = anneal_placement(
+            grid, footprints, priorities, parameters=FAST, seed=1
+        )
+        multi = anneal_multistart(
+            grid, footprints, priorities, parameters=FAST,
+            base_seed=1, restarts=1, jobs=1,
+        )
+        assert multi.energy == direct.energy
+        assert multi.energy_trace == direct.energy_trace
+        assert multi.placement.blocks() == direct.placement.blocks()
+        assert multi.seed == 1
+
+    def test_best_of_restarts_never_worse_than_single(self):
+        for name in ("PCR", "IVD"):
+            grid, footprints, priorities = _problem_inputs(name)
+            single = anneal_placement(
+                grid, footprints, priorities, parameters=FAST, seed=1
+            )
+            multi = anneal_multistart(
+                grid, footprints, priorities, parameters=FAST,
+                base_seed=1, restarts=4, jobs=1,
+            )
+            assert multi.energy <= single.energy
+
+    def test_winner_reports_its_seed(self):
+        grid, footprints, priorities = _problem_inputs()
+        multi = anneal_multistart(
+            grid, footprints, priorities, parameters=FAST,
+            base_seed=1, restarts=4, jobs=1,
+        )
+        assert multi.seed in multistart_seeds(1, 4)
+
+    def test_instrumentation_merged_identically_across_jobs(self):
+        grid, footprints, priorities = _problem_inputs()
+        aggregates = []
+        for jobs in (1, 2):
+            instr = Instrumentation()
+            anneal_multistart(
+                grid, footprints, priorities, parameters=FAST,
+                base_seed=1, restarts=3, jobs=jobs, instrumentation=instr,
+            )
+            aggregates.append((instr.counters, instr.gauges))
+        assert aggregates[0] == aggregates[1]
+        counters = aggregates[0][0]
+        assert counters["sa.restarts"] == 3
+        # SA move counters cover every restart, not just the winner.
+        assert counters["sa.moves_proposed"] > 0

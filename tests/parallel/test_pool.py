@@ -1,0 +1,150 @@
+"""Tests for the process-pool primitive: ordering and error transport.
+
+The worker callables live at module level so they can be pickled by the
+``ProcessPoolExecutor`` path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import (
+    GraphCycleError,
+    ParallelExecutionError,
+    ReproError,
+    RoutingError,
+)
+from repro.parallel.pool import (
+    _rebuild_exception,
+    _WorkerFailure,
+    resolve_jobs,
+    run_tasks,
+)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _raise_routing(_payload) -> None:
+    raise RoutingError("no path for task", task_id="t42")
+
+
+def _raise_cycle(_payload) -> None:
+    raise GraphCycleError(["a", "b", "a"])
+
+
+def _raise_value_error(_payload) -> None:
+    raise ValueError("not a repro error")
+
+
+def _sleep_forever(_payload) -> None:
+    time.sleep(60)
+
+
+class TestRunTasks:
+    def test_inline_matches_map(self):
+        assert run_tasks(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_pooled_matches_inline_in_submission_order(self):
+        payloads = list(range(7))
+        assert run_tasks(_square, payloads, jobs=3) == [
+            x * x for x in payloads
+        ]
+
+    def test_empty_payloads(self):
+        assert run_tasks(_square, [], jobs=4) == []
+
+    def test_single_payload_runs_inline(self):
+        # One task never pays for a pool, whatever jobs says.
+        assert run_tasks(_square, [5], jobs=8) == [25]
+
+
+class TestResolveJobs:
+    def test_identity_for_positive(self):
+        assert resolve_jobs(3) == 3
+
+    def test_zero_and_none_mean_cpu_count(self):
+        import os
+
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParallelExecutionError, match="jobs"):
+            resolve_jobs(-2)
+
+
+class TestErrorTransport:
+    """ReproError subclasses must cross the pool boundary losslessly."""
+
+    def test_original_type_and_message_reraised(self):
+        with pytest.raises(RoutingError, match="no path for task"):
+            run_tasks(_raise_routing, [1, 2], jobs=2)
+
+    def test_custom_init_signature_survives(self):
+        # GraphCycleError's __init__ takes a cycle list, not a message —
+        # naive exception pickling reconstructs it wrongly, the data
+        # transport must not.
+        with pytest.raises(GraphCycleError, match="a -> b -> a"):
+            run_tasks(_raise_cycle, [1, 2], jobs=2)
+
+    def test_worker_traceback_attached(self):
+        try:
+            run_tasks(_raise_routing, [1, 2], jobs=2)
+        except RoutingError as error:
+            assert "RoutingError" in error.worker_traceback
+        else:  # pragma: no cover
+            pytest.fail("expected RoutingError")
+
+    def test_inline_path_raises_natively(self):
+        with pytest.raises(RoutingError) as excinfo:
+            run_tasks(_raise_routing, [1, 2], jobs=1)
+        # Inline execution preserves the full exception object.
+        assert excinfo.value.task_id == "t42"
+
+    def test_non_repro_errors_propagate(self):
+        with pytest.raises(ValueError, match="not a repro error"):
+            run_tasks(_raise_value_error, [1, 2], jobs=2)
+
+    def test_timeout_raises_parallel_error(self):
+        with pytest.raises(ParallelExecutionError, match="timed out"):
+            run_tasks(_sleep_forever, [1, 2], jobs=2, timeout=0.5)
+
+
+class TestRebuildException:
+    def test_rebuilds_repro_subclass(self):
+        failure = _WorkerFailure(
+            exc_module="repro.errors",
+            exc_qualname="RoutingError",
+            message="boom",
+            traceback_text="tb",
+        )
+        exc = _rebuild_exception(failure)
+        assert type(exc) is RoutingError
+        assert str(exc) == "boom"
+        assert isinstance(exc, ReproError)
+        assert exc.worker_traceback == "tb"
+
+    def test_unknown_class_degrades_to_parallel_error(self):
+        failure = _WorkerFailure(
+            exc_module="no.such.module",
+            exc_qualname="Ghost",
+            message="boom",
+            traceback_text="tb",
+        )
+        exc = _rebuild_exception(failure)
+        assert type(exc) is ParallelExecutionError
+        assert "Ghost" in str(exc) and "boom" in str(exc)
+
+    def test_non_repro_class_degrades_to_parallel_error(self):
+        failure = _WorkerFailure(
+            exc_module="builtins",
+            exc_qualname="ValueError",
+            message="boom",
+            traceback_text="tb",
+        )
+        exc = _rebuild_exception(failure)
+        assert type(exc) is ParallelExecutionError

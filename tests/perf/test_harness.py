@@ -6,10 +6,19 @@ import json
 
 import pytest
 
-from repro.perf.harness import BenchComparison, BenchRun, run_engine, run_suite
+from repro.perf.harness import (
+    BenchComparison,
+    BenchRun,
+    measure_jobs_scaling,
+    measure_multistart,
+    run_engine,
+    run_suite,
+)
 from repro.perf.report import (
     comparisons_to_payload,
     render_bench_table,
+    render_multistart_table,
+    render_scaling_table,
     write_bench_json,
 )
 
@@ -70,6 +79,14 @@ class TestRunEngine:
         assert run.placement_energy > 0
         assert set(run.phase_times) >= {"schedule", "place", "route"}
 
+    def test_median_and_spread_over_repeats(self):
+        run = run_engine("PCR", "incremental", seed=1, repeats=3)
+        assert run.repeats == 3
+        assert set(run.phase_min) == set(run.phase_times) == set(run.phase_max)
+        for phase, med in run.phase_times.items():
+            assert run.phase_min[phase] <= med <= run.phase_max[phase]
+        assert run.total_min <= run.total_time <= run.total_max
+
 
 class TestRunSuite:
     def test_engines_agree_on_energy(self):
@@ -79,6 +96,35 @@ class TestRunSuite:
         assert comparison.reference.placement_energy == (
             comparison.incremental.placement_energy
         )
+
+    def test_pooled_suite_matches_serial(self):
+        serial = run_suite(["PCR"], seed=1, repeats=1, jobs=1)
+        pooled = run_suite(["PCR"], seed=1, repeats=1, jobs=2)
+        assert [c.benchmark for c in serial] == [c.benchmark for c in pooled]
+        for a, b in zip(serial, pooled):
+            assert a.reference.placement_energy == b.reference.placement_energy
+            assert a.incremental.placement_energy == b.incremental.placement_energy
+            assert a.reference.engine == b.reference.engine == "reference"
+
+
+class TestParallelMeasurements:
+    def test_jobs_scaling_rows(self):
+        rows = measure_jobs_scaling(["PCR"], jobs_levels=(1,), seed=1, repeats=1)
+        (row,) = rows
+        assert row["jobs"] == 1
+        assert row["wall_s"] > 0
+        assert row["speedup_vs_serial"] == 1.0
+        assert row["cpu_count"] >= 1
+        assert "1.00x" in render_scaling_table(rows)
+
+    def test_multistart_rows_never_degrade(self):
+        rows = measure_multistart(["PCR"], restarts=3, seed=1)
+        (row,) = rows
+        assert row["benchmark"] == "PCR"
+        assert row["restarts"] == 3
+        assert row["multistart_energy"] <= row["single_energy"]
+        assert row["non_degraded"] is True
+        assert "ok" in render_multistart_table(rows)
 
 
 class TestReport:
@@ -101,6 +147,50 @@ class TestReport:
         assert payload["benchmarks"] == []
         assert payload["max_place_speedup"] is None
         assert payload["all_energies_match"] is True
+
+    def test_payload_records_repeat_and_host_metadata(self):
+        payload = comparisons_to_payload([fake_comparison()], label="t")
+        (row,) = payload["benchmarks"]
+        assert row["repeats"] == 2
+        assert row["statistic"] == "median"
+        assert payload["cpu_count"] >= 1
+        assert payload["jobs"] == 1
+
+    def test_payload_optional_parallel_sections(self):
+        scaling = [
+            {"jobs": 1, "wall_s": 2.0, "speedup_vs_serial": 1.0, "cpu_count": 4},
+            {"jobs": 4, "wall_s": 0.8, "speedup_vs_serial": 2.5, "cpu_count": 4},
+        ]
+        multistart = [
+            {
+                "benchmark": "PCR", "seed": 1, "restarts": 4,
+                "single_energy": 10.4, "multistart_energy": 9.6,
+                "improvement_pct": 7.692, "non_degraded": True,
+            }
+        ]
+        payload = comparisons_to_payload(
+            [fake_comparison()], label="t", jobs=4,
+            jobs_scaling=scaling, multistart=multistart,
+        )
+        assert payload["jobs"] == 4
+        assert payload["jobs_scaling"] == scaling
+        assert payload["multistart"] == multistart
+        assert payload["multistart_non_degraded"] is True
+        bare = comparisons_to_payload([fake_comparison()], label="t")
+        assert "jobs_scaling" not in bare
+        assert "multistart" not in bare
+
+    def test_run_payload_includes_spread_when_measured(self):
+        run = run_engine("PCR", "incremental", seed=1, repeats=2)
+        comparison = BenchComparison(
+            benchmark="PCR", reference=run, incremental=run
+        )
+        payload = comparisons_to_payload([comparison], label="t")
+        (row,) = payload["benchmarks"]
+        for side in ("reference", "incremental"):
+            assert row[side]["total_min_s"] <= row[side]["total_s"]
+            assert row[side]["total_s"] <= row[side]["total_max_s"]
+            assert row[side]["place_min_s"] <= row[side]["place_max_s"]
 
     def test_write_json_round_trip(self, tmp_path):
         path = tmp_path / "bench.json"

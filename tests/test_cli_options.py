@@ -39,6 +39,23 @@ class TestFig2aByName:
         assert "Fig2a" in capsys.readouterr().out
 
 
+class TestParallelFlags:
+    def test_jobs_flag_reproduces_serial_output(self, capsys):
+        """--jobs must never change an answer, only wall-clock."""
+        assert run(["PCR", "--seed", "5", "--restarts", "3"]) == 0
+        serial = capsys.readouterr().out
+        assert run(["PCR", "--seed", "5", "--restarts", "3", "--jobs", "2"]) == 0
+        pooled = capsys.readouterr().out
+        strip = lambda text: [
+            line for line in text.splitlines() if "cpu time" not in line
+        ]
+        assert strip(serial) == strip(pooled)
+
+    def test_invalid_restarts_exits_with_domain_code(self, capsys):
+        assert run(["PCR", "--restarts", "0"]) == 3
+        assert "restarts" in capsys.readouterr().err
+
+
 class TestEngineFlag:
     def test_engines_reproduce_identical_results(self, capsys):
         """Both placement engines must print the same synthesis summary
