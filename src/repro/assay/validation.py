@@ -5,6 +5,13 @@
 *semantic* checks that precede synthesis: every operation type must be
 servable by the allocation, durations should be positive for real work,
 and fan-in must be physically plausible.
+
+The findings are reported in the same :class:`~repro.check.report.Violation`
+vocabulary the post-synthesis design-rule checker (:mod:`repro.check`)
+uses — rules ``INP-CAPACITY``, ``INP-FANIN``, ``INP-DURATION`` and
+``INP-SINK`` — so input and output validation share one report format.
+The legacy ``errors``/``warnings`` string views are derived from the
+violations unchanged.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.assay.graph import OperationType, SequencingGraph
+from repro.check.report import Severity, Violation
 from repro.components.allocation import Allocation
 from repro.errors import AllocationError
 
@@ -30,12 +38,29 @@ MAX_FAN_IN = {
 class ValidationReport:
     """Outcome of :func:`validate_assay`.
 
-    ``errors`` are violations that make synthesis impossible; ``warnings``
-    flag suspicious-but-legal constructs (e.g. zero-duration operations).
+    ``violations`` carry the structured findings; the ``errors`` and
+    ``warnings`` properties expose the same messages as plain strings
+    (errors make synthesis impossible, warnings flag suspicious-but-legal
+    constructs such as zero-duration operations).
     """
 
-    errors: list[str] = field(default_factory=list)
-    warnings: list[str] = field(default_factory=list)
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[str]:
+        return [
+            v.detail
+            for v in self.violations
+            if v.severity is Severity.ERROR
+        ]
+
+    @property
+    def warnings(self) -> list[str]:
+        return [
+            v.detail
+            for v in self.violations
+            if v.severity is Severity.WARNING
+        ]
 
     @property
     def ok(self) -> bool:
@@ -56,26 +81,40 @@ def validate_assay(
     needed = assay.count_by_type()
     for op_type, count in needed.items():
         if count > 0 and allocation.count(op_type) == 0:
-            report.errors.append(
-                f"assay uses {count} {op_type.value} operation(s) but the "
-                f"allocation provides no {op_type.component_name}"
+            report.violations.append(
+                Violation.of(
+                    "INP-CAPACITY",
+                    f"assay uses {count} {op_type.value} operation(s) but "
+                    f"the allocation provides no {op_type.component_name}",
+                    op_type.value,
+                )
             )
     for op in assay.operations:
         fan_in = len(assay.parents(op.op_id))
         limit = MAX_FAN_IN[op.op_type]
         if fan_in > limit:
-            report.errors.append(
-                f"operation {op.op_id!r} ({op.op_type.value}) has fan-in "
-                f"{fan_in}, above the physical limit of {limit}"
+            report.violations.append(
+                Violation.of(
+                    "INP-FANIN",
+                    f"operation {op.op_id!r} ({op.op_type.value}) has "
+                    f"fan-in {fan_in}, above the physical limit of {limit}",
+                    op.op_id,
+                )
             )
         if op.duration == 0:
-            report.warnings.append(
-                f"operation {op.op_id!r} has zero duration"
+            report.violations.append(
+                Violation.of(
+                    "INP-DURATION",
+                    f"operation {op.op_id!r} has zero duration",
+                    op.op_id,
+                )
             )
     if not assay.sinks():
         # Unreachable for a DAG with >=1 vertex, but kept as a guard for
         # future mutable-graph variants.
-        report.errors.append("assay has no sink operation")
+        report.violations.append(
+            Violation.of("INP-SINK", "assay has no sink operation")
+        )
     return report
 
 

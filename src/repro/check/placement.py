@@ -1,0 +1,161 @@
+"""Independent design-rule checks of a finished placement.
+
+Audits a :class:`~repro.place.placement.Placement` against the problem
+inputs (allocation, library footprints, the resolved chip grid) with its
+own geometry — the rectangle arithmetic here is written from scratch
+rather than delegated to ``Placement.is_legal`` / ``violations`` so the
+checker cannot inherit a bug from the code it audits.
+
+Emitted rules: ``PLC-COVERAGE``, ``PLC-FOOTPRINT``, ``PLC-BOUNDS``,
+``PLC-SPACING``.
+"""
+
+from __future__ import annotations
+
+from repro.check.report import Violation
+from repro.components.allocation import Allocation
+from repro.place.grid import ChipGrid
+from repro.place.placement import PlacedComponent, Placement
+
+__all__ = ["check_placement"]
+
+
+def check_placement(
+    allocation: Allocation,
+    footprints: dict[str, tuple[int, int]],
+    grid: ChipGrid,
+    placement: Placement,
+) -> list[Violation]:
+    """All placement-domain violations (empty for a valid placement)."""
+    violations: list[Violation] = []
+    _check_coverage(allocation, placement, violations)
+    _check_footprints(footprints, placement, violations)
+    _check_bounds(grid, placement, violations)
+    _check_spacing(placement, violations)
+    return violations
+
+
+# ----------------------------------------------------------------------
+# PLC-COVERAGE
+# ----------------------------------------------------------------------
+def _check_coverage(
+    allocation: Allocation, placement: Placement, violations: list[Violation]
+) -> None:
+    allocated = {cid for cid, _ in allocation.iter_components()}
+    placed = set(placement.components())
+    for cid in sorted(allocated - placed):
+        violations.append(
+            Violation.of(
+                "PLC-COVERAGE",
+                f"allocated component {cid} has no block on the chip",
+                cid,
+            )
+        )
+    for cid in sorted(placed - allocated):
+        violations.append(
+            Violation.of(
+                "PLC-COVERAGE",
+                f"placed block {cid} belongs to no allocated component",
+                cid,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# PLC-FOOTPRINT
+# ----------------------------------------------------------------------
+def _check_footprints(
+    footprints: dict[str, tuple[int, int]],
+    placement: Placement,
+    violations: list[Violation],
+) -> None:
+    for cid in placement.components():
+        footprint = footprints.get(cid)
+        if footprint is None:
+            continue  # PLC-COVERAGE owns unknown blocks
+        block = placement.block(cid)
+        width, height = footprint
+        if (block.width, block.height) not in {(width, height), (height, width)}:
+            violations.append(
+                Violation.of(
+                    "PLC-FOOTPRINT",
+                    f"block {cid} is {block.width}x{block.height} cells, the "
+                    f"library footprint is {width}x{height} (rotations "
+                    "allowed)",
+                    cid,
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# PLC-BOUNDS
+# ----------------------------------------------------------------------
+def _check_bounds(
+    grid: ChipGrid, placement: Placement, violations: list[Violation]
+) -> None:
+    if (
+        placement.grid.width != grid.width
+        or placement.grid.height != grid.height
+    ):
+        violations.append(
+            Violation.of(
+                "PLC-BOUNDS",
+                f"placement uses a {placement.grid.width}x"
+                f"{placement.grid.height} grid, the problem specifies "
+                f"{grid.width}x{grid.height}",
+            )
+        )
+    for cid in placement.components():
+        block = placement.block(cid)
+        if (
+            block.x < 0
+            or block.y < 0
+            or block.x + block.width > grid.width
+            or block.y + block.height > grid.height
+        ):
+            violations.append(
+                Violation.of(
+                    "PLC-BOUNDS",
+                    f"block {cid} at ({block.x},{block.y}) size "
+                    f"{block.width}x{block.height} exceeds the "
+                    f"{grid.width}x{grid.height} chip",
+                    cid,
+                )
+            )
+        elif block.width >= grid.width or block.height >= grid.height:
+            violations.append(
+                Violation.of(
+                    "PLC-BOUNDS",
+                    f"block {cid} spans the whole chip in one axis and "
+                    "walls the routing plane into two halves",
+                    cid,
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# PLC-SPACING
+# ----------------------------------------------------------------------
+def _clearance(a: PlacedComponent, b: PlacedComponent) -> int:
+    """Chebyshev gap between two blocks (0 = touching or overlapping)."""
+    gap_x = max(b.x - (a.x + a.width), a.x - (b.x + b.width))
+    gap_y = max(b.y - (a.y + a.height), a.y - (b.y + b.height))
+    return max(gap_x, gap_y)
+
+
+def _check_spacing(
+    placement: Placement, violations: list[Violation]
+) -> None:
+    blocks = placement.blocks()
+    for i, a in enumerate(blocks):
+        for b in blocks[i + 1:]:
+            if _clearance(a, b) < 1:
+                violations.append(
+                    Violation.of(
+                        "PLC-SPACING",
+                        f"blocks {a.cid} and {b.cid} overlap or touch; at "
+                        "least one channel-width of clearance is required",
+                        a.cid,
+                        b.cid,
+                    )
+                )

@@ -32,6 +32,7 @@ from pathlib import Path
 
 from repro.assay.io import load_assay
 from repro.benchmarks.registry import benchmark_names, get_benchmark
+from repro.check.report import CHECK_MODES
 from repro.components.allocation import Allocation
 from repro.core.baseline import synthesize_baseline
 from repro.core.problem import SynthesisParameters
@@ -95,6 +96,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: 1, 0 = one per CPU)")
     parser.add_argument("--tc", type=float, default=2.0,
                         help="transport time t_c in seconds (default: 2.0)")
+    parser.add_argument("--check",
+                        choices=CHECK_MODES,
+                        default="off",
+                        help="audit the result with the independent "
+                             "design-rule checker: 'report' attaches and "
+                             "prints the verdict, 'strict' additionally "
+                             "fails the run on any violation "
+                             "(default: off)")
     parser.add_argument("--svg", type=Path, default=None,
                         help="write the routed layout to this SVG file")
     parser.add_argument("--show-layout", action="store_true",
@@ -149,6 +158,7 @@ def run(argv: list[str]) -> int:
             placement_engine=args.engine,
             restarts=args.restarts,
             jobs=args.jobs,
+            check=args.check,
         )
         if args.algorithm == "ours":
             result = synthesize(
@@ -165,6 +175,9 @@ def run(argv: list[str]) -> int:
         sink.close()
 
     print(result.summary())
+    if result.check_report is not None:
+        print()
+        print(result.check_report.render())
     if args.show_layout:
         from repro.viz.ascii_art import render_routing
 

@@ -84,8 +84,27 @@ def execute_flow(
         with instr.span("metrics") as timer:
             metrics = compute_metrics(schedule, routing, instrumentation=instr)
         phase_times["metrics"] = timer.duration or 0.0
+        check_report = None
+        if problem.parameters.check != "off":
+            # Imported here so that ``check off`` runs never pay for the
+            # checker modules (the NullSink-overhead guarantee).
+            from repro.check import check_result
+
+            with instr.span("check") as timer:
+                check_report = check_result(
+                    SynthesisResult(
+                        problem=problem,
+                        algorithm=algorithm,
+                        schedule=schedule,
+                        placement=placement,
+                        routing=routing,
+                        metrics=metrics,
+                    )
+                )
+            phase_times["check"] = timer.duration or 0.0
+            instr.count("check.violations", check_report.error_count)
         cpu_time = flow.elapsed()
-    return SynthesisResult(
+    result = SynthesisResult(
         problem=problem,
         algorithm=algorithm,
         schedule=schedule,
@@ -93,4 +112,19 @@ def execute_flow(
         routing=routing,
         metrics=replace(metrics, cpu_time=cpu_time),
         phase_times=phase_times,
+        check_report=check_report,
     )
+    if (
+        check_report is not None
+        and not check_report.ok
+        and problem.parameters.check == "strict"
+    ):
+        from repro.errors import CheckError
+
+        raise CheckError(
+            f"strict check failed for {problem.assay.name!r} "
+            f"[{algorithm}]: {check_report.error_count} violation(s)\n"
+            + check_report.render(),
+            report=check_report,
+        )
+    return result

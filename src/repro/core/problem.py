@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.assay.graph import SequencingGraph
 from repro.assay.validation import check_assay
+from repro.check.report import CHECK_MODES
 from repro.components.allocation import Allocation
 from repro.components.library import DEFAULT_LIBRARY, ComponentLibrary
 from repro.errors import ValidationError
@@ -63,6 +64,12 @@ class SynthesisParameters:
     #: (:mod:`repro.parallel`); the result is bit-identical for every
     #: value.  ``1`` runs inline, ``0`` means one worker per CPU.
     jobs: int = 1
+    #: Independent design-rule audit of the finished result
+    #: (:mod:`repro.check`): ``"off"`` skips it entirely, ``"report"``
+    #: attaches the :class:`~repro.check.report.CheckReport` to the
+    #: result, ``"strict"`` additionally raises
+    #: :class:`~repro.errors.CheckError` on any violation.
+    check: str = "off"
 
     def __post_init__(self) -> None:
         if self.transport_time < 0:
@@ -83,6 +90,11 @@ class SynthesisParameters:
         if self.jobs < 0:
             raise ValidationError(
                 f"jobs must be >= 1 (or 0 for one per CPU), got {self.jobs}"
+            )
+        if self.check not in CHECK_MODES:
+            raise ValidationError(
+                f"unknown check mode {self.check!r}; "
+                f"expected one of {CHECK_MODES}"
             )
 
     def annealing(self) -> AnnealingParameters:

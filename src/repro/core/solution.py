@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.check.report import CheckReport
 from repro.core.metrics import SynthesisMetrics
 from repro.core.problem import SynthesisProblem
 from repro.place.placement import Placement
@@ -33,6 +34,9 @@ class SynthesisResult:
     #: metrics).  Their sum never exceeds ``metrics.cpu_time``, which is
     #: measured around all of them by the shared pipeline driver.
     phase_times: dict[str, float] = field(default_factory=dict)
+    #: Independent design-rule audit of this result, attached when the
+    #: run's ``check`` mode is not ``"off"``.
+    check_report: CheckReport | None = None
 
     def summary(self) -> str:
         """Multi-line human-readable report of the run."""
@@ -55,4 +59,11 @@ class SynthesisResult:
         ]
         if m.total_postponement > 0:
             lines.append(f"postponements  : {m.total_postponement:.1f} s")
+        if self.check_report is not None:
+            verdict = (
+                "clean"
+                if self.check_report.ok
+                else f"{self.check_report.error_count} violation(s)"
+            )
+            lines.append(f"check          : {verdict}")
         return "\n".join(lines)

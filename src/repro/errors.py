@@ -19,6 +19,7 @@ __all__ = [
     "RoutingError",
     "ValidationError",
     "ParallelExecutionError",
+    "CheckError",
 ]
 
 
@@ -73,6 +74,19 @@ class RoutingError(ReproError):
 
 class ValidationError(ReproError):
     """Raised when a produced artefact violates a documented invariant."""
+
+
+class CheckError(ReproError):
+    """Raised in strict check mode when the independent design-rule
+    checker (:mod:`repro.check`) finds violations in a synthesis result.
+
+    The full :class:`~repro.check.report.CheckReport` is attached as
+    ``report`` so callers can render or serialise the findings.
+    """
+
+    def __init__(self, message: str, report=None):
+        self.report = report
+        super().__init__(message)
 
 
 class ParallelExecutionError(ReproError):

@@ -1,9 +1,11 @@
 """``python -m repro.experiments`` — evaluation and benchmarking CLIs.
 
-Without a subcommand this runs the full paper evaluation (Table I,
-Fig. 8, Fig. 9); add ``--jobs N`` to fan the benchmarks out over a
-process pool.  ``python -m repro.experiments bench`` runs the
-placement-engine perf comparison instead (see
+Without a subcommand (or with the explicit ``run_all`` alias) this runs
+the full paper evaluation (Table I, Fig. 8, Fig. 9); add ``--jobs N``
+to fan the benchmarks out over a process pool and ``--check
+report|strict`` to audit every result with the independent design-rule
+checker (:mod:`repro.check`).  ``python -m repro.experiments bench``
+runs the placement-engine perf comparison instead (see
 :mod:`repro.experiments.bench`), with ``--jobs``/``--repeat``/
 ``--scaling``/``--multistart`` for the parallel-layer measurements.
 """
@@ -18,6 +20,8 @@ def main() -> None:
 
         bench_main(argv[1:])
     else:
+        if argv and argv[0] == "run_all":
+            argv = argv[1:]
         from repro.experiments.runner import main as runner_main
 
         runner_main(argv)

@@ -19,6 +19,10 @@ Options::
                          (e.g. --scaling 1 2 4) and record the rows
     --multistart N       also record best-of-N-restarts placement
                          energy vs the single run per benchmark
+    --check MODE         design-rule audit of every timed run: off,
+                         report (default; violation counts land in the
+                         table and artifact), or strict (fail on any
+                         violation)
     --output PATH        JSON artifact path (default: BENCH_pr3.json)
     --require-speedup B  exit non-zero if the incremental engine is
                          slower than the reference on benchmark B
@@ -36,6 +40,7 @@ import sys
 from pathlib import Path
 
 from repro.benchmarks.registry import TABLE1_ORDER, benchmark_names
+from repro.check.report import CHECK_MODES
 from repro.perf.harness import (
     measure_jobs_scaling,
     measure_multistart,
@@ -106,6 +111,13 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None, choices=benchmark_names(),
                         help="benchmarks for the --multistart section "
                              f"(default: {', '.join(MULTISTART_BENCHMARKS)})")
+    parser.add_argument("--check",
+                        choices=CHECK_MODES,
+                        default="report",
+                        help="audit every timed run with the independent "
+                             "design-rule checker and record the violation "
+                             "counts in the table and artifact "
+                             "(default: report)")
     parser.add_argument("--output", type=Path, default=Path(DEFAULT_OUTPUT),
                         help=f"JSON artifact path (default: {DEFAULT_OUTPUT})")
     parser.add_argument(
@@ -130,7 +142,8 @@ def run(argv: list[str]) -> int:
         names = names + (args.require_speedup,)
 
     comparisons = run_suite(
-        names, seed=args.seed, repeats=repeats, jobs=args.jobs
+        names, seed=args.seed, repeats=repeats, jobs=args.jobs,
+        check=args.check,
     )
     print(render_bench_table(comparisons))
 

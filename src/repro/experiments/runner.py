@@ -19,16 +19,19 @@ aggregates).
 from __future__ import annotations
 
 import argparse
+import sys
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
 from repro.benchmarks.registry import TABLE1_ORDER, get_benchmark
+from repro.check.report import CHECK_MODES
 from repro.core.baseline import synthesize_problem_baseline
 from repro.core.metrics import improvement
 from repro.core.problem import SynthesisParameters, SynthesisProblem
 from repro.core.solution import SynthesisResult
 from repro.core.synthesizer import synthesize_problem
+from repro.errors import CheckError
 from repro.obs.instrument import Instrumentation, InstrumentationSnapshot
 from repro.parallel.pool import run_tasks
 
@@ -158,6 +161,13 @@ def main(argv: list[str] | None = None) -> None:  # pragma: no cover - CLI
                         help="print the phase/counter breakdown after the tables")
     parser.add_argument("--trace", type=Path, default=None, metavar="PATH.jsonl",
                         help="stream instrumentation events to this JSONL file")
+    parser.add_argument("--check",
+                        choices=CHECK_MODES,
+                        default="report",
+                        help="audit every result with the independent "
+                             "design-rule checker; 'report' adds violation "
+                             "counts to Table I, 'strict' fails the run on "
+                             "any violation (default: report)")
     args = parser.parse_args(argv)
 
     try:
@@ -165,8 +175,16 @@ def main(argv: list[str] | None = None) -> None:  # pragma: no cover - CLI
     except OSError as error:
         parser.exit(3, f"error: cannot open trace file: {error}\n")
     instrumentation = Instrumentation(sink)
+    parameters = SynthesisParameters(seed=1, check=args.check)
     try:
-        comparisons = run_all(instrumentation=instrumentation, jobs=args.jobs)
+        comparisons = run_all(
+            parameters=parameters,
+            instrumentation=instrumentation,
+            jobs=args.jobs,
+        )
+    except CheckError as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(3)
     finally:
         sink.close()
     print(render_table1(comparisons))

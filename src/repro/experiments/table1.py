@@ -32,9 +32,31 @@ _HEADERS = [
     "CPU BA (s)",
 ]
 
+#: Extra columns shown when the runs carried the design-rule checker.
+_CHECK_HEADERS = ["Viol ours", "Viol BA"]
+
+
+def _checked(comparisons: list[BenchmarkComparison]) -> bool:
+    return any(
+        c.ours.check_report is not None or c.baseline.check_report is not None
+        for c in comparisons
+    )
+
+
+def _violation_count(result) -> str:
+    if result.check_report is None:
+        return "-"
+    return str(result.check_report.error_count)
+
 
 def table1_rows(comparisons: list[BenchmarkComparison]) -> list[list[str]]:
-    """One formatted row per benchmark, plus the averages row."""
+    """One formatted row per benchmark, plus the averages row.
+
+    When any run carried a checker audit (``--check report``/``strict``)
+    two violation-count columns are appended, matching
+    :data:`_CHECK_HEADERS`.
+    """
+    with_check = _checked(comparisons)
     rows = []
     imps = {"exec": [], "util": [], "len": []}
     for comparison in comparisons:
@@ -61,6 +83,14 @@ def table1_rows(comparisons: list[BenchmarkComparison]) -> list[list[str]]:
                 f"{ours.cpu_time:.2f}",
                 f"{base.cpu_time:.2f}",
             ]
+            + (
+                [
+                    _violation_count(comparison.ours),
+                    _violation_count(comparison.baseline),
+                ]
+                if with_check
+                else []
+            )
         )
     if comparisons:
         count = len(comparisons)
@@ -81,15 +111,17 @@ def table1_rows(comparisons: list[BenchmarkComparison]) -> list[list[str]]:
                 "-",
                 "-",
             ]
+            + (["-", "-"] if with_check else [])
         )
     return rows
 
 
 def render_table1(comparisons: list[BenchmarkComparison]) -> str:
     """The full Table I as aligned text."""
+    headers = _HEADERS + (_CHECK_HEADERS if _checked(comparisons) else [])
     return (
         "Table I: execution time, resource utilisation, total channel "
-        "length, and CPU time\n" + format_table(_HEADERS, table1_rows(comparisons))
+        "length, and CPU time\n" + format_table(headers, table1_rows(comparisons))
     )
 
 

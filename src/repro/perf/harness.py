@@ -71,6 +71,9 @@ class BenchRun:
     phase_max: dict[str, float] = field(default_factory=dict)
     total_min: float | None = None
     total_max: float | None = None
+    #: Design-rule violations found by :mod:`repro.check`; ``None`` when
+    #: the run was not audited (``check="off"``).
+    violations: int | None = None
 
     @property
     def place_time(self) -> float:
@@ -114,8 +117,15 @@ def run_engine(
     engine: str,
     seed: int = 1,
     repeats: int = 3,
+    check: str = "off",
 ) -> BenchRun:
-    """Time benchmark *name* under *engine*; median over *repeats* runs."""
+    """Time benchmark *name* under *engine*; median over *repeats* runs.
+
+    With ``check="report"`` every measured run is also audited by the
+    independent design-rule checker and the violation count is recorded
+    (the ``check`` phase then shows up in the phase timings — identical
+    for both engines, so speedup comparisons stay fair).
+    """
     if engine not in PLACEMENT_ENGINES:
         raise ValueError(
             f"unknown placement engine {engine!r}; "
@@ -124,15 +134,20 @@ def run_engine(
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
     case = get_benchmark(name)
-    params = SynthesisParameters(seed=seed, placement_engine=engine)
+    params = SynthesisParameters(
+        seed=seed, placement_engine=engine, check=check
+    )
     problem = SynthesisProblem(
         assay=case.assay, allocation=case.allocation, parameters=params
     )
     phase_samples: dict[str, list[float]] = {}
     total_samples: list[float] = []
     energy = 0.0
+    violations: int | None = None
     for _ in range(repeats):
         result = synthesize_problem(problem)
+        if result.check_report is not None:
+            violations = result.check_report.error_count
         for phase, duration in result.phase_times.items():
             phase_samples.setdefault(phase, []).append(duration)
         total_samples.append(result.metrics.cpu_time)
@@ -155,13 +170,14 @@ def run_engine(
         phase_max={p: max(s) for p, s in phase_samples.items()},
         total_min=min(total_samples),
         total_max=max(total_samples),
+        violations=violations,
     )
 
 
-def _engine_worker(payload: tuple[str, str, int, int]) -> BenchRun:
+def _engine_worker(payload: tuple[str, str, int, int, str]) -> BenchRun:
     """Pool entry point: one (benchmark, engine) timing task."""
-    name, engine, seed, repeats = payload
-    return run_engine(name, engine, seed=seed, repeats=repeats)
+    name, engine, seed, repeats, check = payload
+    return run_engine(name, engine, seed=seed, repeats=repeats, check=check)
 
 
 def run_suite(
@@ -169,6 +185,7 @@ def run_suite(
     seed: int = 1,
     repeats: int = 3,
     jobs: int = 1,
+    check: str = "off",
 ) -> list[BenchComparison]:
     """Time every benchmark under both engines, paired for comparison.
 
@@ -181,7 +198,7 @@ def run_suite(
     the whole suite rather than per-run times.
     """
     tasks = [
-        (name, engine, seed, repeats)
+        (name, engine, seed, repeats, check)
         for name in names
         for engine in ("reference", "incremental")
     ]

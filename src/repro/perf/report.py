@@ -94,6 +94,8 @@ def _run_payload(run) -> dict:
     if run.phase_min:
         payload["place_min_s"] = round(run.phase_min.get("place", 0.0), 6)
         payload["place_max_s"] = round(run.phase_max.get("place", 0.0), 6)
+    if run.violations is not None:
+        payload["violations"] = run.violations
     return payload
 
 
@@ -138,20 +140,38 @@ def render_multistart_table(rows: Iterable[dict]) -> str:
 
 
 def render_bench_table(comparisons: Iterable[BenchComparison]) -> str:
-    """Aligned before/after comparison table, one row per benchmark."""
+    """Aligned before/after comparison table, one row per benchmark.
+
+    A ``viol`` column (design-rule violations found by ``repro.check``)
+    is appended when the suite ran with the checker enabled.
+    """
+    comparisons = list(comparisons)
+    with_check = any(
+        c.reference.violations is not None
+        or c.incremental.violations is not None
+        for c in comparisons
+    )
     header = (
         f"{'Benchmark':12s} {'ref place':>10s} {'inc place':>10s} "
         f"{'speedup':>8s} {'ref total':>10s} {'inc total':>10s} "
         f"{'speedup':>8s}  {'energy':s}"
     )
+    if with_check:
+        header += f"  {'viol':>4s}"
     lines = [header, "-" * len(header)]
     for c in comparisons:
         energy = "match" if c.energies_match else "MISMATCH"
-        lines.append(
+        line = (
             f"{c.benchmark:12s} "
             f"{c.reference.place_time:9.3f}s {c.incremental.place_time:9.3f}s "
             f"{c.place_speedup:7.2f}x "
             f"{c.reference.total_time:9.3f}s {c.incremental.total_time:9.3f}s "
             f"{c.total_speedup:7.2f}x  {energy}"
         )
+        if with_check:
+            counts = {c.reference.violations, c.incremental.violations}
+            counts.discard(None)
+            shown = "-" if not counts else str(max(counts))
+            line += f"  {shown:>4s}"
+        lines.append(line)
     return "\n".join(lines)

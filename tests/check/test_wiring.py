@@ -1,0 +1,158 @@
+"""The checker's integration surface: parameters, pipeline, CLI, tables."""
+
+import pytest
+
+from repro.check.report import CheckReport, Violation
+from repro.cli import EXIT_REPRO_ERROR, run as cli_run
+from repro.core.problem import SynthesisParameters, SynthesisProblem
+from repro.core.synthesizer import synthesize_problem
+from repro.errors import CheckError, ReproError, ValidationError
+from repro.experiments.runner import run_all
+from repro.experiments.table1 import render_table1, table1_rows
+
+
+class TestParameters:
+    def test_check_defaults_off(self):
+        assert SynthesisParameters().check == "off"
+
+    @pytest.mark.parametrize("mode", ["off", "report", "strict"])
+    def test_valid_modes(self, mode):
+        assert SynthesisParameters(check=mode).check == mode
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValidationError, match="check mode"):
+            SynthesisParameters(check="verbose")
+
+
+class TestPipeline:
+    def _solve(self, pcr_case, fast_params, **overrides):
+        from dataclasses import replace
+
+        problem = SynthesisProblem(
+            assay=pcr_case.assay,
+            allocation=pcr_case.allocation,
+            parameters=replace(fast_params, **overrides),
+        )
+        return synthesize_problem(problem)
+
+    def test_off_attaches_nothing(self, pcr_case, fast_params):
+        result = self._solve(pcr_case, fast_params)
+        assert result.check_report is None
+        assert sorted(result.phase_times) == [
+            "metrics", "place", "route", "schedule",
+        ]
+        assert "check" not in result.summary()
+
+    def test_report_mode_attaches_report_and_phase(
+        self, pcr_case, fast_params
+    ):
+        result = self._solve(pcr_case, fast_params, check="report")
+        assert result.check_report is not None
+        assert result.check_report.ok
+        assert result.check_report.subject == "PCR"
+        assert "check" in result.phase_times
+        assert sum(result.phase_times.values()) <= result.metrics.cpu_time
+        assert "check          : clean" in result.summary()
+
+    def test_strict_mode_passes_on_valid_solution(
+        self, pcr_case, fast_params
+    ):
+        result = self._solve(pcr_case, fast_params, check="strict")
+        assert result.check_report is not None
+        assert result.check_report.ok
+
+    def test_strict_mode_raises_on_violations(
+        self, pcr_case, fast_params, monkeypatch
+    ):
+        import repro.check
+
+        def failing_check(result, subject=None):
+            return CheckReport(
+                subject="PCR",
+                algorithm=result.algorithm,
+                violations=(
+                    Violation.of("SCH-WASH", "synthetic failure", "Mixer1"),
+                ),
+            )
+
+        monkeypatch.setattr(repro.check, "check_result", failing_check)
+        with pytest.raises(CheckError) as info:
+            self._solve(pcr_case, fast_params, check="strict")
+        assert isinstance(info.value, ReproError)
+        assert info.value.report is not None
+        assert info.value.report.fired_rules() == ["SCH-WASH"]
+        assert "SCH-WASH" in str(info.value)
+
+    def test_report_mode_does_not_raise_on_violations(
+        self, pcr_case, fast_params, monkeypatch
+    ):
+        import repro.check
+
+        monkeypatch.setattr(
+            repro.check,
+            "check_result",
+            lambda result, subject=None: CheckReport(
+                subject="PCR",
+                algorithm=result.algorithm,
+                violations=(
+                    Violation.of("SCH-WASH", "synthetic failure", "Mixer1"),
+                ),
+            ),
+        )
+        result = self._solve(pcr_case, fast_params, check="report")
+        assert not result.check_report.ok
+        assert "check          : 1 violation(s)" in result.summary()
+
+
+class TestCli:
+    def test_check_report_prints_verdict(self, capsys):
+        code = cli_run(["PCR", "--check", "report", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "check report for PCR [ours]: clean" in out
+
+    def test_check_strict_clean_run_exits_zero(self, capsys):
+        assert cli_run(["PCR", "--check", "strict"]) == 0
+
+    def test_check_strict_failure_exits_three(self, capsys, monkeypatch):
+        import repro.check
+
+        monkeypatch.setattr(
+            repro.check,
+            "check_result",
+            lambda result, subject=None: CheckReport(
+                subject="PCR",
+                algorithm=result.algorithm,
+                violations=(
+                    Violation.of("SCH-WASH", "synthetic failure", "Mixer1"),
+                ),
+            ),
+        )
+        code = cli_run(["PCR", "--check", "strict"])
+        assert code == EXIT_REPRO_ERROR
+        assert "SCH-WASH" in capsys.readouterr().err
+
+
+class TestTable1CheckColumns:
+    def _comparisons(self, check):
+        params = SynthesisParameters(
+            initial_temperature=50.0,
+            min_temperature=1.0,
+            cooling_rate=0.7,
+            iterations_per_temperature=25,
+            seed=1,
+            check=check,
+        )
+        return run_all(["PCR"], params)
+
+    def test_without_check_no_violation_columns(self):
+        comparisons = self._comparisons("off")
+        assert "Viol" not in render_table1(comparisons)
+
+    def test_with_check_adds_violation_columns(self):
+        comparisons = self._comparisons("report")
+        text = render_table1(comparisons)
+        assert "Viol ours" in text and "Viol BA" in text
+        rows = table1_rows(comparisons)
+        assert rows[0][-2:] == ["0", "0"]
+        assert rows[-1][-2:] == ["-", "-"]

@@ -89,3 +89,46 @@ class TestNullSinkOverhead:
             f"{instrumented:.4f}s vs {bare:.4f}s bare "
             f"(budget {budget:.4f}s)"
         )
+
+
+class TestCheckOffOverhead:
+    """``check="off"`` must stay free: no checker phase, no checker work,
+    and not even an import of the domain-checker modules."""
+
+    def test_check_off_runs_no_checker_phase(self, pcr_case):
+        problem = _benchmark_problem(pcr_case)
+        result = synthesize_problem(problem)
+        assert result.check_report is None
+        assert "check" not in result.phase_times
+
+    def test_check_off_skips_checker_imports(self):
+        import subprocess
+        import sys
+
+        # A fresh interpreter proves the lazy import: an off-mode run
+        # must never pull in the checker implementation modules (the
+        # report vocabulary is allowed - the parameters validate
+        # against it).
+        script = (
+            "import sys\n"
+            "from repro.benchmarks.registry import get_benchmark\n"
+            "from repro.core.problem import "
+            "SynthesisParameters, SynthesisProblem\n"
+            "from repro.core.synthesizer import synthesize_problem\n"
+            "case = get_benchmark('PCR')\n"
+            "params = SynthesisParameters(initial_temperature=10.0,\n"
+            "    min_temperature=1.0, cooling_rate=0.5,\n"
+            "    iterations_per_temperature=5, seed=1)\n"
+            "problem = SynthesisProblem(assay=case.assay,\n"
+            "    allocation=case.allocation, parameters=params)\n"
+            "synthesize_problem(problem)\n"
+            "loaded = [m for m in sys.modules if m.startswith('repro.check.')\n"
+            "          and m != 'repro.check.report']\n"
+            "assert not loaded, f'checker modules imported: {loaded}'\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0, completed.stderr
