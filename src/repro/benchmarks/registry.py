@@ -14,6 +14,7 @@ from typing import Callable, Iterator
 from repro.assay.graph import SequencingGraph
 from repro.benchmarks import library as real
 from repro.benchmarks.synthetic import (
+    SCALE_SPECS,
     SYNTHETIC_SPECS,
     synthetic_allocation,
     synthetic_assay,
@@ -21,7 +22,13 @@ from repro.benchmarks.synthetic import (
 from repro.components.allocation import Allocation
 from repro.errors import AssayError
 
-__all__ = ["BenchmarkCase", "get_benchmark", "benchmark_names", "table1_benchmarks"]
+__all__ = [
+    "BenchmarkCase",
+    "get_benchmark",
+    "benchmark_names",
+    "table1_benchmarks",
+    "scale_benchmarks",
+]
 
 
 @dataclass(frozen=True)
@@ -56,10 +63,17 @@ TABLE1_ORDER = (
     "Synthetic4",
 )
 
+#: The scale tier, in size order (see
+#: :data:`repro.benchmarks.synthetic.SCALE_SPECS`).
+SCALE_ORDER = ("Scale50", "Scale100", "Scale200")
+
 
 def benchmark_names() -> list[str]:
-    """All registered benchmark names (Table I rows + the Fig. 2(a) example)."""
-    return list(TABLE1_ORDER) + ["Fig2a"]
+    """All registered benchmark names.
+
+    Table I rows, the Fig. 2(a) example, and the scale tier.
+    """
+    return list(TABLE1_ORDER) + ["Fig2a"] + list(SCALE_ORDER)
 
 
 def get_benchmark(name: str) -> BenchmarkCase:
@@ -70,7 +84,7 @@ def get_benchmark(name: str) -> BenchmarkCase:
     if name in _REAL:
         assay_factory, allocation_factory = _REAL[name]
         return BenchmarkCase(name, assay_factory(), allocation_factory())
-    if name in SYNTHETIC_SPECS:
+    if name in SYNTHETIC_SPECS or name in SCALE_SPECS:
         return BenchmarkCase(name, synthetic_assay(name), synthetic_allocation(name))
     known = ", ".join(benchmark_names())
     raise AssayError(f"unknown benchmark {name!r} (known: {known})")
@@ -79,4 +93,10 @@ def get_benchmark(name: str) -> BenchmarkCase:
 def table1_benchmarks() -> Iterator[BenchmarkCase]:
     """The seven Table I benchmarks, in row order."""
     for name in TABLE1_ORDER:
+        yield get_benchmark(name)
+
+
+def scale_benchmarks() -> Iterator[BenchmarkCase]:
+    """The scale-tier benchmarks, in size order."""
+    for name in SCALE_ORDER:
         yield get_benchmark(name)

@@ -37,6 +37,7 @@ __all__ = [
     "SyntheticSpec",
     "generate_synthetic",
     "SYNTHETIC_SPECS",
+    "SCALE_SPECS",
     "synthetic_assay",
     "synthetic_allocation",
 ]
@@ -76,6 +77,16 @@ SYNTHETIC_SPECS: dict[str, SyntheticSpec] = {
     "Synthetic2": SyntheticSpec("Synthetic2", 30, Allocation(5, 2, 2, 2), seed=202),
     "Synthetic3": SyntheticSpec("Synthetic3", 40, Allocation(6, 4, 4, 2), seed=23),
     "Synthetic4": SyntheticSpec("Synthetic4", 50, Allocation(7, 4, 4, 3), seed=404),
+}
+
+#: The scale tier: synthetic assays beyond Table I, used to benchmark
+#: the routing engines where the routing phase dominates.  Allocations
+#: grow roughly proportionally with the operation count (same generator
+#: and determinism guarantees as the Table I specs).
+SCALE_SPECS: dict[str, SyntheticSpec] = {
+    "Scale50": SyntheticSpec("Scale50", 50, Allocation(7, 4, 4, 3), seed=505),
+    "Scale100": SyntheticSpec("Scale100", 100, Allocation(10, 6, 5, 4), seed=1001),
+    "Scale200": SyntheticSpec("Scale200", 200, Allocation(14, 8, 7, 5), seed=2002),
 }
 
 
@@ -176,20 +187,19 @@ def generate_synthetic(spec: SyntheticSpec) -> SequencingGraph:
     return builder.build()
 
 
-def synthetic_assay(name: str) -> SequencingGraph:
-    """Generate one of the four Table I synthetic assays by name."""
-    try:
-        spec = SYNTHETIC_SPECS[name]
-    except KeyError:
-        known = ", ".join(sorted(SYNTHETIC_SPECS))
+def _spec(name: str) -> SyntheticSpec:
+    spec = SYNTHETIC_SPECS.get(name) or SCALE_SPECS.get(name)
+    if spec is None:
+        known = ", ".join(sorted(SYNTHETIC_SPECS) + sorted(SCALE_SPECS))
         raise AssayError(f"unknown synthetic benchmark {name!r} (known: {known})")
-    return generate_synthetic(spec)
+    return spec
+
+
+def synthetic_assay(name: str) -> SequencingGraph:
+    """Generate a Table I synthetic or scale-tier assay by name."""
+    return generate_synthetic(_spec(name))
 
 
 def synthetic_allocation(name: str) -> Allocation:
-    """Allocation of one of the four Table I synthetic assays."""
-    try:
-        return SYNTHETIC_SPECS[name].allocation
-    except KeyError:
-        known = ", ".join(sorted(SYNTHETIC_SPECS))
-        raise AssayError(f"unknown synthetic benchmark {name!r} (known: {known})")
+    """Allocation of a Table I synthetic or scale-tier assay."""
+    return _spec(name).allocation

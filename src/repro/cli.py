@@ -41,6 +41,7 @@ from repro.errors import ReproError
 from repro.obs.instrument import Instrumentation
 from repro.obs.sinks import JsonlSink, NullSink
 from repro.place.annealing import PLACEMENT_ENGINES
+from repro.route.router import DEFAULT_ROUTE_ENGINE, ROUTE_ENGINES
 
 __all__ = ["build_parser", "run", "main", "EXIT_REPRO_ERROR"]
 
@@ -87,6 +88,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "delta-energy workspace or the reference "
                              "full-recompute path; both give identical "
                              "seeded results (default: incremental)")
+    parser.add_argument("--route-engine",
+                        choices=ROUTE_ENGINES,
+                        default=DEFAULT_ROUTE_ENGINE,
+                        help="routing engine: the flat integer-indexed "
+                             "array state or the reference Cell/dict "
+                             "path; both give byte-identical routes "
+                             f"(default: {DEFAULT_ROUTE_ENGINE})")
     parser.add_argument("--restarts", type=int, default=1,
                         help="independent SA restarts; the best placement "
                              "wins deterministically (default: 1)")
@@ -156,6 +164,7 @@ def run(argv: list[str]) -> int:
             seed=args.seed,
             transport_time=args.tc,
             placement_engine=args.engine,
+            route_engine=args.route_engine,
             restarts=args.restarts,
             jobs=args.jobs,
             check=args.check,

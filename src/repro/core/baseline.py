@@ -65,7 +65,10 @@ def synthesize_problem_baseline(
 
     def route_stage(problem, schedule, placement, instr: Instrumentation):
         return route_tasks_baseline(
-            placement, schedule.transport_tasks(), instrumentation=instr
+            placement,
+            schedule.transport_tasks(),
+            instrumentation=instr,
+            engine=params.route_engine,
         )
 
     return execute_flow(

@@ -19,6 +19,7 @@ from repro.components.library import DEFAULT_LIBRARY, ComponentLibrary
 from repro.errors import ValidationError
 from repro.place.annealing import PLACEMENT_ENGINES, AnnealingParameters
 from repro.place.grid import DEFAULT_PITCH_MM, ChipGrid, auto_grid
+from repro.route.router import DEFAULT_ROUTE_ENGINE, ROUTE_ENGINES
 from repro.units import Millimetres, Seconds
 
 __all__ = ["SynthesisParameters", "SynthesisProblem"]
@@ -54,6 +55,11 @@ class SynthesisParameters:
     #: ``"reference"`` (immutable full-recompute oracle).  Both yield
     #: identical seeded results; the choice only affects runtime.
     placement_engine: str = "incremental"
+    #: Routing engine: ``"flat"`` (integer-indexed arrays, see
+    #: :mod:`repro.route.flat`) or ``"reference"`` (the Cell/dict
+    #: oracle).  Both yield byte-identical paths, slot plans, and
+    #: metrics; the choice only affects runtime.
+    route_engine: str = DEFAULT_ROUTE_ENGINE
     #: Independent SA restarts; the best placement wins under the
     #: ``(energy, derived seed)`` total order.  Restart 0 keeps the base
     #: seed, restart ``k`` uses ``seed*1000+k``, so ``restarts=1`` is
@@ -82,6 +88,11 @@ class SynthesisParameters:
             raise ValidationError(
                 f"unknown placement engine {self.placement_engine!r}; "
                 f"expected one of {PLACEMENT_ENGINES}"
+            )
+        if self.route_engine not in ROUTE_ENGINES:
+            raise ValidationError(
+                f"unknown route engine {self.route_engine!r}; "
+                f"expected one of {ROUTE_ENGINES}"
             )
         if self.restarts < 1:
             raise ValidationError(

@@ -76,6 +76,7 @@ def synthesize_problem(
             schedule.transport_tasks(),
             initial_weight=params.initial_cell_weight,
             instrumentation=instr,
+            engine=params.route_engine,
         )
 
     return execute_flow(

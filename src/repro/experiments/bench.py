@@ -1,12 +1,21 @@
 """``python -m repro.experiments bench`` — engine perf comparison.
 
-Times every requested benchmark through the full pipeline once per
-placement engine (reference vs incremental), prints the before/after
-table, and writes the machine-readable ``BENCH_pr3.json`` artifact.
+Two tiers, selected by ``--scale``:
+
+* ``--scale table1`` (default) times every requested benchmark through
+  the full pipeline once per *placement* engine (reference vs
+  incremental) and writes the ``BENCH_pr3.json`` artifact.
+* ``--scale large`` times the scale tier (Scale50/100/200 synthetic
+  assays, where routing dominates) once per *routing* engine
+  (reference vs flat) and writes the ``BENCH_pr5.json`` artifact; the
+  comparison carries path digests, so a routing-parity break fails the
+  run.
 
 Options::
 
-    --quick              PCR / IVD / CPA only, fewer repeats (CI mode)
+    --scale TIER         table1 (placement engines) or large (routing
+                         engines over the scale tier)
+    --quick              smallest-benchmark subset, fewer repeats (CI)
     --benchmarks A B     explicit benchmark subset
     --seed N             annealer seed shared by both engines
     --repeat N           timed repetitions per engine; the median is
@@ -23,14 +32,17 @@ Options::
                          report (default; violation counts land in the
                          table and artifact), or strict (fail on any
                          violation)
-    --output PATH        JSON artifact path (default: BENCH_pr3.json)
-    --require-speedup B  exit non-zero if the incremental engine is
+    --output PATH        JSON artifact path (default: BENCH_pr3.json,
+                         or BENCH_pr5.json with --scale large)
+    --require-speedup B  exit non-zero if the optimised engine is
                          slower than the reference on benchmark B
+                         (placement phase on the table1 tier, routing
+                         phase on the large tier)
 
 Exit codes: 0 on success; 1 when a ``--require-speedup`` gate fails,
-the two engines disagree on any best energy (which the parity guarantee
-forbids), or a multi-start energy degrades below the single run (which
-the seed-derivation scheme forbids).
+the paired engines disagree on any best energy / path digest (which
+the parity guarantees forbid), or a multi-start energy degrades below
+the single run (which the seed-derivation scheme forbids).
 """
 
 from __future__ import annotations
@@ -39,18 +51,21 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.benchmarks.registry import TABLE1_ORDER, benchmark_names
+from repro.benchmarks.registry import SCALE_ORDER, TABLE1_ORDER, benchmark_names
 from repro.check.report import CHECK_MODES
 from repro.perf.harness import (
     measure_jobs_scaling,
     measure_multistart,
+    run_route_suite,
     run_suite,
 )
 from repro.perf.report import (
     comparisons_to_payload,
     render_bench_table,
     render_multistart_table,
+    render_route_table,
     render_scaling_table,
+    route_comparisons_to_payload,
     write_bench_json,
 )
 
@@ -61,10 +76,17 @@ __all__ = ["build_parser", "run", "main"]
 #: incremental engine's asymptotic win.
 QUICK_BENCHMARKS = ("PCR", "IVD", "CPA")
 
+#: ``--quick`` subset of the scale tier: large enough for the routing
+#: phase to dominate, small enough for a CI job.
+QUICK_SCALE_BENCHMARKS = ("Scale50", "Scale100")
+
 #: Default artifact name; the trailing tag names the PR that introduced
 #: the numbers, so successive optimisation PRs each leave their own
 #: trajectory point in-tree.
 DEFAULT_OUTPUT = "BENCH_pr3.json"
+
+#: Default artifact for the routing-engine tier (``--scale large``).
+DEFAULT_ROUTE_OUTPUT = "BENCH_pr5.json"
 
 #: Benchmarks the ``--multistart`` section covers by default (two
 #: Table I rows, per the multi-start acceptance check).
@@ -80,8 +102,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--scale",
+        choices=("table1", "large"),
+        default="table1",
+        help="benchmark tier: table1 compares the placement engines on "
+             "the paper's rows, large compares the routing engines "
+             "(reference vs flat) on the Scale50/100/200 synthetic "
+             "assays (default: table1)",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
-        help=f"run only {', '.join(QUICK_BENCHMARKS)} with 2 repeats",
+        help=f"run only {', '.join(QUICK_BENCHMARKS)} with 2 repeats "
+             f"({', '.join(QUICK_SCALE_BENCHMARKS)} with --scale large)",
     )
     parser.add_argument(
         "--benchmarks", nargs="+", metavar="NAME", default=None,
@@ -118,13 +150,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "design-rule checker and record the violation "
                              "counts in the table and artifact "
                              "(default: report)")
-    parser.add_argument("--output", type=Path, default=Path(DEFAULT_OUTPUT),
-                        help=f"JSON artifact path (default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--output", type=Path, default=None,
+                        help=f"JSON artifact path (default: {DEFAULT_OUTPUT}, "
+                             f"or {DEFAULT_ROUTE_OUTPUT} with --scale large)")
     parser.add_argument(
         "--require-speedup", metavar="NAME", default=None,
         choices=benchmark_names(),
-        help="exit non-zero when the incremental engine is slower than "
-             "the reference on this benchmark (CI gate)",
+        help="exit non-zero when the optimised engine is slower than "
+             "the reference on this benchmark (CI gate); gates the "
+             "placement phase on the table1 tier and the routing phase "
+             "on the large tier",
     )
     return parser
 
@@ -133,6 +168,8 @@ def run(argv: list[str]) -> int:
     args = build_parser().parse_args(argv)
     if args.benchmarks is not None:
         names = tuple(args.benchmarks)
+    elif args.scale == "large":
+        names = QUICK_SCALE_BENCHMARKS if args.quick else SCALE_ORDER
     elif args.quick:
         names = QUICK_BENCHMARKS
     else:
@@ -140,6 +177,13 @@ def run(argv: list[str]) -> int:
     repeats = args.repeat if args.repeat is not None else (2 if args.quick else 3)
     if args.require_speedup is not None and args.require_speedup not in names:
         names = names + (args.require_speedup,)
+    if args.output is None:
+        args.output = Path(
+            DEFAULT_ROUTE_OUTPUT if args.scale == "large" else DEFAULT_OUTPUT
+        )
+
+    if args.scale == "large":
+        return _run_route_tier(args, names, repeats)
 
     comparisons = run_suite(
         names, seed=args.seed, repeats=repeats, jobs=args.jobs,
@@ -214,6 +258,53 @@ def run(argv: list[str]) -> int:
             print(
                 f"speedup gate OK: {gate.benchmark} placement "
                 f"{gate.place_speedup:.2f}x"
+            )
+    return status
+
+
+def _run_route_tier(args, names: tuple[str, ...], repeats: int) -> int:
+    """The ``--scale large`` branch: reference vs flat routing engine."""
+    comparisons = run_route_suite(
+        names, seed=args.seed, repeats=repeats, jobs=args.jobs,
+        check=args.check,
+    )
+    print(render_route_table(comparisons))
+
+    payload = route_comparisons_to_payload(
+        comparisons,
+        label=args.output.stem,
+        quick=args.quick,
+        jobs=args.jobs,
+    )
+    write_bench_json(args.output, payload)
+    print(f"\nwrote {args.output}")
+
+    status = 0
+    mismatched = [c.benchmark for c in comparisons if not c.paths_match]
+    if mismatched:
+        print(
+            "error: routing engines disagree on paths for: "
+            + ", ".join(mismatched),
+            file=sys.stderr,
+        )
+        status = 1
+    if args.require_speedup is not None:
+        gate = next(
+            c for c in comparisons if c.benchmark == args.require_speedup
+        )
+        if gate.route_speedup < 1.0:
+            print(
+                f"error: flat engine slower than reference on "
+                f"{gate.benchmark} "
+                f"({gate.flat.route_time:.3f}s vs "
+                f"{gate.reference.route_time:.3f}s)",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print(
+                f"speedup gate OK: {gate.benchmark} routing "
+                f"{gate.route_speedup:.2f}x"
             )
     return status
 

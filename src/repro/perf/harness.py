@@ -29,23 +29,27 @@ Two further measurements feed the ``BENCH_*.json`` artifact:
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 from dataclasses import dataclass, field
 from statistics import median
 
-from repro.benchmarks.registry import TABLE1_ORDER, get_benchmark
+from repro.benchmarks.registry import SCALE_ORDER, TABLE1_ORDER, get_benchmark
 from repro.core.problem import SynthesisParameters, SynthesisProblem
 from repro.core.synthesizer import synthesize_problem
 from repro.parallel.pool import run_tasks
 from repro.place.annealing import PLACEMENT_ENGINES
 from repro.place.energy import build_connection_priorities, placement_energy
+from repro.route.router import DEFAULT_ROUTE_ENGINE, ROUTE_ENGINES
 
 __all__ = [
     "BenchRun",
     "BenchComparison",
+    "RouteBenchComparison",
     "run_engine",
     "run_suite",
+    "run_route_suite",
     "measure_jobs_scaling",
     "measure_multistart",
 ]
@@ -74,6 +78,15 @@ class BenchRun:
     #: Design-rule violations found by :mod:`repro.check`; ``None`` when
     #: the run was not audited (``check="off"``).
     violations: int | None = None
+    #: Routing engine the run used (see :mod:`repro.route.flat`).
+    route_engine: str = DEFAULT_ROUTE_ENGINE
+    #: SHA-256 over every routed path's ``(task_id, cells, slot,
+    #: postponement)`` — equal digests mean byte-identical routing.
+    paths_digest: str | None = None
+    #: Number of transport tasks the router had to postpone, and the
+    #: summed slide distance (seconds) of those postponements.
+    postponed_tasks: int = 0
+    postponement_total: float = 0.0
 
     @property
     def place_time(self) -> float:
@@ -112,12 +125,67 @@ class BenchComparison:
         return self.reference.placement_energy == self.incremental.placement_energy
 
 
+@dataclass(frozen=True)
+class RouteBenchComparison:
+    """Reference vs flat routing engine on one benchmark."""
+
+    benchmark: str
+    reference: BenchRun
+    flat: BenchRun
+
+    @property
+    def route_speedup(self) -> float:
+        """Routing-phase speedup of the flat engine."""
+        if self.flat.route_time <= 0:
+            return float("inf")
+        return self.reference.route_time / self.flat.route_time
+
+    @property
+    def total_speedup(self) -> float:
+        """End-to-end pipeline speedup of the flat engine."""
+        if self.flat.total_time <= 0:
+            return float("inf")
+        return self.reference.total_time / self.flat.total_time
+
+    @property
+    def paths_match(self) -> bool:
+        """Whether both engines produced byte-identical routing.
+
+        Compares the SHA-256 digests over every routed path's
+        ``(task_id, cells, slot, postponement)``.
+        """
+        return (
+            self.reference.paths_digest is not None
+            and self.reference.paths_digest == self.flat.paths_digest
+        )
+
+
+def _paths_digest(routing) -> str:
+    """SHA-256 fingerprint of every routed path, in routing order.
+
+    Covers exactly the observable routing outcome — task identity, the
+    cell sequence, the claimed occupation slot, and any postponement —
+    so two runs share a digest iff their routing is byte-identical.
+    """
+    digest = hashlib.sha256()
+    for path in routing.paths:
+        record = (
+            path.task.task_id,
+            tuple((c.x, c.y) for c in path.cells),
+            (path.slot.start, path.slot.end),
+            path.postponement,
+        )
+        digest.update(repr(record).encode("utf-8"))
+    return digest.hexdigest()
+
+
 def run_engine(
     name: str,
     engine: str,
     seed: int = 1,
     repeats: int = 3,
     check: str = "off",
+    route_engine: str = DEFAULT_ROUTE_ENGINE,
 ) -> BenchRun:
     """Time benchmark *name* under *engine*; median over *repeats* runs.
 
@@ -125,17 +193,26 @@ def run_engine(
     independent design-rule checker and the violation count is recorded
     (the ``check`` phase then shows up in the phase timings — identical
     for both engines, so speedup comparisons stay fair).
+    *route_engine* selects the routing engine the same way the
+    ``--route-engine`` CLI flag does; the run records a digest of every
+    routed path so engine comparisons can assert byte-identical routing.
     """
     if engine not in PLACEMENT_ENGINES:
         raise ValueError(
             f"unknown placement engine {engine!r}; "
             f"expected one of {PLACEMENT_ENGINES}"
         )
+    if route_engine not in ROUTE_ENGINES:
+        raise ValueError(
+            f"unknown route engine {route_engine!r}; "
+            f"expected one of {ROUTE_ENGINES}"
+        )
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
     case = get_benchmark(name)
     params = SynthesisParameters(
-        seed=seed, placement_engine=engine, check=check
+        seed=seed, placement_engine=engine, route_engine=route_engine,
+        check=check,
     )
     problem = SynthesisProblem(
         assay=case.assay, allocation=case.allocation, parameters=params
@@ -144,6 +221,9 @@ def run_engine(
     total_samples: list[float] = []
     energy = 0.0
     violations: int | None = None
+    paths_digest: str | None = None
+    postponed_tasks = 0
+    postponement_total = 0.0
     for _ in range(repeats):
         result = synthesize_problem(problem)
         if result.check_report is not None:
@@ -158,6 +238,10 @@ def run_engine(
             result.schedule, beta=params.beta, gamma=params.gamma
         )
         energy = placement_energy(result.placement, priorities)
+        paths_digest = _paths_digest(result.routing)
+        postponed = [p.postponement for p in result.routing.paths if p.postponement > 0]
+        postponed_tasks = len(postponed)
+        postponement_total = sum(postponed)
     return BenchRun(
         benchmark=name,
         engine=engine,
@@ -171,6 +255,10 @@ def run_engine(
         total_min=min(total_samples),
         total_max=max(total_samples),
         violations=violations,
+        route_engine=route_engine,
+        paths_digest=paths_digest,
+        postponed_tasks=postponed_tasks,
+        postponement_total=postponement_total,
     )
 
 
@@ -210,6 +298,49 @@ def run_suite(
                 benchmark=runs[i].benchmark,
                 reference=runs[i],
                 incremental=runs[i + 1],
+            )
+        )
+    return comparisons
+
+
+def _route_worker(payload: tuple[str, str, int, int, str]) -> BenchRun:
+    """Pool entry point: one (benchmark, route_engine) timing task."""
+    name, route_engine, seed, repeats, check = payload
+    return run_engine(
+        name, "incremental", seed=seed, repeats=repeats, check=check,
+        route_engine=route_engine,
+    )
+
+
+def run_route_suite(
+    names: tuple[str, ...] | list[str] = SCALE_ORDER,
+    seed: int = 1,
+    repeats: int = 3,
+    jobs: int = 1,
+    check: str = "off",
+) -> list[RouteBenchComparison]:
+    """Time every benchmark under both routing engines, paired.
+
+    The placement engine is pinned to ``incremental`` on both sides so
+    the comparison isolates the routing phase; the scale tier
+    (:data:`~repro.benchmarks.registry.SCALE_ORDER`) is the default
+    name set because that is where routing dominates the pipeline.
+    Each comparison carries the path digests of both runs, so a parity
+    break surfaces as ``paths_match=False`` in the committed artifact.
+    """
+    tasks = [
+        (name, route_engine, seed, repeats, check)
+        for name in names
+        for route_engine in ("reference", "flat")
+    ]
+    runs = run_tasks(_route_worker, tasks, jobs=jobs)
+    comparisons = []
+    for i in range(0, len(runs), 2):
+        comparisons.append(
+            RouteBenchComparison(
+                benchmark=runs[i].benchmark,
+                reference=runs[i],
+                flat=runs[i + 1],
             )
         )
     return comparisons

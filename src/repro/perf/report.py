@@ -13,12 +13,14 @@ import platform
 from pathlib import Path
 from typing import Iterable
 
-from repro.perf.harness import BenchComparison
+from repro.perf.harness import BenchComparison, RouteBenchComparison
 
 __all__ = [
     "comparisons_to_payload",
+    "route_comparisons_to_payload",
     "render_bench_table",
     "render_multistart_table",
+    "render_route_table",
     "render_scaling_table",
     "write_bench_json",
 ]
@@ -80,6 +82,74 @@ def comparisons_to_payload(
     return payload
 
 
+def route_comparisons_to_payload(
+    comparisons: Iterable[RouteBenchComparison],
+    label: str,
+    quick: bool = False,
+    jobs: int = 1,
+) -> dict:
+    """Machine-readable routing-engine bench result.
+
+    Same artifact family as :func:`comparisons_to_payload`, but the
+    paired engines are the routing ones (reference vs flat) and the
+    parity column is the path digest instead of the placement energy.
+    """
+    comparisons = list(comparisons)
+    rows = []
+    for comparison in comparisons:
+        rows.append(
+            {
+                "benchmark": comparison.benchmark,
+                "seed": comparison.reference.seed,
+                "repeats": comparison.reference.repeats,
+                "statistic": "median",
+                "reference": _route_run_payload(comparison.reference),
+                "flat": _route_run_payload(comparison.flat),
+                "route_speedup": round(comparison.route_speedup, 3),
+                "total_speedup": round(comparison.total_speedup, 3),
+                "paths_match": comparison.paths_match,
+            }
+        )
+    speedups = sorted(c.route_speedup for c in comparisons)
+    return {
+        "label": label,
+        "kind": "route_engine",
+        "quick": quick,
+        "jobs": jobs,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "benchmarks": rows,
+        "median_route_speedup": (
+            round(speedups[len(speedups) // 2], 3) if speedups else None
+        ),
+        "max_route_speedup": (
+            round(speedups[-1], 3) if speedups else None
+        ),
+        "all_paths_match": all(c.paths_match for c in comparisons),
+    }
+
+
+def _route_run_payload(run) -> dict:
+    payload = {
+        "route_engine": run.route_engine,
+        "route_s": round(run.route_time, 6),
+        "total_s": round(run.total_time, 6),
+        "paths_digest": run.paths_digest,
+        "postponed_tasks": run.postponed_tasks,
+        "postponement_total_s": round(run.postponement_total, 6),
+    }
+    if run.total_min is not None and run.total_max is not None:
+        payload["total_min_s"] = round(run.total_min, 6)
+        payload["total_max_s"] = round(run.total_max, 6)
+    if run.phase_min:
+        payload["route_min_s"] = round(run.phase_min.get("route", 0.0), 6)
+        payload["route_max_s"] = round(run.phase_max.get("route", 0.0), 6)
+    if run.violations is not None:
+        payload["violations"] = run.violations
+    return payload
+
+
 def _run_payload(run) -> dict:
     payload = {
         "engine": run.engine,
@@ -135,6 +205,33 @@ def render_multistart_table(rows: Iterable[dict]) -> str:
             f"{row['benchmark']:12s} {row['restarts']:>8d} "
             f"{row['single_energy']:>10.4f} {row['multistart_energy']:>11.4f} "
             f"{row['improvement_pct']:>7.2f}  {verdict}"
+        )
+    return "\n".join(lines)
+
+
+def render_route_table(comparisons: Iterable[RouteBenchComparison]) -> str:
+    """Routing-engine comparison table, one row per benchmark.
+
+    The ``paths`` column asserts byte-identical routing (digest
+    equality); ``postponed`` shows how many tasks the router had to
+    slide, identical on both sides by the parity guarantee.
+    """
+    comparisons = list(comparisons)
+    header = (
+        f"{'Benchmark':12s} {'ref route':>10s} {'flat route':>10s} "
+        f"{'speedup':>8s} {'ref total':>10s} {'flat total':>10s} "
+        f"{'speedup':>8s}  {'paths':5s}  {'postponed':>9s}"
+    )
+    lines = [header, "-" * len(header)]
+    for c in comparisons:
+        paths = "match" if c.paths_match else "DIFF!"
+        lines.append(
+            f"{c.benchmark:12s} "
+            f"{c.reference.route_time:9.3f}s {c.flat.route_time:9.3f}s "
+            f"{c.route_speedup:7.2f}x "
+            f"{c.reference.total_time:9.3f}s {c.flat.total_time:9.3f}s "
+            f"{c.total_speedup:7.2f}x  {paths:5s}  "
+            f"{c.flat.postponed_tasks:>9d}"
         )
     return "\n".join(lines)
 

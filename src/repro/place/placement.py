@@ -75,6 +75,7 @@ class Placement:
     def __init__(self, grid: ChipGrid, blocks: dict[str, PlacedComponent]):
         self.grid = grid
         self._blocks = dict(blocks)
+        self._occupied: frozenset[Cell] | None = None
         for cid, block in self._blocks.items():
             if block.cid != cid:
                 raise PlacementError(
@@ -228,12 +229,21 @@ class Placement:
                     return True
         return False
 
-    def occupied_cells(self) -> set[Cell]:
-        """Union of all component cells (routing obstacles)."""
-        occupied: set[Cell] = set()
-        for block in self._blocks.values():
-            occupied.update(block.cells())
-        return occupied
+    def occupied_cells(self) -> frozenset[Cell]:
+        """Union of all component cells (routing obstacles).
+
+        Memoised: the placement is immutable, and one synthesis reads
+        this set many times — routing-grid construction for the
+        proposed flow, the baseline flow, and the checker, plus every
+        :meth:`ports` query of the routers — so it is built once and
+        shared as a frozenset.
+        """
+        if self._occupied is None:
+            occupied: set[Cell] = set()
+            for block in self._blocks.values():
+                occupied.update(block.cells())
+            self._occupied = frozenset(occupied)
+        return self._occupied
 
     def ports(self, cid: str) -> list[Cell]:
         """Free on-grid cells orthogonally adjacent to *cid*'s block.

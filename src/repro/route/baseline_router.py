@@ -30,9 +30,11 @@ from repro.route.astar import find_path
 from repro.route.grid_graph import RoutingGrid
 from repro.route.paths import RoutedPath
 from repro.route.router import (
+    DEFAULT_ROUTE_ENGINE,
+    ROUTE_ENGINES,
     RoutingResult,
     _cache_slot,
-    _route_self_loop,
+    _finalise_grid,
     _transit_slot,
     plan_path_slots,
 )
@@ -40,6 +42,9 @@ from repro.route.timeslots import TimeSlot
 from repro.schedule.tasks import TransportTask
 
 __all__ = ["route_tasks_baseline"]
+
+#: Zero-length slot for geometry-only searches (conflicts with nothing).
+_GEOMETRY_PROBE = TimeSlot(0.0, 0.0)
 
 
 def _shortest_path(
@@ -100,16 +105,59 @@ def route_tasks_baseline(
     placement: Placement,
     tasks: list[TransportTask],
     instrumentation: Instrumentation | None = None,
+    engine: str = DEFAULT_ROUTE_ENGINE,
 ) -> RoutingResult:
     """Route *tasks* with the construction-by-correction strategy.
 
+    *engine* picks the routing core (``"flat"`` or ``"reference"``,
+    see :data:`~repro.route.router.ROUTE_ENGINES`); results are
+    byte-identical either way.
+
     *instrumentation* receives ``route.tasks_routed``,
-    ``route.conflict_retries`` (postponement steps), and
-    ``route.reroutes`` (accepted correction detours), plus the A*
-    statistics of every search.
+    ``route.conflict_retries`` (postponement steps),
+    ``route.postponements`` (tasks the fallback actually delayed, with
+    the slide distance), and ``route.reroutes`` (accepted correction
+    detours), plus the A* statistics of every search.
     """
-    grid = RoutingGrid(placement, initial_weight=0.0)
-    result = RoutingResult(placement=placement, grid=grid)
+    if engine == "flat":
+        from repro.route.flat import FlatRoutingState, find_path_flat
+
+        grid = FlatRoutingState(placement, initial_weight=0.0)
+
+        def shortest(sources, targets):
+            # Geometry only: weights and occupation slots both hidden,
+            # like the reference _ZeroWeightView.
+            return find_path_flat(
+                grid, sources, targets, _GEOMETRY_PROBE,
+                instrumentation=instrumentation,
+                use_weights=False, use_slots=False,
+            )
+
+        def detour(sources, targets, slot):
+            # Occupation-aware but uniform-cost, like _UniformCostView.
+            return find_path_flat(
+                grid, sources, targets, slot,
+                instrumentation=instrumentation,
+                use_weights=False, use_slots=True,
+            )
+
+    elif engine == "reference":
+        grid = RoutingGrid(placement, initial_weight=0.0)
+
+        def shortest(sources, targets):
+            return _shortest_path(grid, sources, targets, instrumentation)
+
+        def detour(sources, targets, slot):
+            return find_path(
+                _UniformCostView(grid), sources, targets, slot,
+                instrumentation=instrumentation,
+            )
+
+    else:
+        raise RoutingError(
+            f"unknown route engine {engine!r}; expected one of {ROUTE_ENGINES}"
+        )
+    result = RoutingResult(placement=placement, grid=None)
     ordered = sorted(tasks, key=lambda t: (t.depart, t.task_id))
     all_ports = {
         cell
@@ -124,7 +172,7 @@ def route_tasks_baseline(
             # then correct below like any other path.
             cells: tuple[Cell, ...] | None = (sources[0],)
         else:
-            cells = _shortest_path(grid, sources, targets, instrumentation)
+            cells = shortest(sources, targets)
         if cells is None:
             raise RoutingError(
                 f"task {task.task_id} ({task.src_component} -> "
@@ -140,13 +188,7 @@ def route_tasks_baseline(
         )
         while slots is None:
             if task.src_component != task.dst_component:
-                rerouted = find_path(
-                    _UniformCostView(grid),
-                    sources,
-                    targets,
-                    _transit_slot(task, delay),
-                    instrumentation=instrumentation,
-                )
+                rerouted = detour(sources, targets, _transit_slot(task, delay))
                 if rerouted is not None:
                     candidate = plan_path_slots(
                         grid, rerouted, task, delay, avoid_for_cache=all_ports
@@ -174,10 +216,16 @@ def route_tasks_baseline(
         )
         if instrumentation is not None:
             instrumentation.count("route.tasks_routed")
+            if delay > 0:
+                instrumentation.count("route.postponements")
+                instrumentation.event(
+                    "route.postponement", task_id=task.task_id, slide=delay
+                )
             instrumentation.event(
                 "route.task",
                 task_id=task.task_id,
                 cells=len(cells),
                 postponement=delay,
             )
+    _finalise_grid(result, grid)
     return result

@@ -1,0 +1,452 @@
+"""Flat array-backed routing engine (the ``flat`` route engine).
+
+The reference engine (:mod:`repro.route.astar` over
+:class:`~repro.route.grid_graph.RoutingGrid`) keeps its state in
+``dict``/``set`` structures keyed by :class:`~repro.place.grid.Cell`
+tuples and allocates a 4-tuple of neighbour cells on every A*
+expansion.  This module is the same algorithm on flat integer-indexed
+state:
+
+* a cell is the integer ``y * width + x``;
+* the obstacle mask is a :class:`bytearray`, cell weights a plain
+  ``list[float]`` — one indexed load instead of a hash probe per
+  Eq. 5 term;
+* per-cell occupation slots live in :class:`FlatOccupancy`, an
+  interval index of parallel sorted ``(starts, ends)`` float lists per
+  cell, replacing :class:`~repro.route.timeslots.TimeSlotSet` object
+  traffic on the admissibility check (untouched cells are a single
+  ``is None`` test);
+* neighbours come from a table precomputed once per grid — no
+  ``Cell.neighbours()`` tuple construction per expansion;
+* the A* heuristic is read from a distance array precomputed per
+  search (min Manhattan distance to the target set), instead of being
+  recomputed per visited cell.
+
+The engine is **bit-compatible** with the reference: identical paths,
+identical expansion/reopen counters, and — because committed paths are
+replayed through :meth:`FlatRoutingState.to_routing_grid` — an
+identical final :class:`~repro.route.grid_graph.RoutingGrid` for the
+metrics, checker, wash, and visualisation stages.  The parity tests in
+``tests/route/test_flat_parity.py`` pin path-identity across every
+benchmark and both flows.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left
+from typing import Iterable
+
+try:  # numpy accelerates the heuristic precompute; plain python works too
+    import numpy as _np
+except ImportError:  # pragma: no cover - the test image ships numpy
+    _np = None
+
+from repro.assay.fluids import Fluid
+from repro.errors import RoutingError, ValidationError
+from repro.obs.instrument import Instrumentation
+from repro.place.grid import Cell
+from repro.place.placement import Placement
+from repro.route.astar import _flush_search_stats
+from repro.route.grid_graph import DEFAULT_INITIAL_WEIGHT, RoutingGrid
+from repro.route.timeslots import TimeSlot
+from repro.units import EPSILON, Seconds
+
+__all__ = ["FlatOccupancy", "FlatRoutingState", "find_path_flat"]
+
+
+class FlatOccupancy:
+    """Per-cell occupation intervals over flat cell indices.
+
+    Semantically identical to one :class:`~repro.route.timeslots.
+    TimeSlotSet` per cell — same half-open ``[start, end)`` intervals,
+    same ``EPSILON`` slack at the joints, zero-length slots conflict
+    with nothing — but stored as two parallel sorted float lists per
+    *touched* cell.  Untouched cells cost one ``is None`` check, which
+    is the common case on the A* hot path.
+    """
+
+    __slots__ = ("starts", "ends")
+
+    def __init__(self, cell_count: int) -> None:
+        self.starts: list[list[float] | None] = [None] * cell_count
+        self.ends: list[list[float] | None] = [None] * cell_count
+
+    def conflicts(self, index: int, cs: float, ce: float) -> bool:
+        """Whether ``[cs, ce)`` overlaps any stored interval of *index*.
+
+        Mirrors :meth:`TimeSlotSet.conflicts_with` exactly: a
+        zero-length candidate (or stored interval) overlaps nothing,
+        and the only candidates for overlap are the predecessor by
+        start plus successors starting before the candidate ends.
+        """
+        if ce - cs <= EPSILON:
+            return False
+        starts = self.starts[index]
+        if starts is None:
+            return False
+        ends = self.ends[index]
+        i = bisect_left(starts, cs)
+        if i:
+            s = starts[i - 1]
+            e = ends[i - 1]
+            if e - s > EPSILON and s < ce - EPSILON and cs < e - EPSILON:
+                return True
+        m = len(starts)
+        while i < m:
+            s = starts[i]
+            if s >= ce - EPSILON:
+                break
+            e = ends[i]
+            if e - s > EPSILON and cs < e - EPSILON:
+                return True
+            i += 1
+        return False
+
+    def add(self, index: int, cs: float, ce: float) -> None:
+        """Insert ``[cs, ce)``; raises :class:`ValidationError` on overlap."""
+        if self.conflicts(index, cs, ce):
+            raise ValidationError(
+                f"slot [{cs}, {ce}) overlaps an existing occupation"
+            )
+        starts = self.starts[index]
+        if starts is None:
+            self.starts[index] = [cs]
+            self.ends[index] = [ce]
+            return
+        i = bisect_left(starts, cs)
+        starts.insert(i, cs)
+        self.ends[index].insert(i, ce)  # type: ignore[union-attr]
+
+    def intervals(self, index: int) -> list[tuple[float, float]]:
+        """The stored ``(start, end)`` pairs of *index*, sorted by start."""
+        starts = self.starts[index]
+        if starts is None:
+            return []
+        ends = self.ends[index]
+        return list(zip(starts, ends))  # type: ignore[arg-type]
+
+
+class FlatRoutingState:
+    """Routing-time state of the flat engine.
+
+    Exposes the same Cell-based query/commit surface as
+    :class:`~repro.route.grid_graph.RoutingGrid` — ``is_routable`` /
+    ``is_free`` / ``weight`` / ``commit_path`` — so the slot-planning
+    and self-loop code of :mod:`repro.route.router` runs unchanged on
+    either engine, while :func:`find_path_flat` reads the flat arrays
+    directly.  Committed paths are logged; :meth:`to_routing_grid`
+    replays the log through the reference grid's own ``commit_path`` so
+    the result handed to metrics/checker/viz is *the same object kind
+    in the same state* as a reference-engine run.
+    """
+
+    def __init__(
+        self,
+        placement: Placement,
+        initial_weight: float = DEFAULT_INITIAL_WEIGHT,
+    ) -> None:
+        if initial_weight < 0:
+            raise RoutingError(
+                f"initial weight must be >= 0, got {initial_weight}"
+            )
+        self.placement = placement
+        self.grid = placement.grid
+        self.initial_weight = initial_weight
+        width = self.grid.width
+        height = self.grid.height
+        self.width = width
+        self.height = height
+        n = width * height
+        blocked = bytearray(n)
+        for cell in placement.occupied_cells():
+            blocked[cell.y * width + cell.x] = 1
+        self.blocked = blocked
+        self.weights: list[float] = [float(initial_weight)] * n
+        self.occupancy = FlatOccupancy(n)
+        #: Heap tie-break key per index, replicating the reference's
+        #: ``(x, y)`` lexicographic order: ``x * height + y``.
+        self.ties: list[int] = [
+            (i % width) * height + (i // width) for i in range(n)
+        ]
+        #: Valid orthogonal neighbours per index, in the reference
+        #: ``Cell.neighbours()`` order (E, W, S, N) with off-grid
+        #: entries dropped.
+        neighbours: list[tuple[int, ...]] = []
+        for i in range(n):
+            x = i % width
+            y = i // width
+            around: list[int] = []
+            if x + 1 < width:
+                around.append(i + 1)
+            if x > 0:
+                around.append(i - 1)
+            if y + 1 < height:
+                around.append(i + width)
+            if y > 0:
+                around.append(i - width)
+            neighbours.append(tuple(around))
+        self.neighbours = neighbours
+        if _np is not None:
+            indices = _np.arange(n, dtype=_np.int64)
+            self._np_xs = indices % width
+            self._np_ys = indices // width
+        self._log: list[
+            tuple[tuple[Cell, ...], str, Fluid, tuple[TimeSlot, ...], Seconds]
+        ] = []
+
+    # ------------------------------------------------------------------
+    # Index helpers
+    # ------------------------------------------------------------------
+    def index(self, cell: Cell) -> int:
+        return cell.y * self.width + cell.x
+
+    def cell(self, index: int) -> Cell:
+        return Cell(index % self.width, index // self.width)
+
+    # ------------------------------------------------------------------
+    # RoutingGrid-compatible queries (the cold, Cell-based surface)
+    # ------------------------------------------------------------------
+    def is_routable(self, cell: Cell) -> bool:
+        x, y = cell
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            return False
+        return not self.blocked[y * self.width + x]
+
+    def weight(self, cell: Cell) -> float:
+        return self.weights[cell.y * self.width + cell.x]
+
+    def is_free(self, cell: Cell, slot: TimeSlot) -> bool:
+        x, y = cell
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            return False
+        index = y * self.width + x
+        if self.blocked[index]:
+            return False
+        return not self.occupancy.conflicts(index, slot.start, slot.end)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def commit_path(
+        self,
+        cells: tuple[Cell, ...],
+        task_id: str,
+        fluid: Fluid,
+        slots: list[TimeSlot],
+        wash_time: Seconds,
+    ) -> None:
+        """Claim *cells* for a routed task (mirror of the reference)."""
+        if len(slots) != len(cells):
+            raise RoutingError(
+                f"task {task_id}: {len(slots)} slots for {len(cells)} cells",
+                task_id=task_id,
+            )
+        for cell, slot in zip(cells, slots):
+            if not self.is_free(cell, slot):
+                raise RoutingError(
+                    f"task {task_id}: cell {cell} is not free for slot "
+                    f"[{slot.start}, {slot.end})",
+                    task_id=task_id,
+                )
+        width = self.width
+        occupancy = self.occupancy
+        weights = self.weights
+        for cell, slot in zip(cells, slots):
+            index = cell.y * width + cell.x
+            occupancy.add(index, slot.start, slot.end)
+            weights[index] = wash_time
+        self._log.append((cells, task_id, fluid, tuple(slots), wash_time))
+
+    def to_routing_grid(self) -> RoutingGrid:
+        """Replay the commit log into a reference grid.
+
+        Running every commit through
+        :meth:`RoutingGrid.commit_path` reproduces the reference
+        engine's final state *by construction* — weights, slot sets,
+        and usage history land in identical dict insertion order, so
+        every downstream consumer (metrics replay, checker, fault
+        harness, SVG/ASCII rendering) is engine-blind.
+        """
+        grid = RoutingGrid(self.placement, self.initial_weight)
+        for cells, task_id, fluid, slots, wash_time in self._log:
+            grid.commit_path(cells, task_id, fluid, list(slots), wash_time)
+        return grid
+
+
+def _distance_map(state: FlatRoutingState, target_indices: list[int]) -> list[int]:
+    """Min Manhattan distance from every cell to the target set.
+
+    The reference heuristic ignores obstacles (it is a lower bound), so
+    this is a pure geometric distance map.  With numpy it is a
+    vectorised min-reduction over the targets; the fallback is a
+    two-pass L1 chamfer sweep — both produce the exact same integers.
+    """
+    width = state.width
+    if _np is not None:
+        best = None
+        xs = state._np_xs
+        ys = state._np_ys
+        for index in target_indices:
+            d = abs(xs - (index % width)) + abs(ys - (index // width))
+            if best is None:
+                best = d
+            else:
+                _np.minimum(best, d, out=best)
+        assert best is not None
+        return best.tolist()
+    height = state.height
+    n = width * height
+    infinity = n * 4  # larger than any on-grid distance
+    dist = [infinity] * n
+    for index in target_indices:
+        dist[index] = 0
+    for y in range(height):
+        row = y * width
+        for x in range(width):
+            i = row + x
+            d = dist[i]
+            if x and dist[i - 1] + 1 < d:
+                d = dist[i - 1] + 1
+            if y and dist[i - width] + 1 < d:
+                d = dist[i - width] + 1
+            dist[i] = d
+    for y in range(height - 1, -1, -1):
+        row = y * width
+        for x in range(width - 1, -1, -1):
+            i = row + x
+            d = dist[i]
+            if x + 1 < width and dist[i + 1] + 1 < d:
+                d = dist[i + 1] + 1
+            if y + 1 < height and dist[i + width] + 1 < d:
+                d = dist[i + width] + 1
+            dist[i] = d
+    return dist
+
+
+def find_path_flat(
+    grid: FlatRoutingState,
+    sources: Iterable[Cell],
+    targets: Iterable[Cell],
+    slot: TimeSlot,
+    goal_slot: TimeSlot | None = None,
+    instrumentation: Instrumentation | None = None,
+    *,
+    use_weights: bool = True,
+    use_slots: bool = True,
+) -> tuple[Cell, ...] | None:
+    """Flat-index twin of :func:`repro.route.astar.find_path`.
+
+    Same Eq. 5 search, same cost arithmetic, same ``(f, (x, y))`` heap
+    order (encoded as ``x * height + y``), same instrumentation
+    counters — returning the identical cell path or ``None``.
+
+    ``use_weights=False`` zeroes the ``w(k)`` term and
+    ``use_slots=False`` skips occupation checks, replicating the
+    baseline router's ``_ZeroWeightView`` / ``_UniformCostView``
+    adapters without per-call object indirection.
+    """
+    if goal_slot is None:
+        goal_slot = slot
+    width = grid.width
+    height = grid.height
+    blocked = grid.blocked
+    occupancy = grid.occupancy
+    conflicts = occupancy.conflicts
+    occupancy_starts = occupancy.starts
+    cs = slot.start
+    ce = slot.end
+    check_slot = use_slots and (ce - cs) > EPSILON
+    gs = goal_slot.start
+    ge = goal_slot.end
+    check_goal = use_slots and (ge - gs) > EPSILON
+
+    target_indices: list[int] = []
+    for target in targets:
+        x, y = target
+        if 0 <= x < width and 0 <= y < height:
+            index = y * width + x
+            if not blocked[index]:
+                target_indices.append(index)
+    source_indices: list[int] = []
+    for source in sources:
+        x, y = source
+        if not (0 <= x < width and 0 <= y < height):
+            continue
+        index = y * width + x
+        if blocked[index]:
+            continue
+        if check_slot and conflicts(index, cs, ce):
+            continue
+        source_indices.append(index)
+    if not target_indices or not source_indices:
+        _flush_search_stats(instrumentation, expanded=0, reopened=0, found=False)
+        return None
+
+    n = width * height
+    dist = _distance_map(grid, target_indices)
+    weights = grid.weights if use_weights else [0.0] * n
+    ties = grid.ties
+    neighbour_table = grid.neighbours
+    target_mask = bytearray(n)
+    for index in target_indices:
+        target_mask[index] = 1
+
+    inf = float("inf")
+    accumulated: list[float] = [inf] * n
+    parent: list[int] = [-1] * n
+    closed = bytearray(n)
+    open_heap: list[tuple[float, int, int]] = []
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    expanded = 0
+    reopened = 0
+    for index in source_indices:
+        cost = 1.0 + weights[index]
+        if cost < accumulated[index]:
+            accumulated[index] = cost
+            parent[index] = -1
+            heappush(open_heap, (cost + dist[index], ties[index], index))
+
+    path: tuple[Cell, ...] | None = None
+    while open_heap:
+        _f, _tie, index = heappop(open_heap)
+        if closed[index]:
+            continue
+        closed[index] = 1
+        expanded += 1
+        if target_mask[index] and not (
+            check_goal and conflicts(index, gs, ge)
+        ):
+            chain = [index]
+            previous = parent[index]
+            while previous != -1:
+                chain.append(previous)
+                previous = parent[previous]
+            chain.reverse()
+            path = tuple(Cell(i % width, i // width) for i in chain)
+            break
+        base = accumulated[index] + 1.0
+        for ni in neighbour_table[index]:
+            # A consistent heuristic settles a cell's cost when it is
+            # closed, so a closed neighbour can never improve.
+            if closed[ni] or blocked[ni]:
+                continue
+            if (
+                check_slot
+                and occupancy_starts[ni] is not None
+                and conflicts(ni, cs, ce)
+            ):
+                continue
+            cost = base + weights[ni]
+            old = accumulated[ni]
+            if cost < old:
+                if old is not inf:
+                    reopened += 1
+                accumulated[ni] = cost
+                parent[ni] = index
+                heappush(open_heap, (cost + dist[ni], ties[ni], ni))
+    _flush_search_stats(
+        instrumentation, expanded=expanded, reopened=reopened, found=path is not None
+    )
+    return path

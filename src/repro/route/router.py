@@ -39,11 +39,53 @@ from repro.route.timeslots import TimeSlot
 from repro.schedule.tasks import TransportTask
 from repro.units import Millimetres, Seconds
 
-__all__ = ["RoutingResult", "route_tasks", "plan_path_slots"]
+__all__ = [
+    "ROUTE_ENGINES",
+    "DEFAULT_ROUTE_ENGINE",
+    "RoutingResult",
+    "route_tasks",
+    "plan_path_slots",
+]
 
 #: Step and budget for the defensive postponement fallback.
 _POSTPONE_STEP: Seconds = 1.0
 _POSTPONE_LIMIT: int = 1000
+
+#: Routing engines: ``"flat"`` (integer-indexed arrays, see
+#: :mod:`repro.route.flat`) and ``"reference"`` (the Cell/dict oracle).
+#: Both produce byte-identical paths, slot plans, and metrics; the
+#: choice only affects runtime.
+ROUTE_ENGINES = ("flat", "reference")
+DEFAULT_ROUTE_ENGINE = "flat"
+
+
+def _make_engine(placement: Placement, initial_weight: float, engine: str):
+    """Build the (grid, path finder) pair for *engine*.
+
+    The flat engine is imported lazily so reference-engine runs never
+    pay for it (and the optional numpy import it may perform).
+    """
+    if engine == "flat":
+        from repro.route.flat import FlatRoutingState, find_path_flat
+
+        return FlatRoutingState(placement, initial_weight), find_path_flat
+    if engine == "reference":
+        return RoutingGrid(placement, initial_weight), find_path
+    raise RoutingError(
+        f"unknown route engine {engine!r}; expected one of {ROUTE_ENGINES}"
+    )
+
+
+def _finalise_grid(result: RoutingResult, grid) -> None:
+    """Install the final grid on *result*, converting flat state.
+
+    The flat engine's routing-time state is replayed into a genuine
+    :class:`RoutingGrid` so every downstream consumer sees exactly the
+    object a reference-engine run would have produced.
+    """
+    result.grid = (
+        grid.to_routing_grid() if hasattr(grid, "to_routing_grid") else grid
+    )
 
 
 @dataclass
@@ -184,6 +226,7 @@ def route_tasks(
     tasks: list[TransportTask],
     initial_weight: float = DEFAULT_INITIAL_WEIGHT,
     instrumentation: Instrumentation | None = None,
+    engine: str = DEFAULT_ROUTE_ENGINE,
 ) -> RoutingResult:
     """Route *tasks* (Algorithm 2, lines 9–18).
 
@@ -191,13 +234,17 @@ def route_tasks(
     order is re-sorted defensively).  Raises :class:`RoutingError` when
     even the postponement fallback cannot realise a task.
 
+    *engine* picks the routing core (``"flat"`` or ``"reference"``,
+    see :data:`ROUTE_ENGINES`); the returned result is byte-identical
+    either way.
+
     *instrumentation* receives per-task ``route.task`` events plus the
     ``route.tasks_routed`` / ``route.self_loops`` /
-    ``route.conflict_retries`` counters (and the A* search statistics
-    via :func:`~repro.route.astar.find_path`).
+    ``route.conflict_retries`` / ``route.postponements`` counters (and
+    the A* search statistics via the engine's path finder).
     """
-    grid = RoutingGrid(placement, initial_weight)
-    result = RoutingResult(placement=placement, grid=grid)
+    grid, finder = _make_engine(placement, initial_weight, engine)
+    result = RoutingResult(placement=placement, grid=None)
     ordered = sorted(tasks, key=lambda t: (t.depart, t.task_id))
     all_ports = {
         cell
@@ -215,7 +262,7 @@ def route_tasks(
                 cells = _route_self_loop(grid, sources, _cache_slot(task, delay))
                 slots = [_cache_slot(task, delay)] if cells else None
             else:
-                cells = find_path(
+                cells = finder(
                     grid,
                     sources,
                     targets,
@@ -254,10 +301,19 @@ def route_tasks(
             instrumentation.count("route.tasks_routed")
             if task.src_component == task.dst_component:
                 instrumentation.count("route.self_loops")
+            if delay > 0:
+                # The 1-second-step fallback fired: record it with the
+                # slide distance so perf artifacts can show when the
+                # fallback — not A* — is eating routing time.
+                instrumentation.count("route.postponements")
+                instrumentation.event(
+                    "route.postponement", task_id=task.task_id, slide=delay
+                )
             instrumentation.event(
                 "route.task",
                 task_id=task.task_id,
                 cells=len(cells),
                 postponement=delay,
             )
+    _finalise_grid(result, grid)
     return result

@@ -120,13 +120,15 @@ class TimeSlotSet:
         """
         duration = candidate.duration
         start = candidate.start
-        moved = True
-        while moved:
-            moved = False
-            probe = TimeSlot(start, start + duration)
-            for slot in self._slots:
-                if slot.overlaps(probe):
-                    start = slot.end
-                    moved = True
-                    probe = TimeSlot(start, start + duration)
+        probe = TimeSlot(start, start + duration)
+        # One left-to-right sweep suffices: slots are sorted by start
+        # and pairwise disjoint, so once the probe has slid past a
+        # conflicting slot no earlier slot can reach it, and every
+        # later conflict is met in order.  (The equivalence with the
+        # restart-from-the-top formulation is pinned by a unit test on
+        # a crowded cell.)
+        for slot in self._slots:
+            if slot.overlaps(probe):
+                start = slot.end
+                probe = TimeSlot(start, start + duration)
         return start

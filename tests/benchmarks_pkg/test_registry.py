@@ -3,9 +3,11 @@
 import pytest
 
 from repro.benchmarks.registry import (
+    SCALE_ORDER,
     TABLE1_ORDER,
     benchmark_names,
     get_benchmark,
+    scale_benchmarks,
     table1_benchmarks,
 )
 from repro.errors import AssayError
@@ -53,3 +55,21 @@ class TestRegistry:
     def test_unknown_benchmark_rejected(self):
         with pytest.raises(AssayError, match="unknown benchmark"):
             get_benchmark("nope")
+
+    def test_scale_tier_registered(self):
+        assert SCALE_ORDER == ("Scale50", "Scale100", "Scale200")
+        assert set(SCALE_ORDER) <= set(benchmark_names())
+        # Table I stays untouched — the scale tier is additive.
+        assert not set(SCALE_ORDER) & set(TABLE1_ORDER)
+        for name, expected_ops in zip(SCALE_ORDER, (50, 100, 200)):
+            assert get_benchmark(name).operation_count == expected_ops
+
+    def test_scale_benchmarks_iterates_in_order(self):
+        names = [case.name for case in scale_benchmarks()]
+        assert names == list(SCALE_ORDER)
+
+    def test_scale_benchmarks_deterministic(self):
+        a = get_benchmark("Scale100")
+        b = get_benchmark("Scale100")
+        assert a.assay is not b.assay
+        assert a.assay.operation_ids == b.assay.operation_ids

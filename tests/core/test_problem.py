@@ -35,6 +35,15 @@ class TestSynthesisParameters:
         with pytest.raises(ValidationError):
             SynthesisParameters(initial_cell_weight=-5.0)
 
+    def test_route_engine_default_and_validation(self):
+        assert SynthesisParameters().route_engine == "flat"
+        assert (
+            SynthesisParameters(route_engine="reference").route_engine
+            == "reference"
+        )
+        with pytest.raises(ValidationError, match="route engine"):
+            SynthesisParameters(route_engine="quantum")
+
     def test_parallel_defaults_are_serial(self):
         params = SynthesisParameters()
         assert params.restarts == 1

@@ -9,16 +9,20 @@ import pytest
 from repro.perf.harness import (
     BenchComparison,
     BenchRun,
+    RouteBenchComparison,
     measure_jobs_scaling,
     measure_multistart,
     run_engine,
+    run_route_suite,
     run_suite,
 )
 from repro.perf.report import (
     comparisons_to_payload,
     render_bench_table,
     render_multistart_table,
+    render_route_table,
     render_scaling_table,
+    route_comparisons_to_payload,
     write_bench_json,
 )
 
@@ -41,6 +45,31 @@ def fake_comparison(ref_place=1.0, inc_place=0.25, inc_energy=42.0):
         reference=fake_run("reference", place=ref_place),
         incremental=fake_run("incremental", place=inc_place, total=0.6,
                              energy=inc_energy),
+    )
+
+
+def fake_route_run(route_engine, route=0.2, total=1.5, digest="abc"):
+    return BenchRun(
+        benchmark="Scale50",
+        engine="incremental",
+        seed=1,
+        repeats=2,
+        placement_energy=42.0,
+        phase_times={"schedule": 0.01, "place": 0.5, "route": route},
+        total_time=total,
+        route_engine=route_engine,
+        paths_digest=digest,
+        postponed_tasks=3,
+        postponement_total=6.0,
+    )
+
+
+def fake_route_comparison(ref_route=0.4, flat_route=0.1, flat_digest="abc"):
+    return RouteBenchComparison(
+        benchmark="Scale50",
+        reference=fake_route_run("reference", route=ref_route),
+        flat=fake_route_run("flat", route=flat_route, total=0.9,
+                            digest=flat_digest),
     )
 
 
@@ -209,6 +238,69 @@ class TestReport:
         assert "MISMATCH" in table
 
 
+class TestRouteBenchComparison:
+    def test_route_speedup(self):
+        comparison = fake_route_comparison(ref_route=0.4, flat_route=0.1)
+        assert comparison.route_speedup == pytest.approx(4.0)
+
+    def test_paths_match_compares_digests(self):
+        assert fake_route_comparison().paths_match
+        assert not fake_route_comparison(flat_digest="other").paths_match
+
+    def test_missing_digest_is_not_a_match(self):
+        comparison = RouteBenchComparison(
+            benchmark="Scale50",
+            reference=fake_route_run("reference", digest=None),
+            flat=fake_route_run("flat", digest=None),
+        )
+        assert not comparison.paths_match
+
+
+class TestRunRouteSuite:
+    def test_pcr_engines_agree(self):
+        comparisons = run_route_suite(("PCR",), seed=1, repeats=1)
+        assert len(comparisons) == 1
+        comparison = comparisons[0]
+        assert comparison.reference.route_engine == "reference"
+        assert comparison.flat.route_engine == "flat"
+        assert comparison.reference.paths_digest is not None
+        assert comparison.paths_match
+
+    def test_validates_route_engine(self):
+        with pytest.raises(ValueError, match="route engine"):
+            run_engine("PCR", "incremental", route_engine="quantum")
+
+
+class TestRouteReport:
+    def test_payload_schema(self):
+        payload = route_comparisons_to_payload(
+            [fake_route_comparison()], label="BENCH_pr5", quick=True
+        )
+        assert payload["kind"] == "route_engine"
+        assert payload["all_paths_match"] is True
+        assert payload["median_route_speedup"] == pytest.approx(4.0)
+        row = payload["benchmarks"][0]
+        assert row["flat"]["route_engine"] == "flat"
+        assert row["flat"]["postponed_tasks"] == 3
+        assert row["flat"]["postponement_total_s"] == pytest.approx(6.0)
+        assert row["paths_match"] is True
+
+    def test_payload_flags_parity_break(self):
+        payload = route_comparisons_to_payload(
+            [fake_route_comparison(flat_digest="broken")], label="x"
+        )
+        assert payload["all_paths_match"] is False
+
+    def test_table_lists_benchmark_and_verdict(self):
+        table = render_route_table([fake_route_comparison()])
+        assert "Scale50" in table
+        assert "4.00x" in table
+        assert "match" in table
+        assert "DIFF!" in render_route_table(
+            [fake_route_comparison(flat_digest="broken")]
+        )
+
+
 class TestBenchCli:
     def test_quick_run_writes_artifact(self, tmp_path, capsys):
         from repro.experiments.bench import run
@@ -235,3 +327,26 @@ class TestBenchCli:
 
         with pytest.raises(SystemExit):
             run(["--benchmarks", "NotABenchmark"])
+
+    def test_scale_large_writes_route_artifact(self, tmp_path, capsys):
+        from repro.experiments.bench import run
+
+        out = tmp_path / "bench_route.json"
+        status = run([
+            "--scale", "large", "--benchmarks", "Scale50", "--repeats", "1",
+            "--output", str(out), "--require-speedup", "Scale50",
+        ])
+        captured = capsys.readouterr()
+        assert out.exists()
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["kind"] == "route_engine"
+        # Parity is a hard guarantee; the speedup gate alone may be
+        # noisy on a loaded machine with a single repeat.
+        assert payload["all_paths_match"] is True
+        assert [row["benchmark"] for row in payload["benchmarks"]] == [
+            "Scale50"
+        ]
+        assert "Scale50" in captured.out
+        assert status in (0, 1)
+        if status == 0:
+            assert "speedup gate OK" in captured.out

@@ -88,6 +88,9 @@ def run_routes(find_path_impl, name, seed):
         cooling_rate=0.7,
         iterations_per_temperature=25,
         seed=seed,
+        # The monkeypatched find_path below is only consulted by the
+        # reference engine; the flat engine has its own search.
+        route_engine="reference",
     )
     case = get_benchmark(name)
     problem = SynthesisProblem(

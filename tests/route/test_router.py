@@ -175,3 +175,35 @@ class TestPlanPathSlots:
             for i, first in enumerate(slots):
                 for second in slots[i + 1:]:
                     assert not first.overlaps(second)
+
+
+class TestPostponementCounter:
+    @pytest.mark.parametrize("flow", ["ours", "baseline"])
+    def test_counter_matches_postponed_paths(self, flow):
+        """`route.postponements` must count exactly the tasks whose
+        committed slot slid, and each slide must appear in the paths."""
+        from repro.core.baseline import synthesize_problem_baseline
+        from repro.core.problem import SynthesisParameters, SynthesisProblem
+        from repro.core.synthesizer import synthesize_problem
+        from repro.obs.instrument import Instrumentation
+
+        params = SynthesisParameters(
+            initial_temperature=50.0,
+            min_temperature=1.0,
+            cooling_rate=0.7,
+            iterations_per_temperature=25,
+            seed=1,
+        )
+        case = get_benchmark("Scale50")
+        problem = SynthesisProblem(
+            assay=case.assay, allocation=case.allocation, parameters=params
+        )
+        run = synthesize_problem if flow == "ours" else synthesize_problem_baseline
+        instrumentation = Instrumentation()
+        result = run(problem, instrumentation=instrumentation)
+        postponed = [p for p in result.routing.paths if p.postponement > 0]
+        assert postponed  # Scale50 is congested enough to postpone
+        assert (
+            instrumentation.counters.get("route.postponements", 0)
+            == len(postponed)
+        )

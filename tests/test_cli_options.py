@@ -74,3 +74,23 @@ class TestEngineFlag:
 
         with pytest.raises(SystemExit):  # argparse usage error
             run(["PCR", "--engine", "quantum"])
+
+
+class TestRouteEngineFlag:
+    def test_route_engines_reproduce_identical_results(self, capsys):
+        """Both routing engines must print the same synthesis summary
+        for a shared seed (the routing-parity guarantee, end to end)."""
+        assert run(["IVD", "--seed", "3", "--route-engine", "reference"]) == 0
+        reference = capsys.readouterr().out
+        assert run(["IVD", "--seed", "3", "--route-engine", "flat"]) == 0
+        flat = capsys.readouterr().out
+        strip = lambda text: [
+            line for line in text.splitlines() if "cpu time" not in line
+        ]
+        assert strip(reference) == strip(flat)
+
+    def test_unknown_route_engine_rejected(self):
+        import pytest
+
+        with pytest.raises(SystemExit):  # argparse usage error
+            run(["PCR", "--route-engine", "quantum"])
