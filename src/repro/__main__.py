@@ -1,0 +1,35 @@
+"""Umbrella command: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``stats``        — summarise the run ledger, optionally flagging
+  regressions (``--baseline``); see :mod:`repro.obs.ledger`.
+* ``trace2chrome`` — convert a ``--trace`` JSONL file to Chrome
+  trace-event JSON for Perfetto; see :mod:`repro.obs.export`.
+* anything else    — forwarded verbatim to the synthesis CLI
+  (:mod:`repro.cli`), so ``python -m repro PCR --profile`` is
+  ``repro-synthesize PCR --profile``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else list(argv)
+    if args and args[0] == "stats":
+        from repro.obs.ledger import run_stats
+
+        return run_stats(args[1:])
+    if args and args[0] == "trace2chrome":
+        from repro.obs.export import run_trace2chrome
+
+        return run_trace2chrome(args[1:])
+    from repro.cli import run
+
+    return run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - thin wrapper
+    raise SystemExit(main())

@@ -14,10 +14,16 @@ file path (written by :func:`repro.assay.dump_assay`) second.  For
 custom assays the allocation must be given through ``-m/-H/-f/-d``;
 benchmarks carry their Table I allocation.
 
-``--profile`` prints the per-phase time breakdown and algorithm
-counters after the run; ``--trace PATH.jsonl`` streams the full
-structured event trace (see ``docs/OBSERVABILITY.md``).  Both compose
-with either ``--algorithm``.
+``--profile`` prints the per-phase time breakdown, algorithm counters,
+and latency histograms after the run, and samples process resources
+(RSS / CPU / GC) in the background; ``--trace PATH.jsonl`` streams the
+full structured event trace (see ``docs/OBSERVABILITY.md``);
+``--live`` renders a refreshing per-worker progress line during
+multi-start placement.  All compose with either ``--algorithm``.
+
+Every successful run appends one record to the run ledger
+(``.repro/ledger.jsonl`` by default; ``--ledger PATH`` redirects,
+``--no-ledger`` opts out) — query it with ``python -m repro stats``.
 
 Exit codes: 0 on success, 2 for command-line usage errors (argparse),
 :data:`EXIT_REPRO_ERROR` (3) for any :class:`~repro.errors.ReproError`
@@ -124,7 +130,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", type=Path, default=None, metavar="PATH.jsonl",
                         help="stream structured instrumentation events "
                              "(spans, counters, SA convergence) to this "
-                             "JSONL file")
+                             "JSONL file; convert with "
+                             "'python -m repro trace2chrome'")
+    parser.add_argument("--live", action="store_true",
+                        help="render a live per-worker progress line "
+                             "(SA temperature/energy) during multi-start "
+                             "placement")
+    parser.add_argument("--ledger", type=Path, default=None, metavar="PATH",
+                        help="append this run's record to the given run "
+                             "ledger (default: .repro/ledger.jsonl; "
+                             "query with 'python -m repro stats')")
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="skip the run-ledger append entirely")
     return parser
 
 
@@ -158,6 +175,18 @@ def run(argv: list[str]) -> int:
         print(f"error: cannot open trace file: {error}", file=sys.stderr)
         return EXIT_REPRO_ERROR
     instrumentation = Instrumentation(sink)
+    sampler = None
+    if args.profile:
+        from repro.obs.resources import ResourceSampler
+
+        sampler = ResourceSampler(instrumentation)
+    monitor = None
+    if args.live:
+        from repro.obs.live import LiveProgressMonitor
+
+        monitor = LiveProgressMonitor(
+            stream=sys.stderr, instrumentation=instrumentation
+        )
     try:
         assay, allocation = _resolve(args)
         parameters = SynthesisParameters(
@@ -169,6 +198,10 @@ def run(argv: list[str]) -> int:
             jobs=args.jobs,
             check=args.check,
         )
+        if sampler is not None:
+            sampler.start()
+        if monitor is not None:
+            monitor.start()
         if args.algorithm == "ours":
             result = synthesize(
                 assay, allocation, parameters, instrumentation=instrumentation
@@ -181,7 +214,28 @@ def run(argv: list[str]) -> int:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_REPRO_ERROR
     finally:
+        if monitor is not None:
+            monitor.stop()
+        if sampler is not None:
+            sampler.stop()
         sink.close()
+
+    if not args.no_ledger:
+        from repro.obs.ledger import record_run
+
+        try:
+            ledger_path = record_run(
+                result,
+                instrumentation=instrumentation,
+                path=args.ledger,
+                checkpoints=monitor.checkpoints() if monitor is not None else None,
+            )
+        except OSError as error:
+            print(f"warning: ledger append failed: {error}", file=sys.stderr)
+        else:
+            # On stderr so stdout stays a pure function of the synthesis
+            # configuration (the reproducibility tests diff it).
+            print(f"ledger: appended to {ledger_path}", file=sys.stderr)
 
     print(result.summary())
     if result.check_report is not None:

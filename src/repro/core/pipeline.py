@@ -71,19 +71,27 @@ def execute_flow(
     """
     instr = instrumentation if instrumentation is not None else Instrumentation()
     phase_times: dict[str, float] = {}
+
+    def finish_phase(name: str, timer) -> None:
+        # Phase durations feed both the result's phase_times and the
+        # phase.* histograms (the ledger's per-phase distribution).
+        duration = timer.duration or 0.0
+        phase_times[name] = duration
+        instr.observe(f"phase.{name}_seconds", duration)
+
     with instr.span("synthesize") as flow:
         with instr.span("schedule") as timer:
             schedule = schedule_stage(problem, instr)
-        phase_times["schedule"] = timer.duration or 0.0
+        finish_phase("schedule", timer)
         with instr.span("place") as timer:
             placement = place_stage(problem, schedule, instr)
-        phase_times["place"] = timer.duration or 0.0
+        finish_phase("place", timer)
         with instr.span("route") as timer:
             routing = route_stage(problem, schedule, placement, instr)
-        phase_times["route"] = timer.duration or 0.0
+        finish_phase("route", timer)
         with instr.span("metrics") as timer:
             metrics = compute_metrics(schedule, routing, instrumentation=instr)
-        phase_times["metrics"] = timer.duration or 0.0
+        finish_phase("metrics", timer)
         check_report = None
         if problem.parameters.check != "off":
             # Imported here so that ``check off`` runs never pay for the
@@ -101,7 +109,7 @@ def execute_flow(
                         metrics=metrics,
                     )
                 )
-            phase_times["check"] = timer.duration or 0.0
+            finish_phase("check", timer)
             instr.count("check.violations", check_report.error_count)
         cpu_time = flow.elapsed()
     result = SynthesisResult(

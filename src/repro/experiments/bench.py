@@ -11,6 +11,13 @@ Two tiers, selected by ``--scale``:
   comparison carries path digests, so a routing-parity break fails the
   run.
 
+Both tiers also record the per-search A* latency distribution
+(``astar.search_seconds`` — count/mean/p50/p90/p99/max from the
+in-memory histogram, see ``docs/OBSERVABILITY.md``) in each run's
+payload; the route table prints the flat engine's p99.  The committed
+``BENCH_pr6.json`` artifact is the route tier rerun with
+``--output BENCH_pr6.json`` after latency histograms landed.
+
 Options::
 
     --scale TIER         table1 (placement engines) or large (routing

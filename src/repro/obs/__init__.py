@@ -17,23 +17,42 @@ Three concepts:
   streamed as events.
 * **Event sinks** — :class:`NullSink` (the zero-overhead default: no
   event objects are ever constructed), :class:`JsonlSink` (one JSON
-  object per line, streamed to a file — the ``--trace`` flag), and
-  :class:`RecordingSink` (in-memory capture for tests).
+  object per line, streamed to a file — the ``--trace`` flag),
+  :class:`RecordingSink` (in-memory capture for tests), and
+  :class:`TeeSink` (fan-out to several sinks).
+
+On top of the core sit the production-telemetry modules:
+
+* **Histograms** (:mod:`repro.obs.histogram`) — log-bucket latency
+  distributions with p50/p90/p99, recorded via
+  :meth:`Instrumentation.observe` and merged across pool workers;
+* **Resource sampling** (:mod:`repro.obs.resources`) — a background
+  thread gauging RSS / CPU / GC into the event stream (``--profile``);
+* **Run ledger** (:mod:`repro.obs.ledger`) — one JSONL record per
+  pipeline run, content-addressed by problem digest, queried and
+  regression-checked by ``python -m repro stats``;
+* **Live progress** (:mod:`repro.obs.live`) — throttled worker
+  heartbeats over a queue, rendered as a live per-worker line;
+* **Trace export** (:mod:`repro.obs.export`) — ``--trace`` JSONL →
+  Chrome trace-event JSON (``python -m repro trace2chrome``).
 
 See ``docs/OBSERVABILITY.md`` for the event schema and usage.
 """
 
 from repro.obs.events import Event
+from repro.obs.histogram import Histogram, merge_all
 from repro.obs.instrument import Instrumentation, InstrumentationSnapshot, Span
 from repro.obs.report import (
     render_counter_table,
+    render_histogram_table,
     render_phase_table,
     render_report,
 )
-from repro.obs.sinks import JsonlSink, NullSink, RecordingSink, Sink
+from repro.obs.sinks import JsonlSink, NullSink, RecordingSink, Sink, TeeSink
 
 __all__ = [
     "Event",
+    "Histogram",
     "Instrumentation",
     "InstrumentationSnapshot",
     "JsonlSink",
@@ -41,7 +60,10 @@ __all__ = [
     "RecordingSink",
     "Sink",
     "Span",
+    "TeeSink",
+    "merge_all",
     "render_counter_table",
+    "render_histogram_table",
     "render_phase_table",
     "render_report",
 ]

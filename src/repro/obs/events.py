@@ -14,7 +14,7 @@ from typing import Any, Mapping
 __all__ = ["Event", "EVENT_KINDS"]
 
 #: The closed set of event kinds a sink may receive.
-EVENT_KINDS = ("span_start", "span_end", "counter", "gauge", "point")
+EVENT_KINDS = ("span_start", "span_end", "counter", "gauge", "histogram", "point")
 
 
 @dataclass(frozen=True)
@@ -26,7 +26,7 @@ class Event:
     kind:
         One of :data:`EVENT_KINDS`.
     name:
-        Span name, counter/gauge name, or point-event name.
+        Span name, counter/gauge/histogram name, or point-event name.
     time:
         Seconds since the owning instrumentation's epoch (its creation).
     span_id:
@@ -38,6 +38,13 @@ class Event:
     fields:
         Kind-specific payload (e.g. ``{"delta": 3, "total": 42}`` for a
         counter, or the keyword arguments of a point event).
+    worker:
+        Pool-worker index for events produced inside a worker process
+        (``None`` in the main process).  Span ids are only unique *per
+        worker* — every instrumentation numbers its spans from 1 — so
+        ``(worker, span_id)`` is the namespaced id consumers must key
+        on when reading a merged multi-worker trace; ``trace2chrome``
+        maps each worker to its own Chrome-trace ``tid`` this way.
     """
 
     kind: str
@@ -46,6 +53,7 @@ class Event:
     span_id: int | None = None
     parent_id: int | None = None
     fields: Mapping[str, Any] = field(default_factory=dict)
+    worker: int | None = None
 
     def to_json(self) -> dict[str, Any]:
         """Flat, stable dictionary form used by :class:`JsonlSink`."""
@@ -56,6 +64,8 @@ class Event:
             "span": self.span_id,
             "parent": self.parent_id,
         }
+        if self.worker is not None:
+            record["worker"] = self.worker
         if self.fields:
             record["fields"] = dict(self.fields)
         return record

@@ -1,0 +1,232 @@
+"""Fixed log-bucket latency histograms (the ``histogram`` metric kind).
+
+Counters answer *how many*, gauges answer *what now* — histograms
+answer *how are they distributed*.  A :class:`Histogram` accumulates
+observations into a fixed geometric bucket ladder so that
+
+* recording is O(log buckets) with zero allocation (one ``bisect`` into
+  a precomputed bound table),
+* two histograms with the same ladder merge by element-wise addition —
+  a commutative, associative operation, so merged aggregates are
+  independent of merge order (the property
+  :meth:`repro.obs.Instrumentation.absorb` relies on for deterministic
+  multi-worker profiles), and
+* p50/p90/p99 come out with bounded relative error (one bucket's
+  ``growth`` factor) while min/max/sum/count stay exact.
+
+The default ladder spans 1 µs to ~18 minutes in sqrt(2) steps — wide
+enough for a single A* search and for a whole synthesis phase alike —
+so every histogram in the pipeline shares one ladder and any two of
+them can merge.
+
+Instances are picklable: they travel inside
+:class:`~repro.obs.instrument.InstrumentationSnapshot` across the
+process pool.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Sequence
+
+__all__ = [
+    "Histogram",
+    "merge_all",
+    "DEFAULT_BASE",
+    "DEFAULT_GROWTH",
+    "DEFAULT_BUCKETS",
+]
+
+#: Upper bound of the first bucket (seconds): 1 µs.
+DEFAULT_BASE = 1e-6
+#: Geometric growth factor between consecutive bucket bounds.
+DEFAULT_GROWTH = 2 ** 0.5
+#: Number of bounded buckets (one unbounded overflow bucket follows).
+DEFAULT_BUCKETS = 60
+
+#: Bound tables are shared between instances with the same ladder so a
+#: pipeline full of histograms precomputes each ladder exactly once.
+_BOUNDS_CACHE: dict[tuple[float, float, int], tuple[float, ...]] = {}
+
+
+def _bounds(base: float, growth: float, buckets: int) -> tuple[float, ...]:
+    key = (base, growth, buckets)
+    table = _BOUNDS_CACHE.get(key)
+    if table is None:
+        table = tuple(base * growth ** i for i in range(buckets))
+        _BOUNDS_CACHE[key] = table
+    return table
+
+
+class Histogram:
+    """Log-bucketed value distribution with exact count/sum/min/max.
+
+    Parameters
+    ----------
+    base:
+        Upper bound of the first bucket; values ``<= base`` land there.
+    growth:
+        Ratio between consecutive bucket bounds (must be > 1).
+    buckets:
+        Number of bounded buckets; values beyond the last bound land in
+        an extra overflow bucket (quantiles then clamp to the observed
+        maximum, so overflow never fabricates values).
+    """
+
+    __slots__ = ("base", "growth", "buckets", "counts",
+                 "count", "total", "vmin", "vmax")
+
+    def __init__(
+        self,
+        base: float = DEFAULT_BASE,
+        growth: float = DEFAULT_GROWTH,
+        buckets: int = DEFAULT_BUCKETS,
+    ) -> None:
+        if base <= 0 or growth <= 1 or buckets < 1:
+            raise ValueError(
+                f"invalid histogram ladder: base={base}, growth={growth}, "
+                f"buckets={buckets}"
+            )
+        self.base = base
+        self.growth = growth
+        self.buckets = buckets
+        self.counts = [0] * (buckets + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin: float | None = None
+        self.vmax: float | None = None
+
+    # -- pickling (``__slots__`` classes need explicit state) ----------
+    def __getstate__(self) -> dict:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Histogram(count={self.count}, p50={self.p50!r}, "
+            f"p99={self.p99!r}, max={self.vmax!r})"
+        )
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        """Upper bound of every bounded bucket."""
+        return _bounds(self.base, self.growth, self.buckets)
+
+    def ladder(self) -> tuple[float, float, int]:
+        """The (base, growth, buckets) configuration triple."""
+        return (self.base, self.growth, self.buckets)
+
+    # ------------------------------------------------------------------
+    # Recording / merging
+    # ------------------------------------------------------------------
+    def record(self, value: float) -> None:
+        """Add one observation (negative values clamp into bucket 0)."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold *other* into this histogram (returns ``self``).
+
+        Merging is element-wise bucket addition, hence commutative and
+        associative: any merge order yields the same histogram.  Both
+        sides must share the bucket ladder.
+        """
+        if other.ladder() != self.ladder():
+            raise ValueError(
+                f"cannot merge histograms with different ladders: "
+                f"{self.ladder()} vs {other.ladder()}"
+            )
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        if other.vmin is not None:
+            self.vmin = other.vmin if self.vmin is None else min(self.vmin, other.vmin)
+        if other.vmax is not None:
+            self.vmax = other.vmax if self.vmax is None else max(self.vmax, other.vmax)
+        return self
+
+    def copy(self) -> "Histogram":
+        """An independent deep copy (fresh bucket counts)."""
+        twin = Histogram(self.base, self.growth, self.buckets)
+        twin.merge(self)
+        return twin
+
+    # ------------------------------------------------------------------
+    # Quantiles
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> float | None:
+        """Estimated value at quantile *q* (0..1); ``None`` when empty.
+
+        Linear interpolation inside the hit bucket, clamped to the
+        exact observed min/max so estimates never leave the data range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0 or self.vmin is None or self.vmax is None:
+            return None
+        target = q * self.count
+        seen = 0.0
+        bounds = self.bounds
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if seen + n >= target:
+                upper = bounds[i] if i < len(bounds) else self.vmax
+                lower = bounds[i - 1] if i > 0 else 0.0
+                fraction = (target - seen) / n
+                estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, self.vmin), self.vmax)
+            seen += n
+        return self.vmax
+
+    @property
+    def p50(self) -> float | None:
+        return self.quantile(0.50)
+
+    @property
+    def p90(self) -> float | None:
+        return self.quantile(0.90)
+
+    @property
+    def p99(self) -> float | None:
+        return self.quantile(0.99)
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def summary(self, digits: int = 6) -> dict:
+        """The flat percentile record ledgers and BENCH artifacts carry."""
+        def r(value: float | None) -> float | None:
+            return None if value is None else round(value, digits)
+
+        return {
+            "count": self.count,
+            "sum": r(self.total),
+            "mean": r(self.mean),
+            "min": r(self.vmin),
+            "p50": r(self.p50),
+            "p90": r(self.p90),
+            "p99": r(self.p99),
+            "max": r(self.vmax),
+        }
+
+
+def merge_all(histograms: Sequence[Histogram]) -> Histogram | None:
+    """Merge *histograms* into a fresh one (``None`` for an empty list)."""
+    merged: Histogram | None = None
+    for histogram in histograms:
+        if merged is None:
+            merged = histogram.copy()
+        else:
+            merged.merge(histogram)
+    return merged

@@ -26,9 +26,14 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 from repro.obs.events import Event
+from repro.obs.histogram import Histogram
 from repro.obs.sinks import NullSink, Sink
 
 __all__ = ["Instrumentation", "InstrumentationSnapshot", "Span"]
+
+#: Gauge-merge rank of a locally sampled gauge: above every possible
+#: worker index, so the owning process's own samples always win.
+_LOCAL_GAUGE_RANK = float("inf")
 
 
 @dataclass(frozen=True)
@@ -39,13 +44,21 @@ class InstrumentationSnapshot:
     its own instrumentation, ships ``snapshot()`` back as data, and the
     parent folds it in with :meth:`Instrumentation.absorb`.  Only the
     cheap aggregates travel — span wall-clock totals and run counts,
-    counter totals, last gauge values — never live event streams.
+    counter totals, last gauge values, histogram buckets — never live
+    event streams.
+
+    ``worker`` namespaces the snapshot: every instrumentation numbers
+    its spans from 1, so only ``(worker, span_id)`` is unique in a
+    merged multi-worker context.  The worker index also drives the
+    deterministic gauge-merge rule of :meth:`Instrumentation.absorb`.
     """
 
     span_totals: dict[tuple[str, ...], float]
     span_counts: dict[tuple[str, ...], int]
     counters: dict[str, float]
     gauges: dict[str, float]
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+    worker: int | None = None
 
 
 @dataclass
@@ -82,17 +95,24 @@ class Instrumentation:
     clock:
         Monotonic time source (seconds).  Injectable for deterministic
         tests; defaults to :func:`time.perf_counter`.
+    worker:
+        Pool-worker index stamped on every emitted event and on
+        snapshots, so merged multi-worker traces stay unambiguous
+        (span ids are only unique per worker).  ``None`` (the default)
+        marks the main process.
     """
 
     def __init__(
         self,
         sink: Sink | None = None,
         clock: Callable[[], float] = time.perf_counter,
+        worker: int | None = None,
     ) -> None:
         self.sink: Sink = sink if sink is not None else NullSink()
         #: True when events flow to the sink; NullSink (and subclasses)
         #: short-circuit every emission with this single flag.
         self.active: bool = not isinstance(self.sink, NullSink)
+        self.worker = worker
         self._clock = clock
         self._epoch = clock()
         self._stack: list[Span] = []
@@ -101,6 +121,11 @@ class Instrumentation:
         self._span_counts: dict[tuple[str, ...], int] = {}
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+        #: Gauge merge bookkeeping: name -> (worker rank, absorb seq)
+        #: of the sample currently held; see :meth:`absorb`.
+        self._gauge_ranks: dict[str, tuple[float, int]] = {}
+        self._absorb_seq = 0
 
     # ------------------------------------------------------------------
     # Time
@@ -142,6 +167,7 @@ class Instrumentation:
                     time=handle.started,
                     span_id=handle.span_id,
                     parent_id=handle.parent_id,
+                    worker=self.worker,
                 )
             )
         try:
@@ -163,6 +189,7 @@ class Instrumentation:
                         span_id=handle.span_id,
                         parent_id=handle.parent_id,
                         fields={"duration": handle.duration},
+                        worker=self.worker,
                     )
                 )
 
@@ -183,12 +210,20 @@ class Instrumentation:
                     span_id=span.span_id if span else None,
                     parent_id=span.parent_id if span else None,
                     fields={"delta": delta, "total": total},
+                    worker=self.worker,
                 )
             )
 
     def gauge(self, name: str, value: float) -> None:
-        """Sample gauge *name* at *value* (last value wins in aggregates)."""
+        """Sample gauge *name* at *value* (last value wins in aggregates).
+
+        A locally sampled gauge outranks anything merged in from worker
+        snapshots (see :meth:`absorb`): the owning process's own latest
+        sample always wins.
+        """
         self._gauges[name] = value
+        self._absorb_seq += 1
+        self._gauge_ranks[name] = (_LOCAL_GAUGE_RANK, self._absorb_seq)
         if self.active:
             span = self.current_span
             self.sink.emit(
@@ -199,6 +234,34 @@ class Instrumentation:
                     span_id=span.span_id if span else None,
                     parent_id=span.parent_id if span else None,
                     fields={"value": value},
+                    worker=self.worker,
+                )
+            )
+
+    def observe(self, name: str, value: float) -> None:
+        """Record *value* into the log-bucket histogram *name*.
+
+        Histograms are the latency-distribution metric kind: they keep
+        exact count/sum/min/max and bucketed p50/p90/p99 (see
+        :class:`~repro.obs.histogram.Histogram`), are always maintained
+        in memory like counters, and additionally stream a
+        ``histogram`` event per observation when the sink is live.
+        """
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        histogram.record(value)
+        if self.active:
+            span = self.current_span
+            self.sink.emit(
+                Event(
+                    kind="histogram",
+                    name=name,
+                    time=self.now(),
+                    span_id=span.span_id if span else None,
+                    parent_id=span.parent_id if span else None,
+                    fields={"value": value},
+                    worker=self.worker,
                 )
             )
 
@@ -215,6 +278,7 @@ class Instrumentation:
                 span_id=span.span_id if span else None,
                 parent_id=span.parent_id if span else None,
                 fields=fields,
+                worker=self.worker,
             )
         )
 
@@ -230,6 +294,22 @@ class Instrumentation:
     def gauges(self) -> dict[str, float]:
         """Last sampled value of every gauge (a copy)."""
         return dict(self._gauges)
+
+    @property
+    def histograms(self) -> dict[str, Histogram]:
+        """Every histogram recorded so far (a shallow copy of the map)."""
+        return dict(self._histograms)
+
+    def histogram(self, name: str) -> Histogram | None:
+        """The histogram called *name*, or ``None`` if never observed."""
+        return self._histograms.get(name)
+
+    def histogram_summaries(self, digits: int = 6) -> dict[str, dict]:
+        """Percentile summaries of every histogram (ledger/report form)."""
+        return {
+            name: histogram.summary(digits)
+            for name, histogram in self._histograms.items()
+        }
 
     def span_totals(self) -> dict[tuple[str, ...], float]:
         """Accumulated wall-clock seconds per span path (a copy)."""
@@ -270,27 +350,49 @@ class Instrumentation:
     # Cross-process merge
     # ------------------------------------------------------------------
     def snapshot(self) -> InstrumentationSnapshot:
-        """Freeze the current aggregates into a picklable snapshot."""
+        """Freeze the current aggregates into a picklable snapshot.
+
+        Histograms are deep-copied so the snapshot stays immutable even
+        when the child keeps recording (or when, on the inline
+        ``jobs=1`` path, parent and child share a process).
+        """
         return InstrumentationSnapshot(
             span_totals=dict(self._span_totals),
             span_counts=dict(self._span_counts),
             counters=dict(self._counters),
             gauges=dict(self._gauges),
+            histograms={
+                name: histogram.copy()
+                for name, histogram in self._histograms.items()
+            },
+            worker=self.worker,
         )
 
     def absorb(
         self,
         snapshot: InstrumentationSnapshot,
         prefix: tuple[str, ...] = (),
+        worker: int | None = None,
     ) -> None:
         """Fold a child instrumentation's aggregates into this one.
 
         Span totals and run counts are *added* (child paths optionally
-        re-rooted under *prefix*), counters are summed, and gauges keep
-        last-value-wins semantics in absorb order.  Callers must absorb
-        children in a deterministic order (submission order, not
-        completion order) so merged aggregates are reproducible for any
-        worker count.  No events are emitted — the merge is aggregate
+        re-rooted under *prefix*), counters are summed, and histograms
+        are bucket-merged — all commutative operations, so those
+        aggregates are independent of absorb order by construction.
+
+        Gauges are last-value-wins and therefore need an explicit
+        order: they merge by **(worker rank, merge sequence)**.  The
+        rank is *worker* (or ``snapshot.worker`` when *worker* is
+        ``None``); a snapshot's gauge overwrites the held value only
+        when its rank is >= the rank that produced it, so any absorb
+        order of distinctly-ranked snapshots yields the same merged
+        gauges — the highest worker index wins, exactly what absorbing
+        in submission order used to produce.  Locally sampled gauges
+        (:meth:`gauge`) always outrank workers.  Snapshots with no rank
+        at all fall back to absorb-call order (the legacy rule), which
+        is deterministic only if the caller absorbs in submission
+        order.  No events are emitted — the merge is aggregate
         bookkeeping only.
         """
         for path, seconds in snapshot.span_totals.items():
@@ -301,4 +403,20 @@ class Instrumentation:
             self._span_counts[full] = self._span_counts.get(full, 0) + runs
         for name, total in snapshot.counters.items():
             self._counters[name] = self._counters.get(name, 0) + total
-        self._gauges.update(snapshot.gauges)
+        for name, histogram in snapshot.histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                self._histograms[name] = histogram.copy()
+            else:
+                mine.merge(histogram)
+        self._absorb_seq += 1
+        rank: float | int | None = worker if worker is not None else snapshot.worker
+        if rank is None:
+            # Legacy unranked snapshot: absorb order decides, as before.
+            rank = self._absorb_seq
+        key = (float(rank), self._absorb_seq)
+        for name, value in snapshot.gauges.items():
+            held = self._gauge_ranks.get(name)
+            if held is None or key >= held:
+                self._gauges[name] = value
+                self._gauge_ranks[name] = key

@@ -12,7 +12,12 @@ from typing import Mapping
 
 from repro.obs.instrument import Instrumentation
 
-__all__ = ["render_phase_table", "render_counter_table", "render_report"]
+__all__ = [
+    "render_phase_table",
+    "render_counter_table",
+    "render_histogram_table",
+    "render_report",
+]
 
 
 def _rule(title: str, width: int = 58) -> str:
@@ -56,6 +61,38 @@ def render_counter_table(
     return "\n".join(lines)
 
 
+def render_histogram_table(
+    summaries: Mapping[str, Mapping[str, object]],
+    title: str = "histogram",
+) -> str:
+    """Percentile table of histogram summaries (``--profile`` section).
+
+    *summaries* is the :meth:`Instrumentation.histogram_summaries`
+    mapping: name → ``{"count", "mean", "p50", "p90", "p99", "max", …}``.
+    """
+    if not summaries:
+        return f"(no {title}s recorded)"
+    name_width = max(len(title), *(len(n) for n in summaries))
+    columns = ("count", "mean", "p50", "p90", "p99", "max")
+    header = f"{title:<{name_width}}   " + "   ".join(
+        f"{c:>10}" for c in columns
+    )
+    lines = [header]
+    for name in sorted(summaries):
+        summary = summaries[name]
+        cells = []
+        for column in columns:
+            value = summary.get(column)
+            if value is None:
+                cells.append(f"{'-':>10}")
+            elif column == "count":
+                cells.append(f"{int(value):>10}")
+            else:
+                cells.append(f"{float(value):>10.6f}")
+        lines.append(f"{name:<{name_width}}   " + "   ".join(cells))
+    return "\n".join(lines)
+
+
 def _render_span_tree(instr: Instrumentation) -> str:
     totals = instr.span_totals()
     counts = instr.span_counts()
@@ -82,6 +119,10 @@ def render_report(instr: Instrumentation) -> str:
     counters = instr.counters
     if counters:
         sections += ["", _rule("counters"), render_counter_table(counters)]
+    histograms = instr.histogram_summaries()
+    if histograms:
+        sections += ["", _rule("histograms (seconds)"),
+                     render_histogram_table(histograms)]
     gauges = instr.gauges
     if gauges:
         sections += ["", _rule("gauges (last value)"),

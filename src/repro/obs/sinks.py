@@ -14,12 +14,20 @@
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from typing import IO, Iterable
 
 from repro.obs.events import Event
 
-__all__ = ["Sink", "NullSink", "JsonlSink", "RecordingSink", "read_jsonl"]
+__all__ = [
+    "Sink",
+    "NullSink",
+    "JsonlSink",
+    "RecordingSink",
+    "TeeSink",
+    "read_jsonl",
+]
 
 
 class Sink:
@@ -86,6 +94,21 @@ class JsonlSink(Sink):
     When given a path the file is opened on construction and owned by
     the sink (closed by :meth:`close`); an already-open stream is
     borrowed and left open.
+
+    Robustness guarantees for production traces:
+
+    * Writes are serialised under a lock and each event goes out as
+      **one** ``write()`` call (line plus newline), so concurrent
+      emitters inside one process — e.g. the resource-sampler and
+      live-progress threads alongside the pipeline — never interleave
+      half-lines (``TextIOWrapper.write`` alone is not atomic: the
+      underlying buffer can tear racing writes apart).
+    * The stream is flushed whenever a **root span ends**, so even a
+      run that crashes later (and never reaches :meth:`close`) leaves a
+      parseable trace prefix covering every completed top-level phase.
+    * Non-JSON-serialisable field values degrade to their ``repr()``
+      instead of poisoning the whole line — a diagnostic payload must
+      never be the thing that kills the run being diagnosed.
     """
 
     def __init__(self, target: str | Path | IO[str]) -> None:
@@ -96,17 +119,46 @@ class JsonlSink(Sink):
             self._stream = target
             self._owns_stream = False
         self.emitted = 0
+        self._lock = threading.Lock()
 
     def emit(self, event: Event) -> None:
-        self._stream.write(json.dumps(event.to_json(), sort_keys=True))
-        self._stream.write("\n")
-        self.emitted += 1
+        record = event.to_json()
+        try:
+            line = json.dumps(record, sort_keys=True)
+        except (TypeError, ValueError):
+            line = json.dumps(record, sort_keys=True, default=repr)
+        with self._lock:
+            self._stream.write(line + "\n")
+            self.emitted += 1
+            if event.kind == "span_end" and event.parent_id is None:
+                self._stream.flush()
 
     def close(self) -> None:
         if self._owns_stream and not self._stream.closed:
             self._stream.close()
         elif not self._owns_stream:
             self._stream.flush()
+
+
+class TeeSink(Sink):
+    """Fan every event out to several child sinks, in order.
+
+    Used to combine a persistent sink (e.g. :class:`JsonlSink` behind
+    ``--trace``) with a transient consumer (e.g. the live-progress
+    heartbeat relay of :mod:`repro.obs.live`).  Closing the tee closes
+    every child; children that share ownership semantics keep them.
+    """
+
+    def __init__(self, *sinks: Sink) -> None:
+        self.sinks: tuple[Sink, ...] = sinks
+
+    def emit(self, event: Event) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
 
 
 def read_jsonl(path: str | Path) -> Iterable[dict]:

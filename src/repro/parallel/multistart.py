@@ -15,9 +15,24 @@ makes that *deterministic*:
   independent of completion order and worker count: ``jobs=8`` returns
   bit-identically what ``jobs=1`` returns.
 * **Merged instrumentation** — each restart runs under its own
-  :class:`~repro.obs.Instrumentation`; the aggregates are absorbed into
-  the caller's instrumentation in seed order, so SA counters in the
-  ``--profile`` report cover every restart regardless of ``jobs``.
+  :class:`~repro.obs.Instrumentation` tagged with its worker index; the
+  aggregates are absorbed into the caller's instrumentation (gauges
+  merge by the deterministic worker-rank rule, histograms bucket-merge),
+  so SA counters and latency percentiles in the ``--profile`` report
+  cover every restart regardless of ``jobs``.
+* **Merged event streams** — when the caller's sink is live (e.g.
+  ``--trace``), each worker additionally records its full event stream
+  and the parent replays it after the pool drains, time-shifted to the
+  dispatch instant and stamped with the worker index.  A merged trace
+  therefore contains every restart's span tree, unambiguous under the
+  ``(worker, span_id)`` namespacing, and ``trace2chrome`` renders one
+  track per worker.
+* **Live heartbeats** — when a
+  :class:`~repro.obs.live.LiveProgressMonitor` is installed, each
+  worker relays throttled ``sa.step`` progress over its queue, giving
+  the parent a per-restart temperature/energy readout while the pool
+  is still running.  Heartbeats are telemetry only: results are
+  bit-identical with the channel on or off.
 
 ``restarts=1, jobs=1`` short-circuits to a direct
 :func:`~repro.place.annealing.anneal_placement` call with the caller's
@@ -27,10 +42,13 @@ the live ``sa.step`` event stream.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 
 from repro.errors import PlacementError
+from repro.obs.events import Event
 from repro.obs.instrument import Instrumentation, InstrumentationSnapshot
+from repro.obs.live import HeartbeatSpec, active_monitor
+from repro.obs.sinks import RecordingSink, Sink, TeeSink
 from repro.parallel.pool import run_tasks
 from repro.place.annealing import (
     AnnealingParameters,
@@ -59,11 +77,17 @@ def multistart_seeds(base_seed: int, restarts: int) -> tuple[int, ...]:
 
 @dataclass(frozen=True)
 class RestartOutcome:
-    """One restart's annealing result plus its telemetry aggregates."""
+    """One restart's annealing result plus its telemetry aggregates.
+
+    ``events`` is the restart's full event stream (worker-stamped),
+    captured only when the parent's sink is live; empty otherwise so
+    nothing extra crosses the pool boundary on untraced runs.
+    """
 
     seed: int
     result: AnnealingResult
     snapshot: InstrumentationSnapshot
+    events: tuple[Event, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -76,22 +100,50 @@ class _AnnealTask:
     parameters: AnnealingParameters
     seed: int
     engine: str
+    #: Restart index — the event/snapshot worker namespace.
+    index: int = 0
+    #: Record and return the worker's event stream (traced runs only).
+    capture_events: bool = False
+    #: Live-progress relay recipe, when a monitor is installed.
+    heartbeat: HeartbeatSpec | None = None
 
 
 def _run_anneal_task(task: _AnnealTask) -> RestartOutcome:
     """Worker entry point: one seeded anneal with private instrumentation."""
-    instr = Instrumentation()
-    result = anneal_placement(
-        task.grid,
-        task.footprints,
-        task.priorities,
-        parameters=task.parameters,
-        seed=task.seed,
-        instrumentation=instr,
-        engine=task.engine,
-    )
+    recorder: RecordingSink | None = None
+    sinks: list[Sink] = []
+    if task.capture_events:
+        recorder = RecordingSink()
+        sinks.append(recorder)
+    relay = task.heartbeat.build() if task.heartbeat is not None else None
+    if relay is not None:
+        sinks.append(relay)
+    sink: Sink | None
+    if not sinks:
+        sink = None
+    elif len(sinks) == 1:
+        sink = sinks[0]
+    else:
+        sink = TeeSink(*sinks)
+    instr = Instrumentation(sink=sink, worker=task.index)
+    try:
+        result = anneal_placement(
+            task.grid,
+            task.footprints,
+            task.priorities,
+            parameters=task.parameters,
+            seed=task.seed,
+            instrumentation=instr,
+            engine=task.engine,
+        )
+    finally:
+        if relay is not None:
+            relay.close()
     return RestartOutcome(
-        seed=task.seed, result=result, snapshot=instr.snapshot()
+        seed=task.seed,
+        result=result,
+        snapshot=instr.snapshot(),
+        events=tuple(recorder.events) if recorder is not None else (),
     )
 
 
@@ -136,6 +188,10 @@ def anneal_multistart(
             engine=engine,
         )
     params = parameters or AnnealingParameters()
+    capture = instrumentation is not None and instrumentation.active
+    monitor = active_monitor()
+    dispatch_t = instrumentation.now() if instrumentation is not None else 0.0
+    seeds = multistart_seeds(base_seed, restarts)
     tasks = [
         _AnnealTask(
             grid=grid,
@@ -144,15 +200,23 @@ def anneal_multistart(
             parameters=params,
             seed=seed,
             engine=engine,
+            index=index,
+            capture_events=capture,
+            heartbeat=(
+                monitor.spec_for(worker=index, seed=seed)
+                if monitor is not None and monitor.queue is not None
+                else None
+            ),
         )
-        for seed in multistart_seeds(base_seed, restarts)
+        for index, seed in enumerate(seeds)
     ]
     outcomes = run_tasks(_run_anneal_task, tasks, jobs=jobs)
     if instrumentation is not None:
-        # Absorb in seed order (submission order), not completion order,
-        # so merged aggregates are identical for every jobs value.
-        for outcome in outcomes:
-            instrumentation.absorb(outcome.snapshot)
+        # Absorb in seed order (submission order); the worker-rank rule
+        # makes the merged gauges order-independent anyway, and counter/
+        # histogram merges are commutative by construction.
+        for index, outcome in enumerate(outcomes):
+            instrumentation.absorb(outcome.snapshot, worker=index)
             instrumentation.count("sa.restarts")
             instrumentation.event(
                 "sa.restart",
@@ -161,4 +225,16 @@ def anneal_multistart(
                 initial_energy=outcome.result.initial_energy,
                 accepted_moves=outcome.result.accepted_moves,
             )
+        if capture:
+            # Replay every worker's event stream into the parent sink,
+            # shifted from the worker's epoch to the dispatch instant so
+            # merged timestamps are monotone with the parent's.  Events
+            # already carry their worker index from the worker-side
+            # instrumentation.
+            sink = instrumentation.sink
+            for outcome in outcomes:
+                for event in outcome.events:
+                    sink.emit(
+                        dataclass_replace(event, time=event.time + dispatch_t)
+                    )
     return select_best(outcomes).result

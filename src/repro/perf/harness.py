@@ -38,6 +38,7 @@ from statistics import median
 from repro.benchmarks.registry import SCALE_ORDER, TABLE1_ORDER, get_benchmark
 from repro.core.problem import SynthesisParameters, SynthesisProblem
 from repro.core.synthesizer import synthesize_problem
+from repro.obs.instrument import Instrumentation
 from repro.parallel.pool import run_tasks
 from repro.place.annealing import PLACEMENT_ENGINES
 from repro.place.energy import build_connection_priorities, placement_energy
@@ -87,6 +88,10 @@ class BenchRun:
     #: summed slide distance (seconds) of those postponements.
     postponed_tasks: int = 0
     postponement_total: float = 0.0
+    #: Percentile summary of per-search A* latency across all repeats
+    #: (the ``astar.search_seconds`` histogram: count/mean/p50/p90/p99/
+    #: max); ``None`` on legacy artifacts.
+    route_search_seconds: dict | None = None
 
     @property
     def place_time(self) -> float:
@@ -224,8 +229,12 @@ def run_engine(
     paths_digest: str | None = None
     postponed_tasks = 0
     postponement_total = 0.0
+    # One NullSink instrumentation across all repeats: no events flow,
+    # but the in-memory aggregates — including the A* search-latency
+    # histogram — accumulate every repeat's samples.
+    instrumentation = Instrumentation()
     for _ in range(repeats):
-        result = synthesize_problem(problem)
+        result = synthesize_problem(problem, instrumentation=instrumentation)
         if result.check_report is not None:
             violations = result.check_report.error_count
         for phase, duration in result.phase_times.items():
@@ -242,6 +251,7 @@ def run_engine(
         postponed = [p.postponement for p in result.routing.paths if p.postponement > 0]
         postponed_tasks = len(postponed)
         postponement_total = sum(postponed)
+    search_latency = instrumentation.histogram("astar.search_seconds")
     return BenchRun(
         benchmark=name,
         engine=engine,
@@ -259,6 +269,9 @@ def run_engine(
         paths_digest=paths_digest,
         postponed_tasks=postponed_tasks,
         postponement_total=postponement_total,
+        route_search_seconds=(
+            search_latency.summary() if search_latency is not None else None
+        ),
     )
 
 

@@ -147,6 +147,8 @@ def _route_run_payload(run) -> dict:
         payload["route_max_s"] = round(run.phase_max.get("route", 0.0), 6)
     if run.violations is not None:
         payload["violations"] = run.violations
+    if run.route_search_seconds is not None:
+        payload["route_search_seconds"] = run.route_search_seconds
     return payload
 
 
@@ -166,6 +168,8 @@ def _run_payload(run) -> dict:
         payload["place_max_s"] = round(run.phase_max.get("place", 0.0), 6)
     if run.violations is not None:
         payload["violations"] = run.violations
+    if run.route_search_seconds is not None:
+        payload["route_search_seconds"] = run.route_search_seconds
     return payload
 
 
@@ -214,18 +218,25 @@ def render_route_table(comparisons: Iterable[RouteBenchComparison]) -> str:
 
     The ``paths`` column asserts byte-identical routing (digest
     equality); ``postponed`` shows how many tasks the router had to
-    slide, identical on both sides by the parity guarantee.
+    slide, identical on both sides by the parity guarantee; ``p99``
+    is the flat engine's per-search A* latency (the
+    ``astar.search_seconds`` histogram), shown when recorded.
     """
     comparisons = list(comparisons)
+    with_latency = any(
+        c.flat.route_search_seconds is not None for c in comparisons
+    )
     header = (
         f"{'Benchmark':12s} {'ref route':>10s} {'flat route':>10s} "
         f"{'speedup':>8s} {'ref total':>10s} {'flat total':>10s} "
         f"{'speedup':>8s}  {'paths':5s}  {'postponed':>9s}"
     )
+    if with_latency:
+        header += f"  {'p99 search':>11s}"
     lines = [header, "-" * len(header)]
     for c in comparisons:
         paths = "match" if c.paths_match else "DIFF!"
-        lines.append(
+        line = (
             f"{c.benchmark:12s} "
             f"{c.reference.route_time:9.3f}s {c.flat.route_time:9.3f}s "
             f"{c.route_speedup:7.2f}x "
@@ -233,6 +244,13 @@ def render_route_table(comparisons: Iterable[RouteBenchComparison]) -> str:
             f"{c.total_speedup:7.2f}x  {paths:5s}  "
             f"{c.flat.postponed_tasks:>9d}"
         )
+        if with_latency:
+            summary = c.flat.route_search_seconds
+            p99 = summary.get("p99") if summary else None
+            line += (
+                f"  {p99 * 1e3:>9.3f}ms" if p99 is not None else f"  {'-':>11s}"
+            )
+        lines.append(line)
     return "\n".join(lines)
 
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.errors import PlacementError
 from repro.obs.instrument import Instrumentation
@@ -189,6 +190,7 @@ def _flush_step(
     best_energy: float,
     step_trials: int,
     step_accepted: int,
+    elapsed: float = 0.0,
 ) -> None:
     """Per-temperature instrumentation flush shared by both engines."""
     if instrumentation is None:
@@ -197,6 +199,7 @@ def _flush_step(
     instrumentation.count("sa.moves_accepted", step_accepted)
     instrumentation.count("sa.moves_rejected", step_trials - step_accepted)
     instrumentation.count("sa.temperature_steps")
+    instrumentation.observe("sa.step_seconds", elapsed)
     instrumentation.event(
         "sa.step",
         temperature=temperature,
@@ -236,6 +239,7 @@ def _anneal_reference(
     while temperature > params.min_temperature:
         # Per-temperature tallies are kept in locals and flushed once per
         # cooling step, so instrumentation stays off the per-move path.
+        step_started = perf_counter()
         step_accepted = 0
         step_trials = 0
         for _ in range(params.iterations_per_temperature):
@@ -255,7 +259,7 @@ def _anneal_reference(
         trace.append(current_energy)
         _flush_step(
             instrumentation, temperature, current_energy, best_energy,
-            step_trials, step_accepted,
+            step_trials, step_accepted, perf_counter() - step_started,
         )
         temperature *= params.cooling_rate
 
@@ -328,6 +332,7 @@ def _anneal_incremental(
     exp = math.exp
     temperature = params.initial_temperature
     while temperature > params.min_temperature:
+        step_started = perf_counter()
         step_accepted = 0
         step_trials = 0
         for _ in range(params.iterations_per_temperature):
@@ -359,7 +364,7 @@ def _anneal_incremental(
         trace.append(current_energy)
         _flush_step(
             instrumentation, temperature, current_energy, best_energy,
-            step_trials, step_accepted,
+            step_trials, step_accepted, perf_counter() - step_started,
         )
         temperature *= params.cooling_rate
 

@@ -18,6 +18,7 @@ construction.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Iterable, Sequence
 
 from repro.obs.instrument import Instrumentation
@@ -58,12 +59,16 @@ def find_path(
     no admissible path exists.  Deterministic: ties in cost are broken
     by cell coordinates.
     """
+    started = perf_counter()
     if goal_slot is None:
         goal_slot = slot
     target_list = [t for t in targets if grid.is_routable(t)]
     source_list = [s for s in sources if grid.is_free(s, slot)]
     if not target_list or not source_list:
-        _flush_search_stats(instrumentation, expanded=0, reopened=0, found=False)
+        _flush_search_stats(
+            instrumentation, expanded=0, reopened=0, found=False,
+            elapsed=perf_counter() - started,
+        )
         return None
     target_set = set(target_list)
 
@@ -129,7 +134,8 @@ def find_path(
                     open_heap, (cost + h, (neighbour.x, neighbour.y), neighbour)
                 )
     _flush_search_stats(
-        instrumentation, expanded=expanded, reopened=reopened, found=path is not None
+        instrumentation, expanded=expanded, reopened=reopened,
+        found=path is not None, elapsed=perf_counter() - started,
     )
     return path
 
@@ -139,8 +145,14 @@ def _flush_search_stats(
     expanded: int,
     reopened: int,
     found: bool,
+    elapsed: float = 0.0,
 ) -> None:
-    """Record one search's tallies on the instrumentation, if any."""
+    """Record one search's tallies on the instrumentation, if any.
+
+    *elapsed* (wall-clock seconds of the whole search) additionally
+    feeds the ``astar.search_seconds`` latency histogram — the p50/p90/
+    p99 route-search figures of the ledger and the perf artifacts.
+    """
     if instrumentation is None:
         return
     instrumentation.count("astar.searches")
@@ -148,6 +160,7 @@ def _flush_search_stats(
     instrumentation.count("astar.nodes_reopened", reopened)
     if not found:
         instrumentation.count("astar.failures")
+    instrumentation.observe("astar.search_seconds", elapsed)
     instrumentation.event(
         "astar.search", expanded=expanded, reopened=reopened, found=found
     )

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import heapq
 from bisect import bisect_left
+from time import perf_counter
 from typing import Iterable
 
 try:  # numpy accelerates the heuristic precompute; plain python works too
@@ -346,6 +347,7 @@ def find_path_flat(
     baseline router's ``_ZeroWeightView`` / ``_UniformCostView``
     adapters without per-call object indirection.
     """
+    started = perf_counter()
     if goal_slot is None:
         goal_slot = slot
     width = grid.width
@@ -380,7 +382,10 @@ def find_path_flat(
             continue
         source_indices.append(index)
     if not target_indices or not source_indices:
-        _flush_search_stats(instrumentation, expanded=0, reopened=0, found=False)
+        _flush_search_stats(
+            instrumentation, expanded=0, reopened=0, found=False,
+            elapsed=perf_counter() - started,
+        )
         return None
 
     n = width * height
@@ -447,6 +452,7 @@ def find_path_flat(
                 parent[ni] = index
                 heappush(open_heap, (cost + dist[ni], ties[ni], ni))
     _flush_search_stats(
-        instrumentation, expanded=expanded, reopened=reopened, found=path is not None
+        instrumentation, expanded=expanded, reopened=reopened,
+        found=path is not None, elapsed=perf_counter() - started,
     )
     return path

@@ -16,6 +16,22 @@ from repro.components.allocation import Allocation
 from repro.core.problem import SynthesisParameters
 
 
+@pytest.fixture(autouse=True)
+def _ledger_to_tmp(tmp_path, monkeypatch):
+    """Point the default run-ledger path into the test's tmp dir.
+
+    The CLI appends to ``.repro/ledger.jsonl`` by default; tests driving
+    ``repro.cli.run`` must not accumulate ledger files in the repository
+    working directory.  Tests that care about the path pass ``--ledger``
+    explicitly and are unaffected.
+    """
+    import repro.obs.ledger as ledger
+
+    monkeypatch.setattr(
+        ledger, "DEFAULT_LEDGER_PATH", tmp_path / "test-ledger.jsonl"
+    )
+
+
 @pytest.fixture
 def fast_params() -> SynthesisParameters:
     """Synthesis parameters with a short annealing schedule for tests."""

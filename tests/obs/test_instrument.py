@@ -1,4 +1,6 @@
-"""Unit tests for spans, counters, and gauges."""
+"""Unit tests for spans, counters, gauges, histograms, and absorb."""
+
+import pickle
 
 import pytest
 
@@ -121,6 +123,118 @@ class TestCountersAndGauges:
         (event,) = sink.named("sa.step")
         assert event.kind == "point"
         assert event.fields == {"temperature": 100.0, "energy": 4.2}
+
+
+class TestHistograms:
+    def test_observe_maintains_in_memory_distribution(self):
+        instr = Instrumentation()  # NullSink: aggregates still kept
+        for value in (0.001, 0.002, 0.004):
+            instr.observe("astar.search_seconds", value)
+        histogram = instr.histogram("astar.search_seconds")
+        assert histogram.count == 3
+        assert instr.histograms.keys() == {"astar.search_seconds"}
+        summary = instr.histogram_summaries()["astar.search_seconds"]
+        assert summary["count"] == 3
+        assert summary["min"] == pytest.approx(0.001)
+
+    def test_unknown_histogram_is_none(self):
+        assert Instrumentation().histogram("never") is None
+
+    def test_observe_emits_histogram_events_when_live(self):
+        sink = RecordingSink()
+        instr = Instrumentation(sink)
+        with instr.span("route"):
+            instr.observe("astar.search_seconds", 0.002)
+        (event,) = sink.of_kind("histogram")
+        assert event.name == "astar.search_seconds"
+        assert event.fields == {"value": 0.002}
+        assert event.span_id is not None
+
+
+class TestWorkerStamping:
+    def test_worker_index_on_every_emitted_event(self):
+        sink = RecordingSink()
+        instr = Instrumentation(sink, worker=3)
+        with instr.span("s"):
+            instr.count("c", 1)
+            instr.gauge("g", 1.0)
+            instr.observe("h", 0.001)
+            instr.event("p", x=1)
+        assert sink.events and all(e.worker == 3 for e in sink.events)
+
+    def test_main_process_events_unstamped(self):
+        sink = RecordingSink()
+        instr = Instrumentation(sink)
+        instr.count("c", 1)
+        assert sink.events[0].worker is None
+
+
+class TestSnapshotAndAbsorb:
+    def _worker_snapshot(self, worker, energy):
+        child = Instrumentation(worker=worker)
+        with child.span("sa.restart"):
+            child.count("sa.moves_accepted", 10 + worker)
+            child.gauge("sa.final_energy", energy)
+            child.observe("sa.step_seconds", 0.001 * (worker + 1))
+        return child.snapshot()
+
+    def test_snapshot_round_trips_through_pickle(self):
+        snapshot = self._worker_snapshot(2, energy=4.5)
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone.worker == 2
+        assert clone.counters == snapshot.counters
+        assert clone.gauges == snapshot.gauges
+        assert (clone.histograms["sa.step_seconds"].counts
+                == snapshot.histograms["sa.step_seconds"].counts)
+
+    def test_snapshot_histograms_are_frozen_copies(self):
+        instr = Instrumentation()
+        instr.observe("h", 0.001)
+        snapshot = instr.snapshot()
+        instr.observe("h", 0.002)  # must not leak into the snapshot
+        assert snapshot.histograms["h"].count == 1
+        assert instr.histogram("h").count == 2
+
+    def test_absorb_sums_counters_spans_and_merges_histograms(self):
+        parent = Instrumentation()
+        for worker in (0, 1):
+            parent.absorb(self._worker_snapshot(worker, energy=5.0 - worker),
+                          worker=worker)
+        assert parent.counters["sa.moves_accepted"] == 21
+        assert parent.span_counts()[("sa.restart",)] == 2
+        assert parent.histogram("sa.step_seconds").count == 2
+
+    def test_gauge_merge_is_order_independent(self):
+        # The deterministic merge rule: the highest worker index wins,
+        # whatever order the pool completes in (docs/OBSERVABILITY.md).
+        snapshots = [self._worker_snapshot(w, energy=float(w)) for w in range(3)]
+        forward, backward = Instrumentation(), Instrumentation()
+        for snapshot in snapshots:
+            forward.absorb(snapshot, worker=snapshot.worker)
+        for snapshot in reversed(snapshots):
+            backward.absorb(snapshot, worker=snapshot.worker)
+        assert forward.gauges == backward.gauges
+        assert forward.gauges["sa.final_energy"] == 2.0  # worker 2's value
+
+    def test_local_gauges_outrank_absorbed_ones(self):
+        parent = Instrumentation()
+        parent.gauge("sa.final_energy", 99.0)
+        parent.absorb(self._worker_snapshot(5, energy=1.0), worker=5)
+        assert parent.gauges["sa.final_energy"] == 99.0
+
+    def test_unranked_snapshots_fall_back_to_absorb_order(self):
+        parent = Instrumentation()
+        for energy in (3.0, 1.0):
+            child = Instrumentation()
+            child.gauge("e", energy)
+            parent.absorb(child.snapshot())  # no worker rank anywhere
+        assert parent.gauges["e"] == 1.0  # last absorbed wins (legacy rule)
+
+    def test_absorb_prefix_reroots_spans(self):
+        parent = Instrumentation()
+        snapshot = self._worker_snapshot(0, energy=1.0)
+        parent.absorb(snapshot, prefix=("synthesize", "place"), worker=0)
+        assert ("synthesize", "place", "sa.restart") in parent.span_totals()
 
 
 class TestNullDefault:

@@ -1,0 +1,82 @@
+"""Resource-sampler tests: gauges, lifecycle, platform fallbacks."""
+
+import pytest
+
+from repro.obs.instrument import Instrumentation
+from repro.obs.resources import ResourceSampler, read_rss_bytes
+
+EXPECTED_GAUGES = (
+    "proc.rss_bytes",
+    "proc.rss_peak_bytes",
+    "proc.cpu_seconds",
+    "proc.gc_collections",
+    "proc.gc_objects",
+)
+
+
+class TestSampleOnce:
+    def test_all_gauges_present_and_sane(self):
+        instr = Instrumentation()
+        sampler = ResourceSampler(instr)
+        sampler.sample_once()
+        gauges = instr.gauges
+        for name in EXPECTED_GAUGES:
+            assert name in gauges, name
+        assert gauges["proc.rss_bytes"] > 0  # a python process has RSS
+        assert gauges["proc.cpu_seconds"] > 0.0
+        assert sampler.samples == 1
+
+    def test_peak_rss_is_monotonic(self):
+        instr = Instrumentation()
+        sampler = ResourceSampler(instr)
+        sampler.sample_once()
+        first_peak = instr.gauges["proc.rss_peak_bytes"]
+        sampler.sample_once()
+        assert instr.gauges["proc.rss_peak_bytes"] >= first_peak
+
+    def test_read_rss_bytes_positive_here(self):
+        assert read_rss_bytes() > 0
+
+
+class TestLifecycle:
+    def test_context_manager_samples_on_entry_and_exit(self):
+        instr = Instrumentation()
+        with ResourceSampler(instr, interval=10.0) as sampler:
+            after_start = sampler.samples
+            assert after_start >= 1  # initial sample is synchronous
+        # stop() takes a final sample even when the interval never fired.
+        assert sampler.samples >= after_start + 1
+        assert "proc.rss_bytes" in instr.gauges
+
+    def test_stop_is_idempotent(self):
+        sampler = ResourceSampler(Instrumentation(), interval=10.0)
+        sampler.start()
+        sampler.stop()
+        count = sampler.samples
+        sampler.stop()
+        assert sampler.samples == count
+
+    def test_start_is_idempotent(self):
+        sampler = ResourceSampler(Instrumentation(), interval=10.0)
+        try:
+            assert sampler.start() is sampler.start()
+        finally:
+            sampler.stop()
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError):
+            ResourceSampler(Instrumentation(), interval=0.0)
+
+    def test_background_thread_samples(self):
+        import time
+
+        instr = Instrumentation()
+        sampler = ResourceSampler(instr, interval=0.01)
+        sampler.start()
+        deadline = time.monotonic() + 2.0
+        try:
+            while sampler.samples < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            sampler.stop()
+        assert sampler.samples >= 3

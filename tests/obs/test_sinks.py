@@ -2,10 +2,12 @@
 
 import io
 import json
+import re
+from pathlib import Path
 
 from repro.obs.events import EVENT_KINDS, Event
 from repro.obs.instrument import Instrumentation
-from repro.obs.sinks import JsonlSink, RecordingSink, read_jsonl
+from repro.obs.sinks import JsonlSink, RecordingSink, TeeSink, read_jsonl
 
 
 def _drive(instr: Instrumentation) -> None:
@@ -50,6 +52,147 @@ class TestJsonlSink:
         sink.close()
         assert not stream.closed
         assert json.loads(stream.getvalue())["name"] == "x"
+
+
+class TestJsonlRobustness:
+    def test_crash_leaves_parseable_prefix(self, tmp_path):
+        # A run killed after a root phase completes must leave every
+        # finished phase on disk: the sink flushes on each root span_end,
+        # so the prefix parses even though close() never ran.
+        path = tmp_path / "trace.jsonl"
+        stream = open(path, "w", encoding="utf-8")
+        sink = JsonlSink(stream)
+        instr = Instrumentation(sink)
+        with instr.span("synthesize"):
+            instr.count("n", 1)
+        instr.count("after", 1)  # buffered, possibly lost in the "crash"
+        # Simulate the crash: drop the buffer instead of closing cleanly.
+        stream.close()
+        records = list(read_jsonl(path))
+        kinds = [r["kind"] for r in records]
+        assert "span_end" in kinds  # the completed root phase survived
+        complete = [r for r in records if r["kind"] == "span_end"]
+        assert complete[-1]["fields"]["duration"] >= 0.0
+
+    def test_non_serialisable_fields_degrade_to_repr(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream)
+        sink.emit(Event(kind="point", name="odd", time=0.0,
+                        fields={"payload": {1, 2}}))
+        record = json.loads(stream.getvalue())
+        assert "payload" in record["fields"]
+        assert isinstance(record["fields"]["payload"], str)  # repr() form
+
+    def test_concurrent_emitters_never_tear_lines(self, tmp_path):
+        import threading
+
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            def spam(worker):
+                for i in range(200):
+                    sink.emit(Event(kind="point", name=f"w{worker}",
+                                    time=float(i), worker=worker))
+
+            threads = [threading.Thread(target=spam, args=(w,))
+                       for w in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        records = list(read_jsonl(path))  # raises on any torn line
+        assert len(records) == 800 == sink.emitted
+
+
+class TestTeeSink:
+    def test_fans_out_in_order_and_closes_children(self):
+        first, second = RecordingSink(), RecordingSink()
+        closed = []
+
+        class Closing(RecordingSink):
+            def close(self):
+                closed.append(self)
+
+        third = Closing()
+        tee = TeeSink(first, second, third)
+        tee.emit(Event(kind="point", name="x", time=0.0))
+        assert len(first.events) == len(second.events) == len(third.events) == 1
+        tee.close()
+        assert closed == [third]
+
+    def test_instrumentation_is_active_through_a_tee(self):
+        tee = TeeSink(RecordingSink())
+        assert Instrumentation(tee).active is True
+
+
+class TestEventRoundTrip:
+    """Satellite guarantees: to_json/read_jsonl round-trips match the
+    schema documented in docs/OBSERVABILITY.md."""
+
+    def _round_trip(self, event, tmp_path):
+        path = tmp_path / "one.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit(event)
+        (record,) = read_jsonl(path)
+        return record
+
+    def test_nested_mapping_fields(self, tmp_path):
+        event = Event(kind="point", name="nested", time=1.5, span_id=3,
+                      parent_id=1,
+                      fields={"outer": {"inner": [1, 2, {"deep": True}]}})
+        record = self._round_trip(event, tmp_path)
+        assert record == event.to_json()
+        assert record["fields"]["outer"]["inner"][2]["deep"] is True
+
+    def test_histogram_event(self, tmp_path):
+        event = Event(kind="histogram", name="astar.search_seconds",
+                      time=0.25, span_id=2, parent_id=1,
+                      fields={"value": 1.25e-4}, worker=1)
+        record = self._round_trip(event, tmp_path)
+        assert record["kind"] == "histogram"
+        assert record["worker"] == 1
+        assert record["fields"]["value"] == 1.25e-4
+
+    def test_heartbeat_event(self, tmp_path):
+        # The live monitor republishes heartbeats as point events.
+        sink = RecordingSink()
+        instr = Instrumentation(sink)
+        instr.event("live.heartbeat", worker=2, seed=7, state="sa",
+                    temperature=12.5, energy=4.0)
+        record = self._round_trip(sink.events[0], tmp_path)
+        assert record["kind"] == "point"
+        assert record["name"] == "live.heartbeat"
+        assert record["fields"] == {
+            "worker": 2, "seed": 7, "state": "sa",
+            "temperature": 12.5, "energy": 4.0,
+        }
+
+    def test_worker_key_only_when_set(self):
+        assert "worker" not in Event(kind="point", name="x", time=0.0).to_json()
+        assert Event(kind="point", name="x", time=0.0, worker=0).to_json()[
+            "worker"] == 0
+
+    def test_schema_matches_observability_doc(self, tmp_path):
+        """The documented key table and kind list *are* the schema."""
+        doc = Path(__file__).parents[2] / "docs" / "OBSERVABILITY.md"
+        text = doc.read_text(encoding="utf-8")
+        schema_section = text.split("## Event schema")[1].split("## ")[0]
+        documented_keys = re.findall(r"^\| `(\w+)` *\|", schema_section,
+                                     flags=re.MULTILINE)
+        (kind_row,) = [line for line in schema_section.splitlines()
+                       if line.startswith("| `kind`")]
+        documented_kinds = re.findall(r"`(\w+)`", kind_row)
+        assert set(EVENT_KINDS) == set(documented_kinds) - {"kind"}
+
+        event = Event(kind="histogram", name="n", time=0.0, span_id=1,
+                      parent_id=None, fields={"value": 1.0}, worker=0)
+        record = self._round_trip(event, tmp_path)
+        assert set(record) <= set(documented_keys)
+        # Every documented key is reachable: worker/fields are optional,
+        # the rest appear on every record.
+        assert {"kind", "name", "t", "span", "parent"} <= set(record)
+        assert set(documented_keys) == {
+            "kind", "name", "t", "span", "parent", "worker", "fields"
+        }
 
 
 class TestRecordingSink:
