@@ -91,9 +91,18 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=PLACEMENT_ENGINES,
                         default="incremental",
                         help="SA placement engine: the incremental "
-                             "delta-energy workspace or the reference "
-                             "full-recompute path; both give identical "
-                             "seeded results (default: incremental)")
+                             "delta-energy workspace, the numpy batch "
+                             "best-of-K kernel, or the reference "
+                             "full-recompute path; incremental and "
+                             "reference give identical seeded results, "
+                             "and batch matches them at --batch-size 1 "
+                             "(default: incremental)")
+    parser.add_argument("--batch-size", type=int, default=16,
+                        help="candidates proposed per SA step by "
+                             "--engine batch; 1 degenerates to the "
+                             "incremental move loop bit for bit, larger "
+                             "values trade acceptance rate for "
+                             "vectorized throughput (default: 16)")
     parser.add_argument("--route-engine",
                         choices=ROUTE_ENGINES,
                         default=DEFAULT_ROUTE_ENGINE,
@@ -193,6 +202,7 @@ def run(argv: list[str]) -> int:
             seed=args.seed,
             transport_time=args.tc,
             placement_engine=args.engine,
+            sa_batch_size=args.batch_size,
             route_engine=args.route_engine,
             restarts=args.restarts,
             jobs=args.jobs,

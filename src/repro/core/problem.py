@@ -51,13 +51,21 @@ class SynthesisParameters:
     grid_fill_ratio: float = 0.25
     #: RNG seed for the annealer.
     seed: int = 0
-    #: SA engine: ``"incremental"`` (delta-energy workspace) or
-    #: ``"reference"`` (immutable full-recompute oracle).  Both yield
-    #: identical seeded results; the choice only affects runtime.
+    #: SA engine: ``"incremental"`` (delta-energy workspace),
+    #: ``"batch"`` (numpy best-of-K kernel, see
+    #: :mod:`repro.place.batch`), or ``"reference"`` (immutable
+    #: full-recompute oracle).  Incremental and reference yield
+    #: identical seeded results; batch matches them bit for bit at
+    #: ``sa_batch_size=1`` and explores K candidates per step above it.
     placement_engine: str = "incremental"
+    #: Candidates proposed per SA step by the batch placement engine
+    #: (ignored by the other engines).  ``1`` degenerates to the
+    #: incremental engine's exact move loop.
+    sa_batch_size: int = 16
     #: Routing engine: ``"flat"`` (integer-indexed arrays, see
-    #: :mod:`repro.route.flat`) or ``"reference"`` (the Cell/dict
-    #: oracle).  Both yield byte-identical paths, slot plans, and
+    #: :mod:`repro.route.flat`), ``"flat2"`` (vectorized kernels, see
+    #: :mod:`repro.route.flat2`), or ``"reference"`` (the Cell/dict
+    #: oracle).  All yield byte-identical paths, slot plans, and
     #: metrics; the choice only affects runtime.
     route_engine: str = DEFAULT_ROUTE_ENGINE
     #: Independent SA restarts; the best placement wins under the
@@ -89,6 +97,10 @@ class SynthesisParameters:
                 f"unknown placement engine {self.placement_engine!r}; "
                 f"expected one of {PLACEMENT_ENGINES}"
             )
+        if self.sa_batch_size < 1:
+            raise ValidationError(
+                f"sa_batch_size must be >= 1, got {self.sa_batch_size}"
+            )
         if self.route_engine not in ROUTE_ENGINES:
             raise ValidationError(
                 f"unknown route engine {self.route_engine!r}; "
@@ -115,6 +127,7 @@ class SynthesisParameters:
             min_temperature=self.min_temperature,
             cooling_rate=self.cooling_rate,
             iterations_per_temperature=self.iterations_per_temperature,
+            batch_size=self.sa_batch_size,
         )
 
 

@@ -7,16 +7,22 @@ Two tiers, selected by ``--scale``:
   incremental) and writes the ``BENCH_pr3.json`` artifact.
 * ``--scale large`` times the scale tier (Scale50/100/200 synthetic
   assays, where routing dominates) once per *routing* engine
-  (reference vs flat) and writes the ``BENCH_pr5.json`` artifact; the
-  comparison carries path digests, so a routing-parity break fails the
-  run.
+  (reference vs the fast engine — ``flat2`` by default, ``flat`` via
+  ``--fast-route-engine``) and writes the ``BENCH_pr7.json`` artifact;
+  the comparison carries path digests, so a routing-parity break fails
+  the run.
 
 Both tiers also record the per-search A* latency distribution
 (``astar.search_seconds`` — count/mean/p50/p90/p99/max from the
 in-memory histogram, see ``docs/OBSERVABILITY.md``) in each run's
-payload; the route table prints the flat engine's p99.  The committed
-``BENCH_pr6.json`` artifact is the route tier rerun with
-``--output BENCH_pr6.json`` after latency histograms landed.
+payload; the route table prints the fast engine's p99.  ``--throughput
+BATCH`` additionally measures raw SA placement throughput (legal
+candidate moves evaluated per second, every placement engine, batch at
+BATCH candidates per step) and attaches the section to the artifact.
+The committed ``BENCH_pr6.json`` artifact is the route tier rerun with
+``--output BENCH_pr6.json`` after latency histograms landed;
+``BENCH_pr7.json`` is the same tier after the flat2 routing engine and
+the numpy batch SA kernel landed, with the throughput section.
 
 Options::
 
@@ -39,8 +45,13 @@ Options::
                          report (default; violation counts land in the
                          table and artifact), or strict (fail on any
                          violation)
+    --fast-route-engine  fast side of the --scale large comparison:
+                         flat2 (default) or flat
+    --throughput BATCH   also measure raw SA placement throughput
+                         (moves/sec per engine; batch at BATCH
+                         candidates per step) and record the section
     --output PATH        JSON artifact path (default: BENCH_pr3.json,
-                         or BENCH_pr5.json with --scale large)
+                         or BENCH_pr7.json with --scale large)
     --require-speedup B  exit non-zero if the optimised engine is
                          slower than the reference on benchmark B
                          (placement phase on the table1 tier, routing
@@ -48,8 +59,10 @@ Options::
 
 Exit codes: 0 on success; 1 when a ``--require-speedup`` gate fails,
 the paired engines disagree on any best energy / path digest (which
-the parity guarantees forbid), or a multi-start energy degrades below
-the single run (which the seed-derivation scheme forbids).
+the parity guarantees forbid), a multi-start energy degrades below
+the single run (which the seed-derivation scheme forbids), or the
+batch placement engine's energy lands above the serial engines' on a
+``--throughput`` row (which the never-worse guarantee forbids).
 """
 
 from __future__ import annotations
@@ -63,6 +76,7 @@ from repro.check.report import CHECK_MODES
 from repro.perf.harness import (
     measure_jobs_scaling,
     measure_multistart,
+    measure_placement_throughput,
     run_route_suite,
     run_suite,
 )
@@ -72,6 +86,7 @@ from repro.perf.report import (
     render_multistart_table,
     render_route_table,
     render_scaling_table,
+    render_throughput_table,
     route_comparisons_to_payload,
     write_bench_json,
 )
@@ -93,11 +108,16 @@ QUICK_SCALE_BENCHMARKS = ("Scale50", "Scale100")
 DEFAULT_OUTPUT = "BENCH_pr3.json"
 
 #: Default artifact for the routing-engine tier (``--scale large``).
-DEFAULT_ROUTE_OUTPUT = "BENCH_pr5.json"
+DEFAULT_ROUTE_OUTPUT = "BENCH_pr7.json"
 
 #: Benchmarks the ``--multistart`` section covers by default (two
 #: Table I rows, per the multi-start acceptance check).
 MULTISTART_BENCHMARKS = ("PCR", "IVD")
+
+#: Benchmark the ``--throughput`` section covers by default: the
+#: largest scale-tier assay, where the batch kernel's vectorization win
+#: is most visible.
+THROUGHPUT_BENCHMARKS = ("Scale200",)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -114,8 +134,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="table1",
         help="benchmark tier: table1 compares the placement engines on "
              "the paper's rows, large compares the routing engines "
-             "(reference vs flat) on the Scale50/100/200 synthetic "
-             "assays (default: table1)",
+             "(reference vs the fast engine) on the Scale50/100/200 "
+             "synthetic assays (default: table1)",
+    )
+    parser.add_argument(
+        "--fast-route-engine",
+        choices=("flat", "flat2"),
+        default="flat2",
+        help="fast side of the --scale large routing comparison "
+             "(default: flat2, the vectorized-cost engine)",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -150,6 +177,16 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None, choices=benchmark_names(),
                         help="benchmarks for the --multistart section "
                              f"(default: {', '.join(MULTISTART_BENCHMARKS)})")
+    parser.add_argument("--throughput", type=int, metavar="BATCH",
+                        default=None,
+                        help="also measure raw SA placement throughput "
+                             "(moves/sec) for every placement engine, "
+                             "with the batch engine at BATCH candidates "
+                             "per step, and record the section")
+    parser.add_argument("--throughput-benchmarks", nargs="+", metavar="NAME",
+                        default=None, choices=benchmark_names(),
+                        help="benchmarks for the --throughput section "
+                             f"(default: {', '.join(THROUGHPUT_BENCHMARKS)})")
     parser.add_argument("--check",
                         choices=CHECK_MODES,
                         default="report",
@@ -219,6 +256,8 @@ def run(argv: list[str]) -> int:
         print()
         print(render_multistart_table(multistart))
 
+    throughput = _measure_throughput(args)
+
     payload = comparisons_to_payload(
         comparisons,
         label=args.output.stem,
@@ -226,6 +265,7 @@ def run(argv: list[str]) -> int:
         jobs=args.jobs,
         jobs_scaling=scaling,
         multistart=multistart,
+        placement_throughput=throughput,
     )
     write_bench_json(args.output, payload)
     print(f"\nwrote {args.output}")
@@ -266,22 +306,56 @@ def run(argv: list[str]) -> int:
                 f"speedup gate OK: {gate.benchmark} placement "
                 f"{gate.place_speedup:.2f}x"
             )
+    status = max(status, _check_throughput(throughput))
     return status
 
 
+def _measure_throughput(args) -> list[dict] | None:
+    """The optional ``--throughput`` section, shared by both tiers."""
+    if args.throughput is None:
+        return None
+    throughput_names = tuple(
+        args.throughput_benchmarks or THROUGHPUT_BENCHMARKS
+    )
+    rows = measure_placement_throughput(
+        throughput_names, seed=args.seed, batch_size=args.throughput
+    )
+    print()
+    print(render_throughput_table(rows))
+    return rows
+
+
+def _check_throughput(rows: list[dict] | None) -> int:
+    """Never-worse gate over the ``--throughput`` rows (0 ok, 1 fail)."""
+    if rows is None:
+        return 0
+    worse = [row["benchmark"] for row in rows if not row["batch_never_worse"]]
+    if worse:
+        print(
+            "error: batch engine energy degraded below the serial "
+            "engines on: " + ", ".join(worse),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _run_route_tier(args, names: tuple[str, ...], repeats: int) -> int:
-    """The ``--scale large`` branch: reference vs flat routing engine."""
+    """The ``--scale large`` branch: reference vs fast routing engine."""
     comparisons = run_route_suite(
         names, seed=args.seed, repeats=repeats, jobs=args.jobs,
-        check=args.check,
+        check=args.check, fast_engine=args.fast_route_engine,
     )
     print(render_route_table(comparisons))
+
+    throughput = _measure_throughput(args)
 
     payload = route_comparisons_to_payload(
         comparisons,
         label=args.output.stem,
         quick=args.quick,
         jobs=args.jobs,
+        placement_throughput=throughput,
     )
     write_bench_json(args.output, payload)
     print(f"\nwrote {args.output}")
@@ -301,8 +375,8 @@ def _run_route_tier(args, names: tuple[str, ...], repeats: int) -> int:
         )
         if gate.route_speedup < 1.0:
             print(
-                f"error: flat engine slower than reference on "
-                f"{gate.benchmark} "
+                f"error: {args.fast_route_engine} engine slower than "
+                f"reference on {gate.benchmark} "
                 f"({gate.flat.route_time:.3f}s vs "
                 f"{gate.reference.route_time:.3f}s)",
                 file=sys.stderr,
@@ -313,6 +387,7 @@ def _run_route_tier(args, names: tuple[str, ...], repeats: int) -> int:
                 f"speedup gate OK: {gate.benchmark} routing "
                 f"{gate.route_speedup:.2f}x"
             )
+    status = max(status, _check_throughput(throughput))
     return status
 
 

@@ -53,6 +53,7 @@ __all__ = [
     "run_route_suite",
     "measure_jobs_scaling",
     "measure_multistart",
+    "measure_placement_throughput",
 ]
 
 
@@ -92,6 +93,13 @@ class BenchRun:
     #: (the ``astar.search_seconds`` histogram: count/mean/p50/p90/p99/
     #: max); ``None`` on legacy artifacts.
     route_search_seconds: dict | None = None
+    #: SA move totals over all repeats (the ``sa.moves_*`` counters)
+    #: and the resulting placement throughput — legal candidate moves
+    #: evaluated per second of placement phase; ``None`` on legacy
+    #: artifacts.
+    moves_proposed: int = 0
+    moves_accepted: int = 0
+    moves_per_second: float | None = None
 
     @property
     def place_time(self) -> float:
@@ -252,6 +260,9 @@ def run_engine(
         postponed_tasks = len(postponed)
         postponement_total = sum(postponed)
     search_latency = instrumentation.histogram("astar.search_seconds")
+    moves_proposed = int(instrumentation.counters.get("sa.moves_proposed", 0))
+    moves_accepted = int(instrumentation.counters.get("sa.moves_accepted", 0))
+    place_seconds = sum(phase_samples.get("place", []))
     return BenchRun(
         benchmark=name,
         engine=engine,
@@ -271,6 +282,11 @@ def run_engine(
         postponement_total=postponement_total,
         route_search_seconds=(
             search_latency.summary() if search_latency is not None else None
+        ),
+        moves_proposed=moves_proposed,
+        moves_accepted=moves_accepted,
+        moves_per_second=(
+            moves_proposed / place_seconds if place_seconds > 0 else None
         ),
     )
 
@@ -331,20 +347,23 @@ def run_route_suite(
     repeats: int = 3,
     jobs: int = 1,
     check: str = "off",
+    fast_engine: str = "flat2",
 ) -> list[RouteBenchComparison]:
-    """Time every benchmark under both routing engines, paired.
+    """Time every benchmark under reference vs *fast_engine* routing.
 
     The placement engine is pinned to ``incremental`` on both sides so
     the comparison isolates the routing phase; the scale tier
     (:data:`~repro.benchmarks.registry.SCALE_ORDER`) is the default
     name set because that is where routing dominates the pipeline.
+    *fast_engine* (``"flat2"`` by default, ``"flat"`` for the
+    first-generation kernel) fills each comparison's ``flat`` side.
     Each comparison carries the path digests of both runs, so a parity
     break surfaces as ``paths_match=False`` in the committed artifact.
     """
     tasks = [
         (name, route_engine, seed, repeats, check)
         for name in names
-        for route_engine in ("reference", "flat")
+        for route_engine in ("reference", fast_engine)
     ]
     runs = run_tasks(_route_worker, tasks, jobs=jobs)
     comparisons = []
@@ -433,6 +452,87 @@ def measure_multistart(
                     else 0.0
                 ),
                 "non_degraded": multi <= single,
+            }
+        )
+    return rows
+
+
+def measure_placement_throughput(
+    names: tuple[str, ...] | list[str],
+    seed: int = 1,
+    batch_size: int = 64,
+) -> list[dict]:
+    """Raw SA move throughput of every placement engine, per benchmark.
+
+    Times :func:`~repro.place.annealing.anneal_placement` alone (no
+    routing, no pipeline overhead) so the rows measure the kernels, not
+    the phases.  The throughput unit is *legal candidate moves
+    evaluated per second* — ``AnnealingResult.trials`` over the
+    annealing wall-clock.  Each row also records the final energy and
+    whether the batch engine's energy is never worse than the
+    serial engines' (which share one energy by the parity guarantee);
+    the batch engine runs at *batch_size* candidates per step, recorded
+    in the row.
+    """
+    from dataclasses import replace as _replace
+
+    from repro.place.annealing import anneal_placement
+    from repro.schedule.list_scheduler import schedule_assay
+
+    rows: list[dict] = []
+    for name in names:
+        case = get_benchmark(name)
+        params = SynthesisParameters(seed=seed)
+        problem = SynthesisProblem(
+            assay=case.assay, allocation=case.allocation, parameters=params
+        )
+        schedule = schedule_assay(
+            problem.assay, problem.allocation, params.transport_time
+        )
+        priorities = build_connection_priorities(
+            schedule, beta=params.beta, gamma=params.gamma
+        )
+        grid = problem.resolved_grid()
+        footprints = problem.footprints()
+        annealing = params.annealing()
+        measured: dict[str, dict] = {}
+        for engine in PLACEMENT_ENGINES:
+            engine_params = (
+                _replace(annealing, batch_size=batch_size)
+                if engine == "batch"
+                else annealing
+            )
+            started = time.perf_counter()
+            result = anneal_placement(
+                grid, footprints, priorities,
+                parameters=engine_params, seed=seed, engine=engine,
+            )
+            wall = time.perf_counter() - started
+            measured[engine] = {
+                "trials": result.trials,
+                "seconds": round(wall, 6),
+                "moves_per_second": (
+                    round(result.trials / wall, 1) if wall > 0 else None
+                ),
+                "energy": result.energy,
+            }
+        reference_rate = measured["reference"]["moves_per_second"] or 0.0
+        batch_rate = measured["batch"]["moves_per_second"] or 0.0
+        rows.append(
+            {
+                "benchmark": name,
+                "seed": seed,
+                "batch_size": batch_size,
+                "engines": measured,
+                "batch_vs_reference": (
+                    round(batch_rate / reference_rate, 2)
+                    if reference_rate
+                    else None
+                ),
+                "batch_never_worse": (
+                    measured["batch"]["energy"]
+                    <= measured["incremental"]["energy"]
+                ),
             }
         )
     return rows

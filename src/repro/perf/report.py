@@ -22,6 +22,7 @@ __all__ = [
     "render_multistart_table",
     "render_route_table",
     "render_scaling_table",
+    "render_throughput_table",
     "write_bench_json",
 ]
 
@@ -33,13 +34,16 @@ def comparisons_to_payload(
     jobs: int = 1,
     jobs_scaling: list[dict] | None = None,
     multistart: list[dict] | None = None,
+    placement_throughput: list[dict] | None = None,
 ) -> dict:
     """Machine-readable bench result (the ``BENCH_*.json`` schema).
 
     *jobs_scaling* and *multistart* attach the optional parallel-layer
     sections (see :func:`repro.perf.harness.measure_jobs_scaling` and
     :func:`~repro.perf.harness.measure_multistart`); *jobs* records the
-    worker count the engine comparison itself ran under.
+    worker count the engine comparison itself ran under;
+    *placement_throughput* attaches the raw SA moves/sec section (see
+    :func:`~repro.perf.harness.measure_placement_throughput`).
     """
     comparisons = list(comparisons)
     rows = []
@@ -79,7 +83,26 @@ def comparisons_to_payload(
         payload["multistart_non_degraded"] = all(
             row["non_degraded"] for row in multistart
         )
+    _attach_throughput(payload, placement_throughput)
     return payload
+
+
+def _attach_throughput(
+    payload: dict, placement_throughput: list[dict] | None
+) -> None:
+    """Attach the ``--throughput`` section and its summary keys."""
+    if placement_throughput is None:
+        return
+    payload["placement_throughput"] = placement_throughput
+    payload["batch_never_worse"] = all(
+        row["batch_never_worse"] for row in placement_throughput
+    )
+    ratios = [
+        row["batch_vs_reference"]
+        for row in placement_throughput
+        if row.get("batch_vs_reference")
+    ]
+    payload["max_batch_vs_reference"] = max(ratios) if ratios else None
 
 
 def route_comparisons_to_payload(
@@ -87,12 +110,16 @@ def route_comparisons_to_payload(
     label: str,
     quick: bool = False,
     jobs: int = 1,
+    placement_throughput: list[dict] | None = None,
 ) -> dict:
     """Machine-readable routing-engine bench result.
 
     Same artifact family as :func:`comparisons_to_payload`, but the
-    paired engines are the routing ones (reference vs flat) and the
-    parity column is the path digest instead of the placement energy.
+    paired engines are the routing ones (reference vs the fast engine,
+    recorded per row as ``fast_engine``) and the parity column is the
+    path digest instead of the placement energy.  The fast run stays
+    under the ``flat`` key for schema continuity with the earlier
+    route-tier artifacts.
     """
     comparisons = list(comparisons)
     rows = []
@@ -103,6 +130,7 @@ def route_comparisons_to_payload(
                 "seed": comparison.reference.seed,
                 "repeats": comparison.reference.repeats,
                 "statistic": "median",
+                "fast_engine": comparison.flat.route_engine,
                 "reference": _route_run_payload(comparison.reference),
                 "flat": _route_run_payload(comparison.flat),
                 "route_speedup": round(comparison.route_speedup, 3),
@@ -111,7 +139,7 @@ def route_comparisons_to_payload(
             }
         )
     speedups = sorted(c.route_speedup for c in comparisons)
-    return {
+    payload = {
         "label": label,
         "kind": "route_engine",
         "quick": quick,
@@ -128,6 +156,8 @@ def route_comparisons_to_payload(
         ),
         "all_paths_match": all(c.paths_match for c in comparisons),
     }
+    _attach_throughput(payload, placement_throughput)
+    return payload
 
 
 def _route_run_payload(run) -> dict:
@@ -170,6 +200,10 @@ def _run_payload(run) -> dict:
         payload["violations"] = run.violations
     if run.route_search_seconds is not None:
         payload["route_search_seconds"] = run.route_search_seconds
+    if run.moves_per_second is not None:
+        payload["moves_proposed"] = run.moves_proposed
+        payload["moves_accepted"] = run.moves_accepted
+        payload["moves_per_second"] = round(run.moves_per_second, 1)
     return payload
 
 
@@ -219,16 +253,17 @@ def render_route_table(comparisons: Iterable[RouteBenchComparison]) -> str:
     The ``paths`` column asserts byte-identical routing (digest
     equality); ``postponed`` shows how many tasks the router had to
     slide, identical on both sides by the parity guarantee; ``p99``
-    is the flat engine's per-search A* latency (the
+    is the fast engine's per-search A* latency (the
     ``astar.search_seconds`` histogram), shown when recorded.
     """
     comparisons = list(comparisons)
     with_latency = any(
         c.flat.route_search_seconds is not None for c in comparisons
     )
+    fast = comparisons[0].flat.route_engine if comparisons else "flat"
     header = (
-        f"{'Benchmark':12s} {'ref route':>10s} {'flat route':>10s} "
-        f"{'speedup':>8s} {'ref total':>10s} {'flat total':>10s} "
+        f"{'Benchmark':12s} {'ref route':>10s} {fast + ' route':>12s} "
+        f"{'speedup':>8s} {'ref total':>10s} {fast + ' total':>12s} "
         f"{'speedup':>8s}  {'paths':5s}  {'postponed':>9s}"
     )
     if with_latency:
@@ -238,9 +273,9 @@ def render_route_table(comparisons: Iterable[RouteBenchComparison]) -> str:
         paths = "match" if c.paths_match else "DIFF!"
         line = (
             f"{c.benchmark:12s} "
-            f"{c.reference.route_time:9.3f}s {c.flat.route_time:9.3f}s "
+            f"{c.reference.route_time:9.3f}s {c.flat.route_time:11.3f}s "
             f"{c.route_speedup:7.2f}x "
-            f"{c.reference.total_time:9.3f}s {c.flat.total_time:9.3f}s "
+            f"{c.reference.total_time:9.3f}s {c.flat.total_time:11.3f}s "
             f"{c.total_speedup:7.2f}x  {paths:5s}  "
             f"{c.flat.postponed_tasks:>9d}"
         )
@@ -251,6 +286,40 @@ def render_route_table(comparisons: Iterable[RouteBenchComparison]) -> str:
                 f"  {p99 * 1e3:>9.3f}ms" if p99 is not None else f"  {'-':>11s}"
             )
         lines.append(line)
+    return "\n".join(lines)
+
+
+def render_throughput_table(rows: Iterable[dict]) -> str:
+    """Raw SA placement throughput per engine, one row per benchmark.
+
+    Rows come from
+    :func:`repro.perf.harness.measure_placement_throughput`: moves/sec
+    is legal candidate moves evaluated per second of annealing
+    wall-clock, ``batch xN`` names the batch engine's candidates per
+    step, and the verdict asserts the batch energy never landed above
+    the serial engines' shared energy.
+    """
+    rows = list(rows)
+    batch_label = (
+        f"batch x{rows[0]['batch_size']} mv/s" if rows else "batch mv/s"
+    )
+    header = (
+        f"{'Benchmark':12s} {'ref mv/s':>10s} {'inc mv/s':>10s} "
+        f"{batch_label:>16s} {'vs ref':>7s} {'batch E':>10s}  {'verdict':s}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        engines = row["engines"]
+        ratio = row.get("batch_vs_reference")
+        verdict = "ok" if row["batch_never_worse"] else "DEGRADED"
+        lines.append(
+            f"{row['benchmark']:12s} "
+            f"{engines['reference']['moves_per_second']:>10.0f} "
+            f"{engines['incremental']['moves_per_second']:>10.0f} "
+            f"{engines['batch']['moves_per_second']:>16.0f} "
+            f"{(f'{ratio:.1f}x' if ratio else '-'):>7s} "
+            f"{engines['batch']['energy']:>10.3f}  {verdict}"
+        )
     return "\n".join(lines)
 
 

@@ -33,6 +33,8 @@ from repro.route.router import (
     DEFAULT_ROUTE_ENGINE,
     ROUTE_ENGINES,
     RoutingResult,
+    _ADVANCE_STRIDE,
+    _RETIRE_STRIDE,
     _cache_slot,
     _finalise_grid,
     _transit_slot,
@@ -119,15 +121,22 @@ def route_tasks_baseline(
     the slide distance), and ``route.reroutes`` (accepted correction
     detours), plus the A* statistics of every search.
     """
-    if engine == "flat":
-        from repro.route.flat import FlatRoutingState, find_path_flat
+    if engine in ("flat", "flat2"):
+        if engine == "flat":
+            from repro.route.flat import FlatRoutingState, find_path_flat
 
-        grid = FlatRoutingState(placement, initial_weight=0.0)
+            grid = FlatRoutingState(placement, initial_weight=0.0)
+            flat_finder = find_path_flat
+        else:
+            from repro.route.flat2 import Flat2RoutingState, find_path_flat2
+
+            grid = Flat2RoutingState(placement, initial_weight=0.0)
+            flat_finder = find_path_flat2
 
         def shortest(sources, targets):
             # Geometry only: weights and occupation slots both hidden,
             # like the reference _ZeroWeightView.
-            return find_path_flat(
+            return flat_finder(
                 grid, sources, targets, _GEOMETRY_PROBE,
                 instrumentation=instrumentation,
                 use_weights=False, use_slots=False,
@@ -135,7 +144,7 @@ def route_tasks_baseline(
 
         def detour(sources, targets, slot):
             # Occupation-aware but uniform-cost, like _UniformCostView.
-            return find_path_flat(
+            return flat_finder(
                 grid, sources, targets, slot,
                 instrumentation=instrumentation,
                 use_weights=False, use_slots=True,
@@ -157,16 +166,35 @@ def route_tasks_baseline(
         raise RoutingError(
             f"unknown route engine {engine!r}; expected one of {ROUTE_ENGINES}"
         )
+    # flat2's postponement fast-forward (see repro.route.flat2): skip
+    # retry delays whose occupancy flags provably match the failing
+    # attempt's, bumping the retry counter by the skipped step count.
+    advance = getattr(grid, "advance_delay", None)
+    # Interval retirement (flat2): drop committed intervals that end
+    # before every conflict window the remaining tasks can query — see
+    # route_tasks; correction detours probe transit windows only, so
+    # the same suffix-minimum bound applies.
+    retire = getattr(grid, "retire_intervals", None)
     result = RoutingResult(placement=placement, grid=None)
     ordered = sorted(tasks, key=lambda t: (t.depart, t.task_id))
-    all_ports = {
-        cell
-        for cid in placement.components()
-        for cell in placement.ports(cid)
+    retire_bounds: list[float] = []
+    if retire is not None:
+        low = float("inf")
+        for task in reversed(ordered):
+            low = min(low, task.transit_occupation[0])
+            retire_bounds.append(low)
+        retire_bounds.reverse()
+    # Ports are pure geometry; compute them once per component instead
+    # of once per task endpoint.
+    port_cache = {
+        cid: placement.ports(cid) for cid in placement.components()
     }
-    for task in ordered:
-        sources = placement.ports(task.src_component)
-        targets = placement.ports(task.dst_component)
+    all_ports = {cell for ports in port_cache.values() for cell in ports}
+    for task_index, task in enumerate(ordered):
+        if retire is not None and task_index % _RETIRE_STRIDE == 0:
+            retire(retire_bounds[task_index])
+        sources = port_cache[task.src_component]
+        targets = port_cache[task.dst_component]
         if task.src_component == task.dst_component:
             # Self-loop: take the first port regardless of occupation,
             # then correct below like any other path.
@@ -183,6 +211,7 @@ def route_tasks_baseline(
         # detour (uniform cost, occupation-aware), then postpone in
         # 1-second steps until a feasible plan exists.
         delay = 0.0
+        crawl_steps = 0
         slots = plan_path_slots(
             grid, cells, task, delay, avoid_for_cache=all_ports
         )
@@ -199,9 +228,22 @@ def route_tasks_baseline(
                         if instrumentation is not None:
                             instrumentation.count("route.reroutes")
                         break
-            delay += 1.0
+            skip = 1
+            if (
+                advance is not None
+                and crawl_steps
+                and crawl_steps % _ADVANCE_STRIDE == 0
+            ):
+                # Deep crawls only — see route_tasks: on dense
+                # occupancies the hint is almost always 1 and paying for
+                # it every step costs more than the crawl itself.
+                hint = advance(task, delay, instrumentation=instrumentation)
+                if hint is not None and hint > 1:
+                    skip = hint
+            crawl_steps += skip
+            delay += skip * 1.0
             if instrumentation is not None:
-                instrumentation.count("route.conflict_retries")
+                instrumentation.count("route.conflict_retries", skip)
             slots = plan_path_slots(
                 grid, cells, task, delay, avoid_for_cache=all_ports
             )

@@ -1,0 +1,638 @@
+"""Vectorized flat routing engine (the ``flat2`` route engine).
+
+Third-generation kernel behind the route-engine seam: the same Eq. 5
+conflict-aware A* as :mod:`repro.route.flat` — identical paths, slot
+plans, and postponements by construction — with the dominant costs
+pushed into numpy:
+
+* **Admissibility masks** — instead of a per-neighbour interval-index
+  probe, each search builds one byte mask of inadmissible cells
+  (blocked ∪ slot-conflicting): two vectorized comparisons over
+  preallocated interval buffers (appended on commit, compacted by
+  :meth:`Flat2RoutingState.retire_intervals` once an interval can
+  never conflict again) flag the conflicting intervals, a scatter maps
+  them onto cells, and the expansion loop is then a single byte load
+  per neighbour.  The mask evaluates exactly the
+  :meth:`~repro.route.flat.FlatOccupancy.conflicts` conditions
+  (interval length, start, end against ``EPSILON``), element-wise.
+* **Unreachability fast-reject** — the big one.  On saturated grids
+  most conflict-aware searches *fail* (the postponement crawl probes
+  the same congested region again and again), and a failing A* must
+  exhaust its entire reachable region before giving up.  But failure is
+  decidable without the heap or the cost arithmetic: A* can only
+  traverse admissible cells, so the search provably returns ``None``
+  unless an admissible target is 4-connected to an admissible source.
+  Port-level checks (no admissible source, or no admissible target)
+  answer most rejects for free; the rest run an early-exit depth-first
+  sweep over the mask, which stops at the first admissible target
+  reached and, when there is none, only visits the sources'
+  congestion-boxed free component.  Only searches that *can* succeed
+  pay for the exact A* — which then returns the byte-identical path.
+  Fast-rejected searches report ``expanded=0`` in the A* statistics;
+  every other observable (paths, slots, postponements) is untouched.
+* **Search arena** — the closed/cost/parent arrays are preallocated
+  once per state and reset by slice assignment, instead of being
+  rebuilt per search — and only once a search has survived the
+  fast-reject.  Port index tuples and their target byte masks are
+  memoized per port list (the routers reuse one list per component).
+* **Cached distance-transform heuristic** — via
+  :meth:`FlatRoutingState.distance_map`, shared with the flat engine:
+  computed once per (grid, target-set) and reused across searches, with
+  hits surfaced on the ``astar.heuristic_cache_hits`` counter.
+* **Postponement fast-forward** — on sparse occupancies the routers'
+  1-second postponement crawl re-attempts a failing task against an
+  *unchanged* occupancy, sliding only the task's own fixed-shape
+  windows.  Each stored interval's conflict flag conjoins two float
+  comparisons, each a monotone step function of the delay (the window
+  start/end grow monotonically with the delay, IEEE float addition of
+  a fixed addend preserves order, so each comparison flips at most
+  once), and "some comparison differs from its state at the current
+  delay" is therefore a monotone predicate —
+  :meth:`Flat2RoutingState.advance_delay` binary-searches the first
+  integer step at which that comparison signature changes and tells
+  the router to skip straight to it.  Delays in between provably
+  produce the identical flag state, hence the identical search and
+  slot-plan outcome, so path identity (and the
+  ``route.conflict_retries`` totals, which the router bumps by the
+  skipped step count) is preserved exactly.  On dense occupancies some
+  flag flips almost every step; a one-probe early exit keeps the
+  mechanism near-free there.
+
+Without numpy the module still works: the finder delegates to
+:func:`~repro.route.flat.find_path_flat` and ``advance_delay`` returns
+``None`` (the routers fall back to the plain 1-second crawl), so paths
+are identical with or without numpy — only the speed changes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from time import perf_counter
+from typing import Iterable
+
+try:  # the vectorized kernels want numpy; the engine degrades without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - the test image ships numpy
+    _np = None
+
+from repro.assay.fluids import Fluid
+from repro.obs.instrument import Instrumentation
+from repro.place.grid import Cell
+from repro.place.placement import Placement
+from repro.route.astar import _flush_search_stats
+from repro.route.flat import FlatRoutingState, find_path_flat
+from repro.route.grid_graph import DEFAULT_INITIAL_WEIGHT
+from repro.route.timeslots import TimeSlot
+from repro.schedule.tasks import TransportTask
+from repro.units import EPSILON, Seconds
+
+__all__ = ["Flat2RoutingState", "find_path_flat2"]
+
+#: Default fast-forward horizon, matching the routers' postponement
+#: budget (:data:`repro.route.router._POSTPONE_LIMIT`).
+_DEFAULT_HORIZON = 1000
+
+
+def _task_windows(
+    task: TransportTask, delay: Seconds
+) -> tuple[tuple[float, float], ...]:
+    """The three occupation windows an attempt at *delay* checks.
+
+    Mirrors :func:`repro.route.router._transit_slot`,
+    :func:`~repro.route.router._cache_slot`, and the tail slot built in
+    :func:`~repro.route.router.plan_path_slots` — float for float, so
+    the fast-forward's flag evaluation sees exactly the windows the
+    real attempt would.
+    """
+    ts, te = task.transit_occupation
+    os_, oe = task.occupation
+    travel = task.arrive - task.depart
+    tail_start = max(task.depart + delay, task.consume + delay - travel)
+    return (
+        (ts + delay, te + delay),
+        (os_ + delay, oe + delay),
+        (tail_start, oe + delay),
+    )
+
+
+class Flat2RoutingState(FlatRoutingState):
+    """Routing state of the ``flat2`` engine.
+
+    Extends :class:`~repro.route.flat.FlatRoutingState` with a flat
+    interval log (numpy mirrors of every committed occupation slot), a
+    preallocated search arena, and the postponement fast-forward.  The
+    Cell-based query/commit surface — and therefore the slot planning,
+    self-loop routing, and :meth:`to_routing_grid` replay — is inherited
+    unchanged, which is what keeps the engine path-identical.
+    """
+
+    def __init__(
+        self,
+        placement: Placement,
+        initial_weight: float = DEFAULT_INITIAL_WEIGHT,
+    ) -> None:
+        super().__init__(placement, initial_weight)
+        n = self.width * self.height
+        #: Flat log of every committed occupation interval, appended in
+        #: commit order; the numpy mirrors below are rebuilt lazily per
+        #: epoch (one epoch per commit).
+        self._int_cells: list[int] = []
+        self._int_starts: list[float] = []
+        self._int_ends: list[float] = []
+        self._epoch = 0
+        self._arrays_epoch = -1
+        self._arrays: tuple | None = None
+        #: Immutable obstacle mask as bytes — the admissibility mask of
+        #: every slot-free search, and the base layer of every other.
+        self._blocked_bytes = bytes(self.blocked)
+        if _np is not None:
+            self._np_blocked = _np.frombuffer(
+                self._blocked_bytes, dtype=_np.uint8
+            )
+            self._blocked_bool = self._np_blocked != 0
+        # Interval buffers for the vectorized mask build (see
+        # _admissible_status): preallocated, grown by doubling, appended
+        # by commit_path.  Zero-length slots are dropped at append time
+        # (they conflict with nothing), and ends are stored with the
+        # EPSILON already subtracted — the mask build is then three
+        # elementwise ops over warm buffers with no per-query
+        # list-to-array conversion.
+        self._buf_count = 0  # stays 0 without numpy: retire is a no-op
+        if _np is not None:
+            self._buf_capacity = 1024
+            self._buf_cells = _np.empty(self._buf_capacity, dtype=_np.intp)
+            self._buf_starts = _np.empty(self._buf_capacity, dtype=_np.float64)
+            self._buf_ends_eps = _np.empty(
+                self._buf_capacity, dtype=_np.float64
+            )
+            self._flags_a = _np.empty(self._buf_capacity, dtype=bool)
+            self._flags_b = _np.empty(self._buf_capacity, dtype=bool)
+            self._conflict_scratch = _np.empty(n, dtype=bool)
+            self._mask_scratch = _np.empty(n, dtype=bool)
+        self._mask_memo: tuple[float, float, int, bytes] | None = None
+        #: Bounds- and obstacle-filtered port indices, keyed by the
+        #: identity of the port list the router passes in.  The routers
+        #: compute each component's ports once and reuse the same list
+        #: for every task touching the component, so identity is a
+        #: stable key for the duration of a routing run; the cached
+        #: entry keeps a reference to the list so the id cannot be
+        #: recycled while the cache lives.
+        self._port_filter_cache: dict[int, tuple[object, tuple[int, ...]]] = {}
+        #: Byte masks with 1 at each port index, keyed by the filtered
+        #: index tuple — the reachability fast-reject's target test and
+        #: the A* goal test both read them (read-only, so sharing one
+        #: bytearray per port set is safe).
+        self._port_bits_cache: dict[tuple[int, ...], bytearray] = {}
+        # Search arena: reset by slice assignment per search instead of
+        # reallocating.  The templates hold the reset values.
+        inf = float("inf")
+        self._inf = inf
+        self._inf_list: list[float] = [inf] * n
+        self._neg1_list: list[int] = [-1] * n
+        self._zero_weights: list[float] = [0.0] * n
+        self._acc: list[float] = [inf] * n
+        self._parent: list[int] = [-1] * n
+        self._status = bytearray(n)
+
+    # ------------------------------------------------------------------
+    # Interval log
+    # ------------------------------------------------------------------
+    def commit_path(
+        self,
+        cells: tuple[Cell, ...],
+        task_id: str,
+        fluid: Fluid,
+        slots: list[TimeSlot],
+        wash_time: Seconds,
+    ) -> None:
+        super().commit_path(cells, task_id, fluid, slots, wash_time)
+        width = self.width
+        int_cells = self._int_cells
+        int_starts = self._int_starts
+        int_ends = self._int_ends
+        buffered = _np is not None
+        for cell, slot in zip(cells, slots):
+            index = cell.y * width + cell.x
+            start = slot.start
+            end = slot.end
+            int_cells.append(index)
+            int_starts.append(start)
+            int_ends.append(end)
+            if not buffered or end - start <= EPSILON:
+                continue  # zero-length slots conflict with nothing
+            count = self._buf_count
+            if count == self._buf_capacity:
+                self._buf_capacity *= 2
+                for name in (
+                    "_buf_cells", "_buf_starts", "_buf_ends_eps",
+                    "_flags_a", "_flags_b",
+                ):
+                    grown = _np.empty(
+                        self._buf_capacity, dtype=getattr(self, name).dtype
+                    )
+                    grown[:count] = getattr(self, name)
+                    setattr(self, name, grown)
+            self._buf_cells[count] = index
+            self._buf_starts[count] = start
+            self._buf_ends_eps[count] = end - EPSILON
+            self._buf_count = count + 1
+        self._epoch += 1
+
+    def retire_intervals(self, bound: Seconds) -> None:
+        """Drop buffered intervals that can never conflict again.
+
+        *bound* must be a lower bound on the start of every future
+        conflict window this state will be asked about.  The routers
+        process tasks in depart order and query only transit windows,
+        whose starts never fall below the suffix-minimum of the
+        remaining tasks' transit starts — so an interval whose
+        (epsilon-adjusted) end is at or before *bound* fails the
+        ``end > window_start`` conflict condition of every future query
+        and can be dropped from the mask buffers outright.  Masks are
+        bit-identical with or without retirement; only the number of
+        intervals each vectorized pass touches shrinks (~3x on
+        Scale200, where most of the log is history by mid-run).
+
+        The full interval log (``_int_cells`` et al.) is untouched —
+        :meth:`advance_delay` keeps evaluating exact flags over
+        everything ever committed.
+        """
+        count = self._buf_count
+        if _np is None or not count:
+            return
+        keep = self._buf_ends_eps[:count] > bound
+        kept = int(keep.sum())
+        if kept == count:
+            return
+        self._buf_cells[:kept] = self._buf_cells[:count][keep]
+        self._buf_starts[:kept] = self._buf_starts[:count][keep]
+        self._buf_ends_eps[:kept] = self._buf_ends_eps[:count][keep]
+        self._buf_count = kept
+
+    def _interval_arrays(self):
+        """Numpy mirrors of the interval log for the current epoch.
+
+        Returns ``(cells, starts, ends_eps, len_ok, false_flags)`` where
+        ``ends_eps`` is ``ends - EPSILON`` (the float every scalar
+        conflict check subtracts) and ``len_ok`` masks intervals longer
+        than ``EPSILON`` — zero-length slots conflict with nothing.
+        """
+        if self._arrays_epoch != self._epoch:
+            cells = _np.array(self._int_cells, dtype=_np.int64)
+            starts = _np.array(self._int_starts, dtype=_np.float64)
+            ends = _np.array(self._int_ends, dtype=_np.float64)
+            self._arrays = (
+                cells,
+                starts,
+                ends - EPSILON,
+                (ends - starts) > EPSILON,
+                _np.zeros(len(cells), dtype=bool),
+            )
+            self._arrays_epoch = self._epoch
+        return self._arrays
+
+    # ------------------------------------------------------------------
+    # Vectorized admissibility
+    # ------------------------------------------------------------------
+    def _admissible_status(self, cs: float, ce: float, check_slot: bool) -> bytes:
+        """Bytes where nonzero = inadmissible (blocked or conflicting).
+
+        Element-wise identical to ``blocked[i] or occupancy.conflicts(i,
+        cs, ce)``: an interval conflicts with ``[cs, ce)`` iff it is
+        longer than ``EPSILON``, starts before ``ce - EPSILON``, and
+        ends after ``cs + EPSILON`` — the exact float comparisons of
+        :meth:`~repro.route.flat.FlatOccupancy.conflicts`.
+
+        Every query is one vectorized full pass over the preallocated
+        interval buffers (appended by :meth:`commit_path`): two
+        elementwise comparisons produce the conflicting-interval flags,
+        a fancy-index assignment scatters them onto the cells, and an
+        ``or`` with the obstacle mask yields the admissibility bytes.
+        On realistic logs (a few thousand intervals) this costs single-
+        digit microseconds — flatly, with no window-locality assumption
+        for a crawl to break.  A one-entry memo keyed by
+        ``(window, epoch)`` catches back-to-back identical queries.
+        """
+        count = self._buf_count
+        if not check_slot or not count:
+            return self._blocked_bytes
+        memo = self._mask_memo
+        if (
+            memo is not None
+            and memo[0] == cs and memo[1] == ce and memo[2] == self._epoch
+        ):
+            return memo[3]
+        flags = self._flags_a[:count]
+        other = self._flags_b[:count]
+        _np.less(self._buf_starts[:count], ce - EPSILON, out=flags)
+        _np.greater(self._buf_ends_eps[:count], cs, out=other)
+        _np.logical_and(flags, other, out=flags)
+        conflict = self._conflict_scratch
+        conflict[:] = False
+        conflict[self._buf_cells[:count][flags]] = True
+        mask = _np.logical_or(conflict, self._blocked_bool, out=self._mask_scratch)
+        result = mask.tobytes()
+        self._mask_memo = (cs, ce, self._epoch, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Postponement fast-forward
+    # ------------------------------------------------------------------
+    def _window_flags(self, task: TransportTask, delay: Seconds) -> list:
+        """Per-interval conflict flags of every window at *delay*."""
+        return [
+            opened & closing
+            for opened, closing in self._window_signature(task, delay)
+        ]
+
+    def _window_signature(self, task: TransportTask, delay: Seconds) -> list:
+        """Per-window ``(opened, closing)`` comparison vectors at *delay*.
+
+        ``opened[i]`` is the interval-starts-before-window-end
+        comparison (monotone False→True in the delay) and ``closing[i]``
+        the interval-ends-after-window-start one (monotone True→False);
+        a conflict flag is their conjunction.  The signature determines
+        the flag state, and — unlike the flags themselves, which can go
+        off→on→off as a window slides past an interval — every
+        component flips at most once, which is what makes "the
+        signature differs from its base state" binary-searchable.
+        """
+        cells, starts, ends_eps, len_ok, false_flags = self._interval_arrays()
+        signature = []
+        for ws, we in _task_windows(task, delay):
+            if we - ws <= EPSILON:
+                # A window's length is delay-invariant, so a degenerate
+                # window conflicts with nothing at every delay.
+                signature.append((false_flags, false_flags))
+            else:
+                signature.append((
+                    len_ok & (starts < we - EPSILON),
+                    len_ok & (ends_eps > ws),
+                ))
+        return signature
+
+    def advance_delay(
+        self,
+        task: TransportTask,
+        delay: Seconds,
+        horizon: int = _DEFAULT_HORIZON,
+        instrumentation: Instrumentation | None = None,
+    ) -> int | None:
+        """Steps (of 1 s) until the occupancy state seen by *task* can
+        change, given that the attempt at *delay* just failed.
+
+        Every retry of the postponement crawl evaluates the same
+        committed intervals against the task's windows slid by the
+        delay; an attempt's outcome is a pure function of the
+        per-interval conflict flags.  A flag itself is *not* monotone
+        (a window sliding past an interval takes it off→on→off), but
+        each of the two float comparisons it conjoins flips at most
+        once — so the binary search runs over that comparison
+        *signature* (see :meth:`_window_signature`), with exact
+        (vectorized) evaluation at each probe.  Signature-identical
+        delays have identical flags, so skipped delays provably
+        reproduce the failing attempt and the caller may jump straight
+        to the returned step count (at worst a conservative stop where
+        a comparison flipped without changing any flag).
+
+        Returns a value in ``[1, horizon]`` — *horizon* itself when no
+        flag changes within the budget (the remaining retries are all
+        provably futile) — or ``None`` when numpy is unavailable or the
+        horizon is too small to skip anything.
+        """
+        if _np is None or horizon <= 1:
+            return None
+        if not self._int_cells:
+            # Empty occupancy: the failure cannot involve slot
+            # conflicts, so no delay can fix it.
+            return horizon
+        started = perf_counter()
+        array_equal = _np.array_equal
+        base = self._window_signature(task, delay)
+
+        def differs(k: int) -> bool:
+            probe = self._window_signature(task, delay + k * 1.0)
+            return any(
+                not (array_equal(a[0], b[0]) and array_equal(a[1], b[1]))
+                for a, b in zip(base, probe)
+            )
+
+        if differs(1):
+            # Dense-occupancy common case: some interval boundary is
+            # crossed on the very next step.  One probe, no search.
+            steps = 1
+        elif not differs(horizon):
+            steps = horizon
+        else:
+            lo, hi = 2, horizon
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if differs(mid):
+                    hi = mid
+                else:
+                    lo = mid + 1
+            steps = lo
+        if instrumentation is not None:
+            instrumentation.observe(
+                "route.advance_seconds", perf_counter() - started
+            )
+        return steps
+
+
+def _port_indices(
+    grid: Flat2RoutingState,
+    ports: Iterable[Cell],
+    width: int,
+    height: int,
+    blocked,
+) -> tuple[int, ...]:
+    """Bounds- and obstacle-filtered flat indices of a port set.
+
+    Pure geometry (the slot mask is applied by the caller), so the
+    result is memoized per port-list identity — the routers pass the
+    same per-component list for every task, and the cache entry pins
+    the list alive, keeping the id stable.  Non-list iterables are
+    filtered directly (they may be single-shot generators).
+    """
+    if not isinstance(ports, (list, tuple)):
+        return tuple(
+            y * width + x
+            for x, y in ports
+            if 0 <= x < width and 0 <= y < height
+            and not blocked[y * width + x]
+        )
+    cache = grid._port_filter_cache
+    entry = cache.get(id(ports))
+    if entry is None or entry[0] is not ports:
+        indices = tuple(
+            y * width + x
+            for x, y in ports
+            if 0 <= x < width and 0 <= y < height
+            and not blocked[y * width + x]
+        )
+        cache[id(ports)] = (ports, indices)
+        return indices
+    return entry[1]
+
+
+def find_path_flat2(
+    grid: Flat2RoutingState,
+    sources: Iterable[Cell],
+    targets: Iterable[Cell],
+    slot: TimeSlot,
+    goal_slot: TimeSlot | None = None,
+    instrumentation: Instrumentation | None = None,
+    *,
+    use_weights: bool = True,
+    use_slots: bool = True,
+) -> tuple[Cell, ...] | None:
+    """Vectorized twin of :func:`~repro.route.flat.find_path_flat`.
+
+    Same search, same cost arithmetic, same heap order, same counters —
+    the admissibility test is precomputed as one byte mask and the
+    per-search arrays come from the state's arena.  Falls back to the
+    flat finder when numpy is unavailable.
+    """
+    if _np is None:
+        return find_path_flat(
+            grid, sources, targets, slot, goal_slot, instrumentation,
+            use_weights=use_weights, use_slots=use_slots,
+        )
+    started = perf_counter()
+    if goal_slot is None:
+        goal_slot = slot
+    width = grid.width
+    height = grid.height
+    blocked = grid.blocked
+    conflicts = grid.occupancy.conflicts
+    cs = slot.start
+    ce = slot.end
+    check_slot = use_slots and (ce - cs) > EPSILON
+    gs = goal_slot.start
+    ge = goal_slot.end
+    check_goal = use_slots and (ge - gs) > EPSILON
+
+    mask = grid._admissible_status(cs, ce, check_slot)
+
+    target_indices = _port_indices(grid, targets, width, height, blocked)
+    source_indices = [i for i in _port_indices(
+        grid, sources, width, height, blocked
+    ) if not mask[i]]
+    free_target = any(not mask[i] for i in target_indices)
+    # A* seeds only admissible sources and a goal is accepted only when
+    # popped open, so no admissible source — or no admissible target at
+    # all — is an immediate provable failure (the second test is what
+    # saves the reachability sweep on the saturated-ports common case).
+    if not target_indices or not source_indices or not free_target:
+        _flush_search_stats(
+            instrumentation, expanded=0, reopened=0, found=False,
+            elapsed=perf_counter() - started,
+        )
+        return None
+
+    target_mask = grid._port_bits_cache.get(target_indices)
+    if target_mask is None:
+        target_mask = bytearray(width * height)
+        for index in target_indices:
+            target_mask[index] = 1
+        grid._port_bits_cache[target_indices] = target_mask
+
+    neighbour_table = grid.neighbours
+    if check_slot:
+        # Unreachability fast-reject — the big saving on saturated
+        # grids.  A* can only traverse admissible cells, so the search
+        # provably fails unless an admissible target is 4-connected to
+        # an admissible source.  An early-exit depth-first sweep over
+        # the mask answers that: successful searches stop at the first
+        # admissible target reached, and failing ones only visit the
+        # sources' (congestion-boxed, hence small) free component —
+        # which is why this beats a full connected-component labelling.
+        # Sound in one direction only — reachable searches still run
+        # the exact A* below (the goal-slot gate can fail them) — so
+        # the returned paths are unchanged.
+        visited = bytearray(mask)
+        reached = False
+        stack: list[int] = []
+        for index in source_indices:
+            if target_mask[index]:
+                reached = True
+                break
+            visited[index] = 1
+            stack.append(index)
+        while stack and not reached:
+            index = stack.pop()
+            for ni in neighbour_table[index]:
+                if not visited[ni]:
+                    if target_mask[ni]:
+                        reached = True
+                        break
+                    visited[ni] = 1
+                    stack.append(ni)
+        if not reached:
+            _flush_search_stats(
+                instrumentation, expanded=0, reopened=0, found=False,
+                elapsed=perf_counter() - started,
+            )
+            return None
+
+    status = grid._status
+    status[:] = mask
+    dist = grid.distance_map(target_indices, instrumentation)
+    weights = grid.weights if use_weights else grid._zero_weights
+    ties = grid.ties
+
+    inf = grid._inf
+    accumulated = grid._acc
+    accumulated[:] = grid._inf_list
+    parent = grid._parent
+    parent[:] = grid._neg1_list
+    open_heap: list[tuple[float, int, int]] = []
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    expanded = 0
+    reopened = 0
+    for index in source_indices:
+        cost = 1.0 + weights[index]
+        if cost < accumulated[index]:
+            accumulated[index] = cost
+            parent[index] = -1
+            heappush(open_heap, (cost + dist[index], ties[index], index))
+
+    path: tuple[Cell, ...] | None = None
+    while open_heap:
+        _f, _tie, index = heappop(open_heap)
+        if status[index]:
+            continue
+        status[index] = 1  # close
+        expanded += 1
+        if target_mask[index] and not (
+            check_goal and conflicts(index, gs, ge)
+        ):
+            chain = [index]
+            previous = parent[index]
+            while previous != -1:
+                chain.append(previous)
+                previous = parent[previous]
+            chain.reverse()
+            path = tuple(Cell(i % width, i // width) for i in chain)
+            break
+        base = accumulated[index] + 1.0
+        for ni in neighbour_table[index]:
+            # status folds blocked, slot conflicts, and closure into a
+            # single byte; a consistent heuristic means a closed
+            # neighbour can never improve.
+            if status[ni]:
+                continue
+            cost = base + weights[ni]
+            old = accumulated[ni]
+            if cost < old:
+                if old != inf:
+                    reopened += 1
+                accumulated[ni] = cost
+                parent[ni] = index
+                heappush(open_heap, (cost + dist[ni], ties[ni], ni))
+    _flush_search_stats(
+        instrumentation, expanded=expanded, reopened=reopened,
+        found=path is not None, elapsed=perf_counter() - started,
+    )
+    return path

@@ -14,7 +14,7 @@ of Fig. 9.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.assay.fluids import Fluid
 from repro.errors import RoutingError
@@ -29,9 +29,14 @@ __all__ = ["CellUsage", "RoutingGrid", "DEFAULT_INITIAL_WEIGHT"]
 DEFAULT_INITIAL_WEIGHT: float = 10.0
 
 
-@dataclass(frozen=True)
-class CellUsage:
-    """One task's use of one cell (for wash accounting)."""
+class CellUsage(NamedTuple):
+    """One task's use of one cell (for wash accounting).
+
+    A named tuple rather than a frozen dataclass: usage events are
+    created in bulk (one per path cell on every commit and again on
+    every flat-engine replay) and tuple construction skips the
+    ``object.__setattr__`` per field that frozen dataclasses pay.
+    """
 
     task_id: str
     fluid: Fluid
@@ -126,4 +131,35 @@ class RoutingGrid:
             self._weights[cell] = wash_time
             self._usage.setdefault(cell, []).append(
                 CellUsage(task_id=task_id, fluid=fluid, slot=slot)
+            )
+
+    def _replay_log(self, log) -> None:
+        """Bulk-apply a flat engine's commit log (already validated).
+
+        Produces the *identical* state repeated :meth:`commit_path`
+        calls over *log* would — same weights, same usage lists, same
+        slot sets, and the same dict/list orders (every structure is
+        first-touched in log order, and per-cell slots are sorted the
+        way repeated ``bisect_left`` insertions would have left them:
+        ascending start, later insertions first among equal starts) —
+        while skipping the per-slot ``is_free`` validation and bisect
+        insertion the live commits already performed.  Equivalence with
+        the naive replay is pinned by a unit test.
+        """
+        pending: dict[Cell, list[tuple[Seconds, int, TimeSlot]]] = {}
+        sequence = 0
+        for cells, task_id, fluid, slots, wash_time in log:
+            for cell, slot in zip(cells, slots):
+                pending.setdefault(cell, []).append(
+                    (slot.start, -sequence, slot)
+                )
+                sequence += 1
+                self._weights[cell] = wash_time
+                self._usage.setdefault(cell, []).append(
+                    CellUsage(task_id=task_id, fluid=fluid, slot=slot)
+                )
+        for cell, entries in pending.items():
+            entries.sort(key=lambda entry: (entry[0], entry[1]))
+            self._slots[cell] = TimeSlotSet._from_disjoint_sorted(
+                [entry[2] for entry in entries]
             )

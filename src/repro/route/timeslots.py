@@ -95,6 +95,22 @@ class TimeSlotSet:
             index += 1
         return False
 
+    @classmethod
+    def _from_disjoint_sorted(cls, slots: list[TimeSlot]) -> "TimeSlotSet":
+        """Bulk constructor for already-validated, start-sorted slots.
+
+        Replay helper for :meth:`RoutingGrid._replay_log`: the slots of
+        a committed routing are pairwise disjoint by the routing
+        invariant, so per-slot overlap checks and bisect insertion can
+        be skipped.  The caller must present the exact order repeated
+        :meth:`add` calls would have produced (ascending start; later
+        insertions first among equal starts, matching ``bisect_left``).
+        """
+        built = cls()
+        built._starts = [slot.start for slot in slots]
+        built._slots = list(slots)
+        return built
+
     def add(self, slot: TimeSlot) -> None:
         """Insert *slot*; raises :class:`ValidationError` on overlap.
 

@@ -262,8 +262,16 @@ class TestRunRouteSuite:
         assert len(comparisons) == 1
         comparison = comparisons[0]
         assert comparison.reference.route_engine == "reference"
-        assert comparison.flat.route_engine == "flat"
+        assert comparison.flat.route_engine == "flat2"
         assert comparison.reference.paths_digest is not None
+        assert comparison.paths_match
+
+    def test_fast_engine_override(self):
+        comparisons = run_route_suite(
+            ("PCR",), seed=1, repeats=1, fast_engine="flat"
+        )
+        comparison = comparisons[0]
+        assert comparison.flat.route_engine == "flat"
         assert comparison.paths_match
 
     def test_validates_route_engine(self):

@@ -89,3 +89,40 @@ class TestRoutingGrid:
         grid.commit_path((cell,), "tk1", fluid("b"), [TimeSlot(5, 8)], 2.0)
         assert len(grid.usage_history()[cell]) == 2
         assert grid.weight(cell) == 2.0  # last residue wins
+
+
+class TestReplayLog:
+    """``_replay_log`` must equal a naive ``commit_path`` replay.
+
+    The flat engines build their final :class:`RoutingGrid` through the
+    bulk replay; its docstring promises identical weights, usage lists,
+    slot sets, *and* container orders to repeated ``commit_path`` calls
+    — including the subtle one: among equal slot starts, repeated
+    ``bisect_left`` insertions leave later insertions first.
+    """
+
+    def _log(self):
+        # Disjoint but interleaved slots on shared cells, with repeated
+        # starts across tasks (zero-length slots share one start) so
+        # the equal-start insertion order is actually exercised.
+        a, b, c = Cell(3, 3), Cell(3, 4), Cell(4, 4)
+        return [
+            ((a, b), "t0", fluid("f0"), [TimeSlot(4, 6), TimeSlot(5, 7)], 1.0),
+            ((b, c), "t1", fluid("f1"), [TimeSlot(0, 2), TimeSlot(1, 3)], 2.0),
+            ((a,), "t2", fluid("f2"), [TimeSlot(2, 2)], 3.0),
+            ((a, c), "t3", fluid("f3"), [TimeSlot(2, 2), TimeSlot(8, 9)], 4.0),
+            ((b,), "t4", fluid("f4"), [TimeSlot(7, 9)], 5.0),
+        ]
+
+    def test_matches_naive_replay(self):
+        naive = RoutingGrid(placement())
+        for cells, task_id, task_fluid, slots, wash in self._log():
+            naive.commit_path(cells, task_id, task_fluid, list(slots), wash)
+        bulk = RoutingGrid(placement())
+        bulk._replay_log(self._log())
+        assert bulk._weights == naive._weights
+        assert bulk.usage_history() == naive.usage_history()
+        assert list(bulk._usage) == list(naive._usage)  # dict order too
+        assert list(bulk._slots) == list(naive._slots)
+        for cell in naive._slots:
+            assert bulk._slots[cell].slots() == naive._slots[cell].slots()

@@ -1,0 +1,192 @@
+"""No-numpy degradation: the fast engines must stay path-identical.
+
+The flat and flat2 routing engines and the batch placement kernel all
+import numpy inside ``try/except ImportError`` and promise a clean
+degradation without it: identical paths (only slower), ``advance_delay``
+declining, ``retire_intervals`` a no-op, ``batch_size=1`` still
+bit-identical, and ``batch_size>1`` a clear error.  These tests run a
+subprocess whose import path shadows numpy with a stub that raises
+``ImportError``, and compare its routing digests against the with-numpy
+digests computed in this (numpy-equipped) process.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: Runs in the subprocess: digests per (flow, engine) plus the
+#: degradation probes, printed as one JSON object.
+_PROBE = """
+import hashlib
+import json
+
+try:
+    import numpy
+except ImportError:
+    pass  # expected: the stub shadows the real numpy
+else:
+    raise SystemExit("numpy stub not active; the test harness is broken")
+
+
+def digests():
+    from repro.benchmarks.registry import get_benchmark
+    from repro.core.baseline import synthesize_problem_baseline
+    from repro.core.problem import SynthesisParameters, SynthesisProblem
+    from repro.core.synthesizer import synthesize_problem
+
+    out = {}
+    for flow, synthesize in (
+        ("ours", synthesize_problem), ("baseline", synthesize_problem_baseline)
+    ):
+        for engine in ("reference", "flat", "flat2"):
+            params = SynthesisParameters(
+                initial_temperature=50.0, min_temperature=1.0,
+                cooling_rate=0.7, iterations_per_temperature=25,
+                seed=1, route_engine=engine,
+            )
+            case = get_benchmark("PCR")
+            problem = SynthesisProblem(
+                assay=case.assay, allocation=case.allocation,
+                parameters=params,
+            )
+            result = synthesize(problem)
+            blob = repr([
+                (p.task.task_id, p.cells, p.slot, p.postponement)
+                for p in result.routing.paths
+            ]).encode()
+            out[flow + ":" + engine] = hashlib.sha256(blob).hexdigest()
+    return out
+
+
+def probes():
+    from repro.place.grid import Cell, ChipGrid
+    from repro.place.placement import PlacedComponent, Placement
+    from repro.route.flat2 import Flat2RoutingState
+    from repro.schedule.tasks import TransportTask
+    from repro.assay.fluids import Fluid
+
+    placement = Placement(
+        ChipGrid(6, 6), {"B": PlacedComponent("B", 0, 0, 1, 1)}
+    )
+    state = Flat2RoutingState(placement)
+    task = TransportTask(
+        task_id="t", producer="p", consumer="c",
+        fluid=Fluid("sample", 1e-6), src_component="A", dst_component="B",
+        depart=0.0, arrive=3.0, consume=5.0,
+    )
+    declined = state.advance_delay(task, 0.0, horizon=100)
+    state.retire_intervals(50.0)  # must be a silent no-op
+
+    from repro.errors import PlacementError
+    from repro.place.annealing import AnnealingParameters, anneal_placement
+    from repro.place.energy import ConnectionPriorities
+
+    footprints = {"M1": (3, 2), "M2": (3, 2)}
+    priorities = ConnectionPriorities(priorities={("M1", "M2"): 5.0})
+    fast = AnnealingParameters(
+        initial_temperature=50.0, min_temperature=1.0, cooling_rate=0.7,
+        iterations_per_temperature=10, batch_size=1,
+    )
+    one = anneal_placement(
+        ChipGrid(10, 10), footprints, priorities,
+        parameters=fast, seed=3, engine="batch",
+    )
+    serial = anneal_placement(
+        ChipGrid(10, 10), footprints, priorities,
+        parameters=fast, seed=3, engine="incremental",
+    )
+    import dataclasses
+    try:
+        anneal_placement(
+            ChipGrid(10, 10), footprints, priorities,
+            parameters=dataclasses.replace(fast, batch_size=8),
+            seed=3, engine="batch",
+        )
+        wide_raises = False
+    except PlacementError:
+        wide_raises = True
+    return {
+        "advance_declined": declined is None,
+        "batch1_matches_incremental": (
+            one.energy == serial.energy
+            and one.placement.blocks() == serial.placement.blocks()
+        ),
+        "batch_wide_raises": wide_raises,
+    }
+
+
+print(json.dumps({"digests": digests(), "probes": probes()}))
+"""
+
+
+@pytest.fixture(scope="module")
+def no_numpy_result(tmp_path_factory):
+    stub_dir = tmp_path_factory.mktemp("no_numpy_stub")
+    (stub_dir / "numpy.py").write_text(
+        'raise ImportError("numpy stubbed out for the degradation test")\n',
+        encoding="utf-8",
+    )
+    completed = subprocess.run(
+        [sys.executable, "-c", _PROBE],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": f"{stub_dir}:{SRC}", "PATH": "/usr/bin:/bin"},
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return json.loads(completed.stdout)
+
+
+def _with_numpy_digest(flow: str, engine: str) -> str:
+    import hashlib
+
+    from repro.benchmarks.registry import get_benchmark
+    from repro.core.baseline import synthesize_problem_baseline
+    from repro.core.problem import SynthesisParameters, SynthesisProblem
+    from repro.core.synthesizer import synthesize_problem
+
+    synthesize = {
+        "ours": synthesize_problem, "baseline": synthesize_problem_baseline
+    }[flow]
+    params = SynthesisParameters(
+        initial_temperature=50.0, min_temperature=1.0,
+        cooling_rate=0.7, iterations_per_temperature=25,
+        seed=1, route_engine=engine,
+    )
+    case = get_benchmark("PCR")
+    problem = SynthesisProblem(
+        assay=case.assay, allocation=case.allocation, parameters=params
+    )
+    result = synthesize(problem)
+    blob = repr([
+        (p.task.task_id, p.cells, p.slot, p.postponement)
+        for p in result.routing.paths
+    ]).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+class TestNoNumpyDegradation:
+    @pytest.mark.parametrize("flow", ["ours", "baseline"])
+    def test_engines_agree_without_numpy(self, no_numpy_result, flow):
+        digests = no_numpy_result["digests"]
+        reference = digests[f"{flow}:reference"]
+        assert digests[f"{flow}:flat"] == reference
+        assert digests[f"{flow}:flat2"] == reference
+
+    def test_paths_match_the_numpy_build(self, no_numpy_result):
+        """Same digests with and without numpy: speed-only degradation."""
+        digests = no_numpy_result["digests"]
+        assert digests["ours:flat2"] == _with_numpy_digest("ours", "flat2")
+
+    def test_fast_paths_decline_cleanly(self, no_numpy_result):
+        probes = no_numpy_result["probes"]
+        assert probes["advance_declined"]
+        assert probes["batch1_matches_incremental"]
+        assert probes["batch_wide_raises"]
