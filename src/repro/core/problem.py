@@ -74,10 +74,28 @@ class SynthesisParameters:
     #: exactly the single-anneal pipeline and best-of-N energy is never
     #: worse than the single run.
     restarts: int = 1
+    #: Restart-seed derivation: ``"legacy"`` is the original
+    #: ``seed*1000+k`` formula (kept as the default for bit-parity;
+    #: collides across nearby base seeds), ``"splitmix"`` the
+    #: collision-free SplitMix64 mix (see
+    #: :func:`repro.parallel.multistart.derive_seed`).  Portfolio arms
+    #: derive their seeds through the same scheme.
+    seed_derivation: str = "legacy"
     #: Worker processes for fanning restarts out
     #: (:mod:`repro.parallel`); the result is bit-identical for every
     #: value.  ``1`` runs inline, ``0`` means one worker per CPU.
     jobs: int = 1
+    #: Portfolio racing (:mod:`repro.parallel.portfolio`): ``0`` keeps
+    #: plain multi-start; ``N >= 1`` races ``N`` heterogeneous arms
+    #: under successive halving instead of running ``restarts``
+    #: identical anneals (``restarts`` is then ignored).
+    portfolio: int = 0
+    #: Explicit arm-spec string (``engine[:key=value]*``, comma
+    #: separated — see :func:`repro.parallel.portfolio.parse_arms`);
+    #: empty cycles the default palette.  Implies portfolio mode.
+    arms: str = ""
+    #: Successive-halving checkpoint rungs for portfolio racing.
+    rungs: int = 3
     #: Independent design-rule audit of the finished result
     #: (:mod:`repro.check`): ``"off"`` skips it entirely, ``"report"``
     #: attaches the :class:`~repro.check.report.CheckReport` to the
@@ -118,6 +136,30 @@ class SynthesisParameters:
             raise ValidationError(
                 f"unknown check mode {self.check!r}; "
                 f"expected one of {CHECK_MODES}"
+            )
+        # Lazy import: repro.parallel pulls in the pool machinery,
+        # which problem construction should not pay for.
+        from repro.parallel.multistart import SEED_DERIVATIONS
+
+        if self.seed_derivation not in SEED_DERIVATIONS:
+            raise ValidationError(
+                f"unknown seed derivation {self.seed_derivation!r}; "
+                f"expected one of {SEED_DERIVATIONS}"
+            )
+        if self.portfolio < 0:
+            raise ValidationError(
+                f"portfolio must be >= 0 (0 disables racing), "
+                f"got {self.portfolio}"
+            )
+        if self.rungs < 1:
+            raise ValidationError(f"rungs must be >= 1, got {self.rungs}")
+        if self.arms or self.portfolio:
+            # Parse eagerly so a bad arm grammar fails at configuration
+            # time, not inside a pool worker mid-race.
+            from repro.parallel.portfolio import resolve_arms
+
+            resolve_arms(
+                self.portfolio, self.arms, self.seed, self.seed_derivation
             )
 
     def annealing(self) -> AnnealingParameters:

@@ -12,6 +12,14 @@ Two tiers, selected by ``--scale``:
   the comparison carries path digests, so a routing-parity break fails
   the run.
 
+A third tier, ``--portfolio N``, replaces the engine comparison with
+the solver comparison: a successive-halving race of ``N``
+heterogeneous SA arms versus classic ``restarts = N/2`` multi-start at
+the same total candidate budget (see ``docs/PERFORMANCE.md``).  It
+writes the ``BENCH_pr8.json`` artifact and exits non-zero unless the
+race is strictly better on energy-per-CPU-second, bit-identical
+across ``--jobs`` levels, and clean under the strict checker.
+
 Both tiers also record the per-search A* latency distribution
 (``astar.search_seconds`` — count/mean/p50/p90/p99/max from the
 in-memory histogram, see ``docs/OBSERVABILITY.md``) in each run's
@@ -50,6 +58,9 @@ Options::
     --throughput BATCH   also measure raw SA placement throughput
                          (moves/sec per engine; batch at BATCH
                          candidates per step) and record the section
+    --portfolio N        run the portfolio tier: N racing arms vs
+                         equal-budget multi-start on Scale100/200
+                         (--rungs sets the halving rungs)
     --output PATH        JSON artifact path (default: BENCH_pr3.json,
                          or BENCH_pr7.json with --scale large)
     --require-speedup B  exit non-zero if the optimised engine is
@@ -77,13 +88,16 @@ from repro.perf.harness import (
     measure_jobs_scaling,
     measure_multistart,
     measure_placement_throughput,
+    measure_portfolio,
     run_route_suite,
     run_suite,
 )
 from repro.perf.report import (
     comparisons_to_payload,
+    portfolio_rows_to_payload,
     render_bench_table,
     render_multistart_table,
+    render_portfolio_table,
     render_route_table,
     render_scaling_table,
     render_throughput_table,
@@ -118,6 +132,16 @@ MULTISTART_BENCHMARKS = ("PCR", "IVD")
 #: largest scale-tier assay, where the batch kernel's vectorization win
 #: is most visible.
 THROUGHPUT_BENCHMARKS = ("Scale200",)
+
+#: Benchmarks the ``--portfolio`` tier gates on: the two largest scale
+#: assays, where CPU efficiency is what matters.
+PORTFOLIO_BENCHMARKS = ("Scale100", "Scale200")
+
+#: ``--quick`` subset of the portfolio tier (CI smoke).
+QUICK_PORTFOLIO_BENCHMARKS = ("Scale50",)
+
+#: Default artifact for the portfolio tier (``--portfolio``).
+DEFAULT_PORTFOLIO_OUTPUT = "BENCH_pr8.json"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -187,6 +211,16 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None, choices=benchmark_names(),
                         help="benchmarks for the --throughput section "
                              f"(default: {', '.join(THROUGHPUT_BENCHMARKS)})")
+    parser.add_argument("--portfolio", type=int, metavar="N", default=None,
+                        help="run the portfolio tier instead: race N "
+                             "successive-halving arms against equal-budget "
+                             "multi-start (restarts = N/2) on "
+                             f"{', '.join(PORTFOLIO_BENCHMARKS)}, gate on "
+                             "strictly better energy-per-CPU-second, "
+                             "jobs-determinism, and the strict checker")
+    parser.add_argument("--rungs", type=int, default=3,
+                        help="successive-halving rungs for --portfolio "
+                             "(default: 3)")
     parser.add_argument("--check",
                         choices=CHECK_MODES,
                         default="report",
@@ -210,6 +244,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def run(argv: list[str]) -> int:
     args = build_parser().parse_args(argv)
+    if args.portfolio is not None:
+        return _run_portfolio_tier(args)
     if args.benchmarks is not None:
         names = tuple(args.benchmarks)
     elif args.scale == "large":
@@ -338,6 +374,73 @@ def _check_throughput(rows: list[dict] | None) -> int:
         )
         return 1
     return 0
+
+
+def _run_portfolio_tier(args) -> int:
+    """The ``--portfolio N`` branch: racing vs equal-budget multi-start.
+
+    Exit 1 when any row fails a gate: the race must be strictly more
+    energy-per-CPU-second efficient than ``restarts = N/2`` classic
+    multi-start at the same candidate budget, bit-identical across
+    worker counts, and clean under the strict design-rule checker.
+    """
+    if args.benchmarks is not None:
+        names = tuple(args.benchmarks)
+    elif args.quick:
+        names = QUICK_PORTFOLIO_BENCHMARKS
+    else:
+        names = PORTFOLIO_BENCHMARKS
+    output = args.output or Path(DEFAULT_PORTFOLIO_OUTPUT)
+
+    rows = measure_portfolio(
+        names,
+        arms=args.portfolio,
+        rungs=args.rungs,
+        seed=args.seed,
+        check=args.check != "off",
+    )
+    print(render_portfolio_table(rows))
+
+    payload = portfolio_rows_to_payload(
+        rows, label=output.stem, quick=args.quick
+    )
+    write_bench_json(output, payload)
+    print(f"\nwrote {output}")
+
+    status = 0
+    slower = [r["benchmark"] for r in rows if not r["portfolio_better"]]
+    if slower:
+        print(
+            "error: portfolio race less CPU-efficient than equal-budget "
+            "multi-start on: " + ", ".join(slower),
+            file=sys.stderr,
+        )
+        status = 1
+    drifting = [
+        r["benchmark"] for r in rows if not r["deterministic_across_jobs"]
+    ]
+    if drifting:
+        print(
+            "error: portfolio result varies across --jobs on: "
+            + ", ".join(drifting),
+            file=sys.stderr,
+        )
+        status = 1
+    dirty = [r["benchmark"] for r in rows if r["checker_clean"] is False]
+    if dirty:
+        print(
+            "error: portfolio pipeline failed the strict checker on: "
+            + ", ".join(dirty),
+            file=sys.stderr,
+        )
+        status = 1
+    if status == 0:
+        print(
+            f"portfolio gate OK: {len(rows)} benchmark(s), "
+            "better e/cpu-s, jobs-deterministic"
+            + ("" if args.check == "off" else ", checker-clean")
+        )
+    return status
 
 
 def _run_route_tier(args, names: tuple[str, ...], repeats: int) -> int:

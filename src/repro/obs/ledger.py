@@ -34,6 +34,10 @@ Record schema (version 1)::
       "histograms": {"astar.search_seconds": {"count": …, "p50": …, …}},
       "checkpoints": [{"worker": 0, "restart": 1, "t": …, "temperature": …,
                        "energy": …}, …],   # optional (live mode)
+      "portfolio": {"winner": "a001:batch", "winner_spec": "batch:k=16",
+                    "rungs_survived": 3, "total_cpu_seconds": …,
+                    "energy_per_cpu_second": …, "arms": […]},
+                                           # optional (portfolio runs)
     }
 
 The ledger is **off by default in the Python API** — ``synthesize``
@@ -141,6 +145,9 @@ def build_record(
     }
     if checkpoints:
         record["checkpoints"] = [dict(point) for point in checkpoints]
+    portfolio = getattr(result, "portfolio", None)
+    if portfolio is not None:
+        record["portfolio"] = dict(portfolio)
     return record
 
 
@@ -226,22 +233,35 @@ def _filter_records(
 
 
 def _aggregate(records: Sequence[dict[str, Any]]) -> list[str]:
-    """Per-digest summary table lines."""
+    """Per-digest summary table lines.
+
+    The ``arm`` and ``e/cpu-s`` columns surface portfolio runs: the
+    newest record's winning arm id and its placement-energy improvement
+    per CPU-second (``-`` for plain multi-start records).
+    """
     groups: dict[str, list[dict[str, Any]]] = {}
     for record in records:
         groups.setdefault(str(record.get("digest", "?")), []).append(record)
     lines = [
         f"{'digest':<12} {'benchmark':<12} {'runs':>4} "
-        f"{'cpu med':>9} {'cpu last':>9} {'energy/exec':>12}"
+        f"{'cpu med':>9} {'cpu last':>9} {'energy/exec':>12} "
+        f"{'arm':<10} {'e/cpu-s':>9}"
     ]
     for digest, group in sorted(groups.items(), key=lambda kv: kv[1][-1].get("ts", 0)):
         cpu_times = [float(r.get("cpu_time", 0.0)) for r in group]
         newest = group[-1]
         exec_time = newest.get("metrics", {}).get("execution_time_s")
+        portfolio = newest.get("portfolio") or {}
+        arm = str(portfolio.get("winner", "-"))
+        efficiency = portfolio.get("energy_per_cpu_second")
+        eff_text = f"{efficiency:.3g}" if isinstance(
+            efficiency, (int, float)
+        ) else "-"
         lines.append(
             f"{digest[:12]:<12} {str(newest.get('benchmark', '?'))[:12]:<12} "
             f"{len(group):>4} {_median(cpu_times):>9.3f} {cpu_times[-1]:>9.3f} "
-            f"{exec_time if exec_time is not None else '-':>12}"
+            f"{exec_time if exec_time is not None else '-':>12} "
+            f"{arm[:10]:<10} {eff_text:>9}"
         )
     return lines
 

@@ -73,6 +73,9 @@ class Heartbeat:
     kind: str
     t: float
     fields: Mapping[str, Any] = field(default_factory=dict)
+    #: Optional display name for the row (e.g. a portfolio arm id such
+    #: as ``a01:batch``); empty renders the plain ``w<worker>`` form.
+    label: str = ""
 
 
 class HeartbeatRelay(Sink):
@@ -91,10 +94,12 @@ class HeartbeatRelay(Sink):
         seed: int,
         interval: float = DEFAULT_HEARTBEAT_INTERVAL,
         clock: Any = time.monotonic,
+        label: str = "",
     ) -> None:
         self.queue = queue
         self.worker = worker
         self.seed = seed
+        self.label = label
         self.interval = interval
         self._clock = clock
         self._last_sent = -float("inf")
@@ -127,6 +132,7 @@ class HeartbeatRelay(Sink):
             kind=kind,
             t=event.time,
             fields=fields,
+            label=self.label,
         )
         self._last_state = beat
         now = self._clock()
@@ -144,6 +150,7 @@ class HeartbeatRelay(Sink):
                 kind="done",
                 t=last.t if last is not None else 0.0,
                 fields=dict(last.fields) if last is not None else {},
+                label=self.label,
             )
         )
 
@@ -161,10 +168,12 @@ class HeartbeatSpec:
     worker: int
     seed: int
     interval: float = DEFAULT_HEARTBEAT_INTERVAL
+    label: str = ""
 
     def build(self) -> HeartbeatRelay:
         return HeartbeatRelay(
-            self.queue, worker=self.worker, seed=self.seed, interval=self.interval
+            self.queue, worker=self.worker, seed=self.seed,
+            interval=self.interval, label=self.label,
         )
 
 
@@ -209,12 +218,17 @@ class LiveProgressMonitor:
         self._lock = threading.Lock()
 
     # -- channel wiring -------------------------------------------------
-    def spec_for(self, worker: int, seed: int) -> HeartbeatSpec:
-        """The picklable relay recipe for pool worker *worker*."""
+    def spec_for(self, worker: int, seed: int, label: str = "") -> HeartbeatSpec:
+        """The picklable relay recipe for pool worker *worker*.
+
+        *label* names the progress row (portfolio arms pass their arm
+        id); empty keeps the classic ``w<worker>`` prefix.
+        """
         if self.queue is None:
             raise RuntimeError("monitor not started: no heartbeat queue yet")
         return HeartbeatSpec(
-            queue=self.queue, worker=worker, seed=seed, interval=self.interval
+            queue=self.queue, worker=worker, seed=seed,
+            interval=self.interval, label=label,
         )
 
     # -- lifecycle ------------------------------------------------------
@@ -307,18 +321,19 @@ class LiveProgressMonitor:
     # -- presentation / ledger ------------------------------------------
     def _describe(self, beat: Heartbeat) -> str:
         fields = beat.fields
+        who = beat.label or f"w{beat.worker}"
         if beat.kind == "done":
             energy = fields.get("energy") or fields.get("best_energy")
             suffix = f" E={energy:.1f}" if isinstance(energy, (int, float)) else ""
-            return f"w{beat.worker} done{suffix}"
+            return f"{who} done{suffix}"
         if beat.kind == "sa":
             t = fields.get("temperature")
             e = fields.get("best_energy", fields.get("energy"))
             t_part = f" T={t:.3g}" if isinstance(t, (int, float)) else ""
             e_part = f" E={e:.1f}" if isinstance(e, (int, float)) else ""
-            return f"w{beat.worker} sa{t_part}{e_part}"
+            return f"{who} sa{t_part}{e_part}"
         routed = fields.get("tasks_routed")
-        return f"w{beat.worker} route n={routed}"
+        return f"{who} route n={routed}"
 
     def render(self) -> None:
         """Rewrite the single live progress line (if a stream is set)."""

@@ -9,7 +9,14 @@ makes that *deterministic*:
   ``restarts`` distinct seeds.  Restart 0 keeps the base seed itself
   (so the single-run trajectory is always among the candidates and
   best-of-N energy can never be worse than the single run); restart
-  ``k >= 1`` uses ``base_seed * 1000 + k``.
+  ``k >= 1`` uses ``base_seed * 1000 + k`` under the default
+  ``derivation="legacy"``.  The legacy formula collides across nearby
+  base seeds (base 2, k=1 and base 2001, k=0 both map to 2001);
+  ``derivation="splitmix"`` mixes ``base + k * GOLDEN_GAMMA`` through
+  the SplitMix64 finaliser — a bijection of the 64-bit space per base,
+  with full avalanche across bases, so distinct ``(base, k)`` pairs
+  collide no more often than random 64-bit draws.  Legacy stays the
+  default purely for bit-parity with earlier releases.
 * **Total-order reduction** — :func:`select_best` picks the winner by
   ``(energy, derived seed)``.  The order is total, so the reduction is
   independent of completion order and worker count: ``jobs=8`` returns
@@ -59,19 +66,64 @@ from repro.place.energy import ConnectionPriorities
 from repro.place.grid import ChipGrid
 
 __all__ = [
+    "SEED_DERIVATIONS",
     "RestartOutcome",
     "anneal_multistart",
+    "derive_seed",
     "multistart_seeds",
     "select_best",
+    "splitmix64",
 ]
 
+#: Supported restart-seed derivation schemes.  ``legacy`` is the
+#: original ``base * 1000 + k`` formula (collision-prone across nearby
+#: bases, kept as the default for bit-parity); ``splitmix`` is the
+#: collision-free SplitMix64 mix.
+SEED_DERIVATIONS = ("legacy", "splitmix")
 
-def multistart_seeds(base_seed: int, restarts: int) -> tuple[int, ...]:
+_MASK64 = (1 << 64) - 1
+#: 2**64 / golden ratio — SplitMix64's stream increment.
+_GOLDEN_GAMMA = 0x9E3779B97F4A7C15
+
+
+def splitmix64(value: int) -> int:
+    """The SplitMix64 finaliser: a 64-bit bijection with full avalanche.
+
+    Reference constants from Steele, Lea & Flood, *Fast splittable
+    pseudorandom number generators* (OOPSLA'14) — the same mix
+    ``java.util.SplittableRandom`` and numpy's ``SeedSequence``
+    machinery build on.
+    """
+    z = (value + _GOLDEN_GAMMA) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def derive_seed(base_seed: int, k: int, derivation: str = "legacy") -> int:
+    """The seed of restart *k* (restart 0 always keeps the base seed)."""
+    if derivation not in SEED_DERIVATIONS:
+        raise PlacementError(
+            f"seed derivation must be one of {SEED_DERIVATIONS}, "
+            f"got {derivation!r}"
+        )
+    if k == 0:
+        # Both schemes keep the base seed for restart 0 — the single-run
+        # trajectory must stay among the candidates.
+        return base_seed
+    if derivation == "legacy":
+        return base_seed * 1000 + k
+    return splitmix64((base_seed + k * _GOLDEN_GAMMA) & _MASK64)
+
+
+def multistart_seeds(
+    base_seed: int, restarts: int, derivation: str = "legacy"
+) -> tuple[int, ...]:
     """The derived seed of every restart (restart 0 keeps the base seed)."""
     if restarts < 1:
         raise PlacementError(f"restarts must be >= 1, got {restarts}")
-    return (base_seed,) + tuple(
-        base_seed * 1000 + k for k in range(1, restarts)
+    return tuple(
+        derive_seed(base_seed, k, derivation) for k in range(restarts)
     )
 
 
@@ -170,12 +222,13 @@ def anneal_multistart(
     jobs: int = 1,
     engine: str = "incremental",
     instrumentation: Instrumentation | None = None,
+    seed_derivation: str = "legacy",
 ) -> AnnealingResult:
     """Best of *restarts* independent anneals, fanned out over *jobs*.
 
     Determinism contract: the returned result depends only on
-    ``(base_seed, restarts)`` — never on ``jobs`` — and
-    ``restarts=1, jobs=1`` is the unmodified single-anneal path.
+    ``(base_seed, restarts, seed_derivation)`` — never on ``jobs`` —
+    and ``restarts=1, jobs=1`` is the unmodified single-anneal path.
     """
     if restarts == 1 and jobs == 1:
         return anneal_placement(
@@ -191,7 +244,7 @@ def anneal_multistart(
     capture = instrumentation is not None and instrumentation.active
     monitor = active_monitor()
     dispatch_t = instrumentation.now() if instrumentation is not None else 0.0
-    seeds = multistart_seeds(base_seed, restarts)
+    seeds = multistart_seeds(base_seed, restarts, seed_derivation)
     tasks = [
         _AnnealTask(
             grid=grid,

@@ -23,6 +23,19 @@ builds on.  Its contract:
   :class:`~repro.errors.ParallelExecutionError`, which *is* a
   :class:`~repro.errors.ReproError`, so existing ``except ReproError``
   guards and the CLI exit code keep working.
+
+:class:`PoolSession` is the wave-oriented sibling of :func:`run_tasks`:
+one long-lived worker pool that serves *multiple* submission waves.
+The portfolio racer (:mod:`repro.parallel.portfolio`) pauses arms at
+checkpoint rungs, and each rung is one wave — reusing the session means
+workers are forked once per race, not once per rung, and the picklable
+checkpoints are the only state that crosses the boundary (the
+*checkpoint transport protocol*: payloads carry resume checkpoints in,
+results carry advanced checkpoints out, both under the same
+:class:`ReproError`-as-data transport as :func:`run_tasks`).  A broken
+or timed-out session is poisoned: later waves fail fast with
+:class:`ParallelExecutionError` instead of dispatching onto a dead
+pool, so no wave can silently orphan its tasks.
 """
 
 from __future__ import annotations
@@ -37,7 +50,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import ParallelExecutionError, ReproError
 
-__all__ = ["resolve_jobs", "run_tasks"]
+__all__ = ["PoolSession", "resolve_jobs", "run_tasks"]
 
 
 @dataclass(frozen=True)
@@ -131,12 +144,84 @@ def run_tasks(
     jobs = resolve_jobs(jobs)
     if jobs == 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    with PoolSession(jobs=min(jobs, len(items))) as session:
+        return session.run(fn, items, timeout=timeout)
 
-    results: list[Any] = []
-    deadline = None if timeout is None else time.monotonic() + timeout
-    try:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-            futures = [pool.submit(_guarded_call, fn, item) for item in items]
+
+class PoolSession:
+    """A reusable worker pool serving multiple submission waves.
+
+    Each :meth:`run` call is one *wave*: all payloads are dispatched,
+    all results gathered in submission order, and only then does the
+    wave return — exactly the :func:`run_tasks` contract, but the
+    worker processes persist between waves.  That is the substrate the
+    successive-halving racer needs: a rung suspends every arm at its
+    checkpoint, the parent ranks and kills, and the next rung's resume
+    payloads go to the *same* workers without re-forking the pool.
+
+    ``jobs=1`` runs every wave inline (no processes, native
+    exceptions), mirroring :func:`run_tasks`'s reference semantics.
+
+    Failure semantics:
+
+    * a :class:`ReproError` in a worker aborts the wave and re-raises
+      in the parent with its original type (the data transport of
+      :func:`run_tasks`); the session stays usable — the error was the
+      task's, not the pool's;
+    * a broken pool or an exceeded wave deadline raises
+      :class:`ParallelExecutionError` *and poisons the session*:
+      every later :meth:`run` fails fast with the stored reason, so a
+      caller iterating waves can never dispatch work onto a dead pool
+      or strand a wave's tasks half-submitted.
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self._pool: ProcessPoolExecutor | None = None
+        self._broken: str | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    def __enter__(self) -> "PoolSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    # -- dispatch -------------------------------------------------------
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Iterable[Any],
+        timeout: float | None = None,
+    ) -> list[Any]:
+        """Run one wave: ``[fn(p) for p in payloads]`` in submission order.
+
+        *timeout* is a per-wave deadline in seconds; exceeding it
+        poisons the session (see the class docstring).
+        """
+        items: Sequence[Any] = list(payloads)
+        if self.jobs == 1:
+            return [fn(item) for item in items]
+        if self._broken is not None:
+            raise ParallelExecutionError(
+                f"pool session unusable after earlier failure: {self._broken}"
+            )
+        if not items:
+            return []
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        results: list[Any] = []
+        deadline = None if timeout is None else time.monotonic() + timeout
+        try:
+            futures = [
+                self._pool.submit(_guarded_call, fn, item) for item in items
+            ]
             for future in futures:
                 remaining: float | None = None
                 if deadline is not None:
@@ -146,15 +231,38 @@ def run_tasks(
                 except FutureTimeoutError:
                     for pending in futures:
                         pending.cancel()
+                    self._poison(f"wave timed out after {timeout:.1f}s")
                     raise ParallelExecutionError(
                         f"worker pool timed out after {timeout:.1f}s "
                         f"({len(results)}/{len(items)} tasks finished)"
                     ) from None
-    except BrokenExecutor as error:
-        raise ParallelExecutionError(
-            f"worker pool broke: {error or type(error).__name__}"
-        ) from error
-    for result in results:
-        if isinstance(result, _WorkerFailure):
-            raise _rebuild_exception(result) from None
-    return results
+        except BrokenExecutor as error:
+            reason = f"worker pool broke: {error or type(error).__name__}"
+            self._poison(reason)
+            raise ParallelExecutionError(reason) from error
+        for result in results:
+            if isinstance(result, _WorkerFailure):
+                raise _rebuild_exception(result) from None
+        return results
+
+    def _poison(self, reason: str) -> None:
+        """Record a fatal pool failure and release the workers.
+
+        ``wait=False`` because the pool is already known-broken or
+        wedged — blocking on it would hang the parent on exactly the
+        failure the deadline was meant to bound.
+        """
+        self._broken = reason
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            # A wedged worker would otherwise be joined at interpreter
+            # exit, turning a bounded deadline into an unbounded hang.
+            # ``_processes`` is executor-internal but stable across
+            # supported CPythons; failing to reach it only loses the
+            # hard kill, never correctness.
+            try:
+                for process in list((pool._processes or {}).values()):
+                    process.terminate()
+            except Exception:
+                pass
+            pool.shutdown(wait=False, cancel_futures=True)

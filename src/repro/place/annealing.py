@@ -51,9 +51,13 @@ from repro.place.moves import random_move, random_placement
 from repro.place.placement import Placement
 
 __all__ = [
+    "AnnealCheckpoint",
     "AnnealingParameters",
     "AnnealingResult",
     "anneal_placement",
+    "anneal_resume",
+    "anneal_start",
+    "checkpoint_result",
     "PLACEMENT_ENGINES",
 ]
 
@@ -93,6 +97,14 @@ class AnnealingParameters:
     #: "batch"``); the other engines ignore it.  ``1`` degenerates to
     #: the incremental engine's exact move loop.
     batch_size: int = 16
+    #: Optional move-mix weights ``(translate, swap, rotate)`` for the
+    #: incremental and batch engines.  ``None`` (the default) keeps the
+    #: uniform reference sampler and its exact RNG draw sequence — the
+    #: bit-parity contract between engines only covers that default.
+    #: Portfolio arms set this to bias exploration; the reference
+    #: engine rejects non-uniform weights rather than silently ignore
+    #: them.
+    move_weights: tuple[float, float, float] | None = None
 
     def __post_init__(self) -> None:
         if not 0 < self.cooling_rate < 1:
@@ -109,12 +121,35 @@ class AnnealingParameters:
             raise PlacementError(
                 f"batch size must be >= 1, got {self.batch_size}"
             )
+        if self.move_weights is not None:
+            if len(self.move_weights) != len(_MOVE_KINDS):
+                raise PlacementError(
+                    f"move_weights needs one weight per kind "
+                    f"{_MOVE_KINDS}, got {self.move_weights!r}"
+                )
+            if min(self.move_weights) < 0 or sum(self.move_weights) <= 0:
+                raise PlacementError(
+                    f"move_weights must be non-negative with a positive "
+                    f"sum, got {self.move_weights!r}"
+                )
 
     @property
     def temperature_steps(self) -> int:
         """Number of cooling steps the schedule will take."""
         ratio = math.log(self.min_temperature / self.initial_temperature)
         return max(1, math.ceil(ratio / math.log(self.cooling_rate)))
+
+    @property
+    def total_iterations(self) -> int:
+        """Total inner-loop move iterations of the full schedule.
+
+        The budget unit of the suspend/resume seam and the portfolio
+        racer's rungs: every temperature step proposes exactly
+        ``iterations_per_temperature`` candidates on every engine (the
+        batch engine evaluates ``batch_size`` lanes *per iteration*,
+        which is its arm's privilege, not a different budget unit).
+        """
+        return self.temperature_steps * self.iterations_per_temperature
 
 
 @dataclass
@@ -182,6 +217,11 @@ def anneal_placement(
             f"expected one of {PLACEMENT_ENGINES}"
         )
     params = parameters or AnnealingParameters()
+    if engine == "reference" and params.move_weights is not None:
+        raise PlacementError(
+            "move_weights is only supported by the incremental and "
+            "batch engines; the reference sampler is uniform"
+        )
     rng = random.Random(seed)
 
     current = random_placement(grid, footprints, rng)
@@ -303,18 +343,27 @@ def _anneal_reference(
 
 
 def _sample_pending_move(
-    workspace: PlacementWorkspace, rng: random.Random, attempts: int = 20
+    workspace: PlacementWorkspace,
+    rng: random.Random,
+    attempts: int = 20,
+    weights: tuple[float, float, float] | None = None,
 ):
     """Incremental twin of :func:`~repro.place.moves.random_move`.
 
-    Replicates the reference sampler's RNG draw sequence exactly — same
-    move-kind choice, same component choices, same ``randint`` bounds,
-    and the same early-return points that skip draws — so a shared seed
-    drives both engines through identical move proposals.
+    With *weights* ``None`` it replicates the reference sampler's RNG
+    draw sequence exactly — same move-kind choice, same component
+    choices, same ``randint`` bounds, and the same early-return points
+    that skip draws — so a shared seed drives both engines through
+    identical move proposals.  Non-``None`` weights bias the move-kind
+    draw (``rng.choices``) and deliberately leave the bit-parity
+    contract: a weighted arm is a *different* deterministic walk.
     """
     components = workspace.components()
     for _ in range(attempts):
-        kind = rng.choice(_MOVE_KINDS)
+        if weights is None:
+            kind = rng.choice(_MOVE_KINDS)
+        else:
+            kind = rng.choices(_MOVE_KINDS, weights=weights, k=1)[0]
         pending = None
         if kind == "translate":
             if components:
@@ -364,7 +413,9 @@ def _anneal_incremental(
         step_accepted = 0
         step_trials = 0
         for _ in range(params.iterations_per_temperature):
-            pending = _sample_pending_move(workspace, rng)
+            pending = _sample_pending_move(
+                workspace, rng, weights=params.move_weights
+            )
             if pending is None:
                 continue
             step_trials += 1
@@ -405,4 +456,257 @@ def _anneal_incremental(
         accepted_moves=accepted,
         trials=trials,
         energy_trace=trace,
+    )
+
+
+# ----------------------------------------------------------------------
+# Suspend/resume seam (the portfolio racer's checkpoint substrate)
+# ----------------------------------------------------------------------
+@dataclass
+class AnnealCheckpoint:
+    """Picklable suspended state of one anneal, pausable at step bounds.
+
+    Captures everything the move loop needs to continue bit-exactly:
+    the placement, the python RNG state (and the batch kernel's PCG64
+    state), the temperature, and the step/iteration counters.  Pauses
+    happen only at temperature-step boundaries, and the incremental
+    workspace's energy is a full-pass recomputation after every commit
+    (bit-identical to a from-scratch evaluation), so an anneal split
+    across any number of suspend/resume cycles walks the *identical*
+    trajectory as an uninterrupted run — the property the resume parity
+    tests pin and the racer's determinism contract stands on.
+
+    ``iterations_done`` counts inner-loop move iterations
+    (``steps_done * Imax``) — the budget unit of the racer's rungs.
+    """
+
+    engine: str
+    seed: int
+    temperature: float
+    steps_done: int
+    iterations_done: int
+    rng_state: tuple
+    #: PCG64 ``bit_generator.state`` of the batch kernel, ``None`` for
+    #: the incremental engine.
+    np_rng_state: dict | None
+    placement: Placement
+    best_placement: Placement
+    current_energy: float
+    best_energy: float
+    initial_energy: float
+    accepted_moves: int
+    trials: int
+    energy_trace: list[float]
+    finished: bool = False
+
+
+#: Engines the checkpoint seam supports (``reference`` is the immutable
+#: oracle and intentionally stays a single uninterruptible run).
+RESUMABLE_ENGINES = ("incremental", "batch")
+
+
+def anneal_start(
+    grid: ChipGrid,
+    footprints: dict[str, tuple[int, int]],
+    priorities: ConnectionPriorities,
+    parameters: AnnealingParameters | None = None,
+    seed: int = 0,
+    engine: str = "incremental",
+    initial: Placement | None = None,
+) -> AnnealCheckpoint:
+    """Build the step-zero checkpoint of a resumable anneal.
+
+    *initial* supplies the starting placement (e.g. the greedy-BA
+    construction for a ``init=greedy`` portfolio arm); ``None`` samples
+    the seeded random placement through the exact RNG draws of
+    :func:`anneal_placement`, so a resumable run started here and run
+    to completion without pauses reproduces the one-shot engines bit
+    for bit.
+    """
+    params = parameters or AnnealingParameters()
+    if engine not in RESUMABLE_ENGINES:
+        raise PlacementError(
+            f"checkpointable annealing supports engines "
+            f"{RESUMABLE_ENGINES}, got {engine!r}"
+        )
+    rng = random.Random(seed)
+    if initial is not None:
+        if initial.grid is not grid and (
+            initial.grid.width != grid.width
+            or initial.grid.height != grid.height
+        ):
+            raise PlacementError(
+                "initial placement was built for a different grid"
+            )
+        if not initial.is_legal():
+            raise PlacementError(
+                "initial placement for a resumable anneal must be legal"
+            )
+        current = initial
+    else:
+        current = random_placement(grid, footprints, rng)
+        if current is None:
+            raise PlacementError(
+                f"could not find an initial legal placement of "
+                f"{len(footprints)} components on a "
+                f"{grid.width}x{grid.height} grid"
+            )
+    energy = placement_energy(current, priorities)
+    np_state: dict | None = None
+    if engine == "batch" and params.batch_size > 1:
+        # Same draw position as anneal_batch: the 64-bit numpy seed is
+        # taken right after the initial placement.
+        from repro.place.batch import numpy_rng_state
+
+        np_state = numpy_rng_state(rng.getrandbits(64))
+    return AnnealCheckpoint(
+        engine=engine,
+        seed=seed,
+        temperature=params.initial_temperature,
+        steps_done=0,
+        iterations_done=0,
+        rng_state=rng.getstate(),
+        np_rng_state=np_state,
+        placement=current,
+        best_placement=current,
+        current_energy=energy,
+        best_energy=energy,
+        initial_energy=energy,
+        accepted_moves=0,
+        trials=0,
+        energy_trace=[],
+        finished=False,
+    )
+
+
+def anneal_resume(
+    checkpoint: AnnealCheckpoint,
+    priorities: ConnectionPriorities,
+    parameters: AnnealingParameters | None = None,
+    until_iterations: int | None = None,
+    instrumentation: Instrumentation | None = None,
+) -> AnnealCheckpoint:
+    """Advance a suspended anneal to *until_iterations* (or completion).
+
+    The budget is a *cumulative* inner-loop iteration count; the loop
+    pauses at the first temperature-step boundary at or past it, so a
+    fixed budget sequence yields the same suspension points — and hence
+    the same trajectory — no matter how the work is sliced.  A
+    checkpoint that already satisfies the budget (or already finished)
+    is returned unchanged.
+    """
+    params = parameters or AnnealingParameters()
+    if checkpoint.finished or (
+        until_iterations is not None
+        and checkpoint.iterations_done >= until_iterations
+    ):
+        return checkpoint
+    if checkpoint.engine == "batch" and params.batch_size > 1:
+        from repro.place.batch import resume_batch
+
+        return resume_batch(
+            checkpoint, priorities, params, until_iterations, instrumentation
+        )
+    return _resume_incremental_checkpoint(
+        checkpoint, priorities, params, until_iterations, instrumentation
+    )
+
+
+def checkpoint_result(checkpoint: AnnealCheckpoint) -> AnnealingResult:
+    """The :class:`AnnealingResult` view of a (possibly paused) anneal."""
+    return AnnealingResult(
+        placement=checkpoint.best_placement,
+        energy=checkpoint.best_energy,
+        initial_energy=checkpoint.initial_energy,
+        accepted_moves=checkpoint.accepted_moves,
+        trials=checkpoint.trials,
+        energy_trace=list(checkpoint.energy_trace),
+        seed=checkpoint.seed,
+    )
+
+
+def _resume_incremental_checkpoint(
+    cp: AnnealCheckpoint,
+    priorities: ConnectionPriorities,
+    params: AnnealingParameters,
+    until_iterations: int | None,
+    instrumentation: Instrumentation | None,
+) -> AnnealCheckpoint:
+    """The incremental move loop over a rebuilt workspace.
+
+    Mirrors :func:`_anneal_incremental` draw for draw; the only
+    additions are the budget check at the step boundary and the state
+    capture at suspension.  The workspace energy after reconstruction
+    is bit-identical to the suspended value because both are full-pass
+    evaluations over the same blocks.
+    """
+    workspace = PlacementWorkspace(cp.placement, priorities)
+    rng = random.Random()
+    rng.setstate(cp.rng_state)
+    current_energy = workspace.energy
+    best_energy = cp.best_energy
+    best_blocks = {
+        cid: cp.best_placement.block(cid)
+        for cid in cp.best_placement.components()
+    }
+    accepted = cp.accepted_moves
+    trials = cp.trials
+    trace = list(cp.energy_trace)
+    temperature = cp.temperature
+    steps_done = cp.steps_done
+    iterations_done = cp.iterations_done
+    exp = math.exp
+    while temperature > params.min_temperature and (
+        until_iterations is None or iterations_done < until_iterations
+    ):
+        step_started = perf_counter()
+        step_accepted = 0
+        step_trials = 0
+        for _ in range(params.iterations_per_temperature):
+            pending = _sample_pending_move(
+                workspace, rng, weights=params.move_weights
+            )
+            if pending is None:
+                continue
+            step_trials += 1
+            delta = pending.delta
+            if -_EXACT_DELTA_THRESHOLD < delta < _EXACT_DELTA_THRESHOLD:
+                delta = workspace.exact_delta(pending)
+            if delta < 0 or rng.random() < exp(-delta / temperature):
+                workspace.commit(pending)
+                current_energy = workspace.energy
+                step_accepted += 1
+                if current_energy < best_energy:
+                    best_energy = current_energy
+                    best_blocks = workspace.snapshot_blocks()
+        accepted += step_accepted
+        trials += step_trials
+        trace.append(current_energy)
+        _flush_step(
+            instrumentation, temperature, current_energy, best_energy,
+            step_trials, step_accepted, perf_counter() - step_started,
+        )
+        temperature *= params.cooling_rate
+        steps_done += 1
+        iterations_done += params.iterations_per_temperature
+    finished = temperature <= params.min_temperature
+    if finished:
+        _flush_final(instrumentation, cp.initial_energy, best_energy)
+    return AnnealCheckpoint(
+        engine=cp.engine,
+        seed=cp.seed,
+        temperature=temperature,
+        steps_done=steps_done,
+        iterations_done=iterations_done,
+        rng_state=rng.getstate(),
+        np_rng_state=cp.np_rng_state,
+        placement=workspace.snapshot(),
+        best_placement=Placement(workspace.grid, best_blocks),
+        current_energy=current_energy,
+        best_energy=best_energy,
+        initial_energy=cp.initial_energy,
+        accepted_moves=accepted,
+        trials=trials,
+        energy_trace=trace,
+        finished=finished,
     )

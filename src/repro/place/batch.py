@@ -57,6 +57,7 @@ except ImportError:  # pragma: no cover - the test image ships numpy
 from repro.errors import PlacementError
 from repro.obs.instrument import Instrumentation
 from repro.place.annealing import (
+    AnnealCheckpoint,
     AnnealingParameters,
     AnnealingResult,
     _anneal_incremental,
@@ -66,7 +67,22 @@ from repro.place.annealing import (
 from repro.place.energy import ConnectionPriorities, placement_energy
 from repro.place.placement import PlacedComponent, Placement
 
-__all__ = ["BatchWorkspace", "anneal_batch"]
+__all__ = ["BatchWorkspace", "anneal_batch", "numpy_rng_state", "resume_batch"]
+
+
+def numpy_rng_state(np_seed: int) -> dict:
+    """The PCG64 ``bit_generator.state`` a fresh stream would start in.
+
+    :func:`repro.place.annealing.anneal_start` stores this in the
+    checkpoint instead of the seed itself so every resume restores the
+    *advanced* stream position, not the beginning.
+    """
+    if _np is None:  # pragma: no cover - exercised via subprocess test
+        raise PlacementError(
+            "engine='batch' with batch_size > 1 requires numpy; "
+            "install it or use batch_size=1 / engine='incremental'"
+        )
+    return _np.random.default_rng(np_seed).bit_generator.state
 
 
 class BatchWorkspace:
@@ -85,6 +101,7 @@ class BatchWorkspace:
         priorities: ConnectionPriorities,
         batch_size: int,
         np_seed: int,
+        move_weights: tuple[float, float, float] | None = None,
     ) -> None:
         if _np is None:  # pragma: no cover - exercised via subprocess test
             raise PlacementError(
@@ -137,6 +154,15 @@ class BatchWorkspace:
         self.net_matrix[self.net_a, self.net_b] = self.net_p
         self.net_matrix[self.net_b, self.net_a] = self.net_p
         self.rng = _np.random.default_rng(np_seed)
+        # Optional move-mix bias (translate/swap/rotate probabilities);
+        # None keeps the uniform integers draw of the RNG-stream
+        # contract, a weighted workspace is a different deterministic
+        # walk (same rule as the serial sampler's weighted mode).
+        if move_weights is None:
+            self._kind_p = None
+        else:
+            w = _np.asarray(move_weights, dtype=_np.float64)
+            self._kind_p = w / w.sum()
         self._lanes = _np.arange(batch_size)
         self._inf_k = _np.full(batch_size, _np.inf)
         #: Running energy: exact (scalar Eq. 3) at construction, then a
@@ -204,7 +230,10 @@ class BatchWorkspace:
         rng = self.rng
         k = self.k
         m = self.m
-        kinds = rng.integers(0, 3, size=k)  # 0 translate, 1 swap, 2 rotate
+        if self._kind_p is None:
+            kinds = rng.integers(0, 3, size=k)  # 0 tran., 1 swap, 2 rot.
+        else:
+            kinds = rng.choice(3, size=k, p=self._kind_p)
         comps = rng.integers(0, m, size=k)
         partners = rng.integers(0, m, size=k)
         u = rng.random((k, 2))
@@ -413,7 +442,8 @@ def anneal_batch(
             current, priorities, params, rng, instrumentation, verify=verify
         )
     workspace = BatchWorkspace(
-        current, priorities, params.batch_size, rng.getrandbits(64)
+        current, priorities, params.batch_size, rng.getrandbits(64),
+        move_weights=params.move_weights,
     )
     if instrumentation is not None:
         instrumentation.gauge("sa.batch_size", params.batch_size)
@@ -476,4 +506,101 @@ def anneal_batch(
         accepted_moves=accepted,
         trials=trials,
         energy_trace=trace,
+    )
+
+
+def resume_batch(
+    cp: AnnealCheckpoint,
+    priorities: ConnectionPriorities,
+    params: AnnealingParameters,
+    until_iterations: int | None,
+    instrumentation: Instrumentation | None,
+) -> AnnealCheckpoint:
+    """Advance a suspended batch anneal (see ``anneal_resume``).
+
+    Continuity is exact: the PCG64 stream is restored from the stored
+    ``bit_generator.state`` (the advanced position, not the seed), and
+    the checkpoint's running energy overrides the workspace's
+    construction-time scalar evaluation — the vectorized full recompute
+    after an accept can differ from the scalar Eq. 3 sum in the last
+    ulp, so carrying the stored value keeps a split run's acceptance
+    decisions bit-identical to an uninterrupted :func:`anneal_batch`.
+    A finished resume reports the exact scalar energy of the best
+    placement outward, exactly like :func:`anneal_batch`.
+    """
+    workspace = BatchWorkspace(
+        cp.placement, priorities, params.batch_size, np_seed=0,
+        move_weights=params.move_weights,
+    )
+    workspace.rng.bit_generator.state = cp.np_rng_state
+    workspace.energy = cp.current_energy
+    if instrumentation is not None:
+        instrumentation.gauge("sa.batch_size", params.batch_size)
+    current_energy = cp.current_energy
+    best_energy = cp.best_energy
+    best_blocks = {
+        cid: cp.best_placement.block(cid)
+        for cid in cp.best_placement.components()
+    }
+    accepted = cp.accepted_moves
+    trials = cp.trials
+    trace = list(cp.energy_trace)
+    temperature = cp.temperature
+    steps_done = cp.steps_done
+    iterations_done = cp.iterations_done
+    while temperature > params.min_temperature and (
+        until_iterations is None or iterations_done < until_iterations
+    ):
+        step_started = perf_counter()
+        kernel_seconds = 0.0
+        step_accepted = 0
+        step_trials = 0
+        for _ in range(params.iterations_per_temperature):
+            kernel_started = perf_counter()
+            n_legal, took = workspace.step(temperature)
+            kernel_seconds += perf_counter() - kernel_started
+            step_trials += n_legal
+            if took:
+                step_accepted += 1
+                current_energy = workspace.energy
+                if current_energy < best_energy:
+                    best_energy = current_energy
+                    best_blocks = workspace._blocks_from_arrays()
+        accepted += step_accepted
+        trials += step_trials
+        trace.append(current_energy)
+        if instrumentation is not None:
+            instrumentation.observe("sa.batch_kernel_seconds", kernel_seconds)
+        _flush_step(
+            instrumentation, temperature, current_energy, best_energy,
+            step_trials, step_accepted, perf_counter() - step_started,
+        )
+        temperature *= params.cooling_rate
+        steps_done += 1
+        iterations_done += params.iterations_per_temperature
+    best_placement = Placement(workspace.grid, best_blocks)
+    finished = temperature <= params.min_temperature
+    if finished:
+        # Outward energies are exact, same as anneal_batch's final
+        # recompute; intermediate rungs compare the running vectorized
+        # values, which is fine — they rank, they are not reported.
+        best_energy = placement_energy(best_placement, priorities)
+        _flush_final(instrumentation, cp.initial_energy, best_energy)
+    return AnnealCheckpoint(
+        engine=cp.engine,
+        seed=cp.seed,
+        temperature=temperature,
+        steps_done=steps_done,
+        iterations_done=iterations_done,
+        rng_state=cp.rng_state,
+        np_rng_state=workspace.rng.bit_generator.state,
+        placement=workspace.snapshot_placement(),
+        best_placement=best_placement,
+        current_energy=current_energy,
+        best_energy=best_energy,
+        initial_energy=cp.initial_energy,
+        accepted_moves=accepted,
+        trials=trials,
+        energy_trace=trace,
+        finished=finished,
     )

@@ -57,6 +57,29 @@ class TestSynthesisParameters:
         # jobs=0 means "one worker per CPU" and is accepted.
         assert SynthesisParameters(jobs=0).jobs == 0
 
+    def test_portfolio_defaults_off_and_validated(self):
+        params = SynthesisParameters()
+        assert params.portfolio == 0
+        assert params.arms == ""
+        assert params.rungs == 3
+        assert params.seed_derivation == "legacy"
+        with pytest.raises(ValidationError, match="portfolio"):
+            SynthesisParameters(portfolio=-1)
+        with pytest.raises(ValidationError, match="rungs"):
+            SynthesisParameters(rungs=0)
+        with pytest.raises(ValidationError, match="derivation"):
+            SynthesisParameters(seed_derivation="golden")
+
+    def test_arm_grammar_validated_at_construction(self):
+        from repro.errors import PlacementError
+
+        # A bad spec must fail here, not inside a pool worker mid-race.
+        with pytest.raises(PlacementError, match="unknown engine"):
+            SynthesisParameters(arms="warp:k=4")
+        # A well-formed spec constructs fine and implies racing.
+        params = SynthesisParameters(arms="inc,inc:cool=0.8")
+        assert params.arms
+
 
 class TestSynthesisProblem:
     def test_validates_assay_against_allocation(self):

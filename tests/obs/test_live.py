@@ -91,6 +91,20 @@ class TestHeartbeatRelay:
         assert (relay.worker, relay.seed, relay.interval) == (5, 9, 0.5)
         assert relay.queue is q
 
+    def test_label_stamped_on_beats_and_done(self):
+        # Portfolio arms label their rows (e.g. "a002:inc"); the label
+        # must ride every beat, including the final done beat.
+        q = queue.Queue()
+        spec = HeartbeatSpec(queue=q, worker=2, seed=7, label="a002:inc")
+        relay = spec.build()
+        relay.emit(_sa_step(t=0.1))
+        relay.close()
+        beats = []
+        while not q.empty():
+            beats.append(q.get_nowait())
+        assert beats and all(b.label == "a002:inc" for b in beats)
+        assert beats[-1].kind == "done"
+
 
 class TestLiveProgressMonitor:
     def _monitor(self, **kwargs):
@@ -138,6 +152,17 @@ class TestLiveProgressMonitor:
         line = stream.getvalue().split("\r")[-1]
         assert "w0 sa" in line and "T=50" in line
         assert "w1 done E=3.5" in line
+
+    def test_labelled_rows_render_the_arm_id(self):
+        stream = io.StringIO()
+        monitor = self._monitor(stream=stream)
+        monitor._handle(Heartbeat(worker=0, seed=1, kind="sa", t=0.1,
+                                  label="a000:inc",
+                                  fields={"temperature": 50.0,
+                                          "energy": 4.0}))
+        line = stream.getvalue().split("\r")[-1]
+        assert "a000:inc sa" in line
+        assert "w0" not in line
 
     def test_heartbeats_republished_into_instrumentation(self):
         sink = RecordingSink()

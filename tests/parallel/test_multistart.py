@@ -5,16 +5,21 @@ from __future__ import annotations
 import random
 
 import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
 
 from repro.benchmarks.registry import get_benchmark
 from repro.core.problem import SynthesisParameters, SynthesisProblem
 from repro.errors import PlacementError
 from repro.obs import Instrumentation
 from repro.parallel.multistart import (
+    SEED_DERIVATIONS,
     RestartOutcome,
     anneal_multistart,
+    derive_seed,
     multistart_seeds,
     select_best,
+    splitmix64,
 )
 from repro.place.annealing import (
     AnnealingParameters,
@@ -62,6 +67,66 @@ class TestSeedDerivation:
     def test_invalid_restarts_rejected(self):
         with pytest.raises(PlacementError, match="restarts"):
             multistart_seeds(1, 0)
+
+    def test_legacy_is_the_default(self):
+        # Bit-compat: every existing seeded artifact was produced with
+        # the base*1000+k formula, so it must stay the default.
+        assert multistart_seeds(7, 4) == multistart_seeds(7, 4, "legacy")
+
+    def test_legacy_collides_across_nearby_bases(self):
+        # The motivating defect: restart 1 of base 2 and restart 0 of
+        # base 2001 anneal identically under the legacy formula.
+        assert multistart_seeds(2, 2)[1] == 2001
+        assert multistart_seeds(2001, 1)[0] == 2001
+
+    def test_splitmix_fixes_the_collision(self):
+        assert (
+            multistart_seeds(2, 2, "splitmix")[1]
+            != multistart_seeds(2001, 1, "splitmix")[0]
+        )
+
+    def test_restart_zero_keeps_base_in_both_schemes(self):
+        # Arm/restart 0 must walk the single-run trajectory whatever
+        # the derivation, so results stay comparable across schemes.
+        for derivation in SEED_DERIVATIONS:
+            assert multistart_seeds(42, 3, derivation)[0] == 42
+
+    def test_unknown_derivation_rejected(self):
+        with pytest.raises(PlacementError, match="derivation"):
+            multistart_seeds(1, 2, "golden")
+
+    def test_splitmix64_reference_vector(self):
+        # First output of the canonical SplitMix64 stream for seed 0
+        # (Steele et al.; same vector the xoshiro site publishes).
+        assert splitmix64(0) == 0xE220A8397B1DCDAF
+
+
+class TestSplitmixUniqueness:
+    """Property: the splitmix scheme never collides across runs."""
+
+    @given(
+        base_a=st.integers(min_value=0, max_value=2**32),
+        base_b=st.integers(min_value=0, max_value=2**32),
+        k_a=st.integers(min_value=1, max_value=64),
+        k_b=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_distinct_restart_streams_never_collide(
+        self, base_a, base_b, k_a, k_b
+    ):
+        assume((base_a, k_a) != (base_b, k_b))
+        assert derive_seed(base_a, k_a, "splitmix") != derive_seed(
+            base_b, k_b, "splitmix"
+        )
+
+    @given(
+        base=st.integers(min_value=0, max_value=2**48),
+        restarts=st.integers(min_value=1, max_value=128),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_seed_sets_are_unique_per_run(self, base, restarts):
+        seeds = multistart_seeds(base, restarts, "splitmix")
+        assert len(set(seeds)) == restarts
 
 
 def _fake_outcome(seed: int, energy: float) -> RestartOutcome:
@@ -145,6 +210,20 @@ class TestAnnealMultistart:
             base_seed=1, restarts=4, jobs=1,
         )
         assert multi.seed in multistart_seeds(1, 4)
+
+    def test_splitmix_derivation_end_to_end(self):
+        grid, footprints, priorities = _problem_inputs()
+        serial = anneal_multistart(
+            grid, footprints, priorities, parameters=FAST,
+            base_seed=1, restarts=3, jobs=1, seed_derivation="splitmix",
+        )
+        pooled = anneal_multistart(
+            grid, footprints, priorities, parameters=FAST,
+            base_seed=1, restarts=3, jobs=2, seed_derivation="splitmix",
+        )
+        assert serial.energy == pooled.energy
+        assert serial.placement.blocks() == pooled.placement.blocks()
+        assert serial.placement.is_legal()
 
     def test_instrumentation_merged_identically_across_jobs(self):
         grid, footprints, priorities = _problem_inputs()

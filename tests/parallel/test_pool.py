@@ -17,6 +17,7 @@ from repro.errors import (
     RoutingError,
 )
 from repro.parallel.pool import (
+    PoolSession,
     _rebuild_exception,
     _WorkerFailure,
     resolve_jobs,
@@ -42,6 +43,24 @@ def _raise_value_error(_payload) -> None:
 
 def _sleep_forever(_payload) -> None:
     time.sleep(60)
+
+
+def _die_abruptly(payload):
+    # Simulates a worker crashing mid-checkpoint: the process vanishes
+    # without unwinding, exactly what a segfault or OOM kill looks like
+    # to the executor.
+    if payload == "die":
+        import os
+
+        os._exit(1)
+    return payload
+
+
+def _slow_then_raise(payload):
+    if payload == "raise":
+        raise RoutingError("checkpoint lost", task_id="arm3")
+    time.sleep(0.05)
+    return payload
 
 
 class TestRunTasks:
@@ -112,6 +131,69 @@ class TestErrorTransport:
     def test_timeout_raises_parallel_error(self):
         with pytest.raises(ParallelExecutionError, match="timed out"):
             run_tasks(_sleep_forever, [1, 2], jobs=2, timeout=0.5)
+
+
+class TestPoolSession:
+    """The wave-oriented session the portfolio racer rides."""
+
+    def test_waves_reuse_the_pool_in_order(self):
+        with PoolSession(jobs=2) as session:
+            first = session.run(_square, [1, 2, 3])
+            second = session.run(_square, first)
+        assert first == [1, 4, 9]
+        assert second == [1, 16, 81]
+
+    def test_inline_session_matches_pooled(self):
+        payloads = list(range(5))
+        with PoolSession(jobs=1) as inline, PoolSession(jobs=3) as pooled:
+            assert inline.run(_square, payloads) == pooled.run(
+                _square, payloads
+            )
+
+    def test_empty_wave(self):
+        with PoolSession(jobs=2) as session:
+            assert session.run(_square, []) == []
+
+    def test_repro_error_preserves_type_and_session(self):
+        # A domain error mid-wave is the task's failure, not the
+        # pool's: the original type crosses the boundary and the
+        # session stays usable for the next wave.
+        with PoolSession(jobs=2) as session:
+            with pytest.raises(RoutingError, match="checkpoint lost"):
+                session.run(_slow_then_raise, ["a", "raise", "b"])
+            assert session.run(_square, [2, 3]) == [4, 9]
+
+    def test_deadline_poisons_the_session(self):
+        with PoolSession(jobs=2) as session:
+            with pytest.raises(ParallelExecutionError, match="timed out"):
+                session.run(_sleep_forever, [1, 2], timeout=0.5)
+            # Later waves must fail fast, not dispatch onto a dead pool.
+            with pytest.raises(ParallelExecutionError, match="unusable"):
+                session.run(_square, [1])
+
+    def test_worker_death_mid_wave_poisons_the_session(self):
+        with PoolSession(jobs=2) as session:
+            with pytest.raises(ParallelExecutionError, match="broke"):
+                session.run(_die_abruptly, ["ok", "die", "ok"])
+            with pytest.raises(ParallelExecutionError, match="unusable"):
+                session.run(_square, [1])
+
+    def test_close_is_idempotent_and_clean_after_death(self):
+        session = PoolSession(jobs=2)
+        with pytest.raises(ParallelExecutionError):
+            session.run(_die_abruptly, ["die", "die"])
+        session.close()
+        session.close()
+
+    def test_deadline_does_not_hang_shutdown(self):
+        # The poisoned pool terminates its sleeping workers; closing
+        # the session (and exiting the interpreter) must be prompt.
+        started = time.monotonic()
+        session = PoolSession(jobs=2)
+        with pytest.raises(ParallelExecutionError):
+            session.run(_sleep_forever, [1, 2], timeout=0.3)
+        session.close()
+        assert time.monotonic() - started < 10.0
 
 
 class TestRebuildException:

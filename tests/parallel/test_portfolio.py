@@ -1,0 +1,313 @@
+"""Tests for the successive-halving portfolio racer.
+
+Worker callables cross a process boundary for ``jobs > 1``, so the
+determinism tests exercise real pools; everything else runs inline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.core.problem import SynthesisParameters, SynthesisProblem
+from repro.errors import PlacementError
+from repro.obs import Instrumentation
+from repro.obs.sinks import RecordingSink
+from repro.parallel.multistart import derive_seed
+from repro.parallel.portfolio import (
+    DEFAULT_PALETTE,
+    PortfolioArm,
+    default_arms,
+    parse_arms,
+    race_portfolio,
+    resolve_arms,
+    rung_budgets,
+)
+from repro.place.annealing import AnnealingParameters
+from repro.place.energy import build_connection_priorities, placement_energy
+from repro.schedule.list_scheduler import schedule_assay
+
+FAST = AnnealingParameters(
+    initial_temperature=50.0,
+    min_temperature=1.0,
+    cooling_rate=0.7,
+    iterations_per_temperature=25,
+)
+
+
+def _problem_inputs(name="PCR", seed=1):
+    case = get_benchmark(name)
+    params = SynthesisParameters(seed=seed)
+    problem = SynthesisProblem(
+        assay=case.assay, allocation=case.allocation, parameters=params
+    )
+    schedule = schedule_assay(
+        problem.assay, problem.allocation, params.transport_time
+    )
+    priorities = build_connection_priorities(
+        schedule, beta=params.beta, gamma=params.gamma
+    )
+    return problem.resolved_grid(), problem.footprints(), priorities
+
+
+class TestArmGrammar:
+    def test_minimal_arm(self):
+        (arm,) = parse_arms("inc")
+        assert arm.engine == "incremental"
+        assert arm.arm_id == "a000:inc"
+        assert arm.seed == 0
+
+    def test_full_grammar_round_trip(self):
+        arms = parse_arms(
+            "inc:init=greedy:w=2/1/1,batch:k=64:T0=1000:cool=0.8",
+            base_seed=7,
+        )
+        greedy, batch = arms
+        assert greedy.init == "greedy"
+        assert greedy.move_weights == (2.0, 1.0, 1.0)
+        assert batch.engine == "batch"
+        assert batch.batch_size == 64
+        assert batch.initial_temperature == 1000.0
+        assert batch.cooling_rate == 0.8
+
+    def test_seeds_follow_restart_derivation(self):
+        arms = parse_arms("inc,inc,inc", base_seed=7)
+        assert [a.seed for a in arms] == [
+            derive_seed(7, k) for k in range(3)
+        ]
+
+    def test_splitmix_derivation_passes_through(self):
+        arms = parse_arms("inc,inc", base_seed=7, seed_derivation="splitmix")
+        assert arms[1].seed == derive_seed(7, 1, "splitmix")
+
+    @pytest.mark.parametrize(
+        "spec, message",
+        [
+            ("", "empty"),
+            ("warp", "unknown engine"),
+            ("inc:k=4", "k= only applies"),
+            ("inc:init=middle", "init must be"),
+            ("inc:w=1/2", "three"),
+            ("inc:T0", "key=value"),
+            ("inc:zeal=9", "unknown arm key"),
+            ("inc:cool=fast", "bad value"),
+        ],
+    )
+    def test_bad_specs_rejected(self, spec, message):
+        with pytest.raises(PlacementError, match=message):
+            parse_arms(spec)
+
+    def test_invalid_schedule_caught_at_parse_time(self):
+        # cool >= 1 never terminates; AnnealingParameters validation
+        # must fire here, not inside a pool worker.
+        with pytest.raises(PlacementError):
+            parse_arms("inc:cool=1.5")
+
+    def test_batch_arm_inherits_reduced_imax(self):
+        (arm,) = parse_arms("batch:k=16")
+        params = arm.parameters(AnnealingParameters())
+        assert params.batch_size == 16
+        assert params.iterations_per_temperature == (
+            AnnealingParameters().iterations_per_temperature // 16
+        )
+
+    def test_explicit_imax_wins_over_lane_scaling(self):
+        (arm,) = parse_arms("batch:k=16:imax=40")
+        assert arm.parameters(
+            AnnealingParameters()
+        ).iterations_per_temperature == 40
+
+
+class TestResolveArms:
+    def test_default_palette_cycles(self):
+        spec = default_arms(len(DEFAULT_PALETTE) + 2)
+        tokens = spec.split(",")
+        assert tokens[0] == tokens[len(DEFAULT_PALETTE)]
+
+    def test_explicit_spec_wins(self):
+        arms = resolve_arms(0, "inc,inc:cool=0.8", base_seed=3)
+        assert len(arms) == 2
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(PlacementError, match="disagrees"):
+            resolve_arms(3, "inc,inc", base_seed=1)
+
+    def test_zero_arms_rejected(self):
+        with pytest.raises(PlacementError, match=">= 1"):
+            resolve_arms(0, "", base_seed=1)
+
+
+class TestRungBudgets:
+    def test_halving_shape(self):
+        assert rung_budgets(13200, 3) == (3300, 6600, 13200)
+
+    def test_single_rung_is_full_budget(self):
+        assert rung_budgets(1000, 1) == (1000,)
+
+    def test_last_rung_always_full(self):
+        for rungs in (1, 2, 3, 5):
+            assert rung_budgets(997, rungs)[-1] == 997
+
+    def test_invalid_rejected(self):
+        with pytest.raises(PlacementError, match="rungs"):
+            rung_budgets(100, 0)
+        with pytest.raises(PlacementError, match="budget"):
+            rung_budgets(0, 3)
+
+
+class TestRacePortfolio:
+    def test_single_arm_degenerates_to_plain_anneal(self):
+        from repro.place.annealing import anneal_placement
+
+        grid, footprints, priorities = _problem_inputs()
+        arms = parse_arms("inc", base_seed=1)
+        raced = race_portfolio(
+            grid, footprints, priorities, arms, parameters=FAST, rungs=3
+        )
+        direct = anneal_placement(
+            grid, footprints, priorities, parameters=FAST, seed=1,
+            engine="incremental",
+        )
+        assert raced.result.energy == direct.energy
+        assert raced.result.placement.blocks() == direct.placement.blocks()
+        assert raced.summary["winner"] == "a000:inc"
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_bit_identical_across_jobs(self, jobs):
+        grid, footprints, priorities = _problem_inputs()
+        arms = resolve_arms(4, base_seed=1)
+        raced = race_portfolio(
+            grid, footprints, priorities, arms,
+            parameters=FAST, rungs=3, jobs=jobs,
+        )
+        baseline = race_portfolio(
+            grid, footprints, priorities, arms,
+            parameters=FAST, rungs=3, jobs=1,
+        )
+        assert raced.result.energy == baseline.result.energy
+        assert (
+            raced.result.placement.blocks()
+            == baseline.result.placement.blocks()
+        )
+        assert raced.summary["winner"] == baseline.summary["winner"]
+        assert [a["killed_at_rung"] for a in raced.summary["arms"]] == [
+            a["killed_at_rung"] for a in baseline.summary["arms"]
+        ]
+
+    def test_halving_kill_bookkeeping(self):
+        grid, footprints, priorities = _problem_inputs()
+        arms = resolve_arms(4, base_seed=1)
+        raced = race_portfolio(
+            grid, footprints, priorities, arms, parameters=FAST, rungs=3
+        )
+        kills = [
+            a["killed_at_rung"] for a in raced.summary["arms"]
+        ]
+        # 4 arms, 3 rungs: 2 die at rung 1, 1 at rung 2, 1 survives.
+        assert sorted(k for k in kills if k is not None) == [1, 1, 2]
+        assert kills.count(None) == 1
+        # No orphans: every arm has a final state and a CPU figure.
+        assert len(raced.summary["arms"]) == 4
+        assert all(
+            a["cpu_seconds"] >= 0.0 and a["iterations"] > 0
+            for a in raced.summary["arms"]
+        )
+
+    def test_killed_arms_stop_at_their_rung_budget(self):
+        grid, footprints, priorities = _problem_inputs()
+        arms = parse_arms("inc,inc,inc,inc", base_seed=1)
+        raced = race_portfolio(
+            grid, footprints, priorities, arms, parameters=FAST, rungs=3
+        )
+        budgets = raced.summary["rung_budgets"]
+        for entry in raced.summary["arms"]:
+            if entry["killed_at_rung"] is not None:
+                ceiling = budgets[entry["killed_at_rung"] - 1]
+                # Paused at the first step boundary at/after the budget.
+                assert entry["iterations"] < ceiling + FAST.iterations_per_temperature
+            else:
+                assert entry["iterations"] >= budgets[-1]
+
+    def test_batch_arms_race_on_candidate_budgets(self):
+        pytest.importorskip("numpy")
+        grid, footprints, priorities = _problem_inputs()
+        arms = parse_arms("inc,batch:k=8", base_seed=1)
+        raced = race_portfolio(
+            grid, footprints, priorities, arms, parameters=FAST, rungs=2
+        )
+        inc_entry, batch_entry = raced.summary["arms"]
+        assert batch_entry["candidates"] == batch_entry["iterations"] * 8
+        assert inc_entry["candidates"] == inc_entry["iterations"]
+
+    def test_winner_energy_is_exact(self):
+        grid, footprints, priorities = _problem_inputs()
+        arms = resolve_arms(4, base_seed=1)
+        raced = race_portfolio(
+            grid, footprints, priorities, arms, parameters=FAST, rungs=3
+        )
+        assert raced.result.energy == placement_energy(
+            raced.result.placement, priorities
+        )
+        assert raced.result.placement.is_legal()
+
+    def test_events_and_counters_emitted(self):
+        grid, footprints, priorities = _problem_inputs()
+        arms = resolve_arms(4, base_seed=1)
+        sink = RecordingSink()
+        instr = Instrumentation(sink)
+        race_portfolio(
+            grid, footprints, priorities, arms,
+            parameters=FAST, rungs=3, instrumentation=instr,
+        )
+        names = [e.name for e in sink.events]
+        assert names.count("portfolio.rung") == 3
+        assert names.count("portfolio.kill") == 3
+        assert "portfolio.winner" in names
+        assert instr.counters["portfolio.rungs"] == 3
+        assert instr.counters["portfolio.kills"] == 3
+        # Arm convergence traces are replayed, namespaced by arm index.
+        sa_workers = {
+            e.worker for e in sink.events if e.name == "sa.step"
+        }
+        assert len(sa_workers) >= 2
+
+    def test_duplicate_arm_ids_rejected(self):
+        arm = PortfolioArm(
+            arm_id="a000:inc", spec="inc", engine="incremental", seed=1
+        )
+        grid, footprints, priorities = _problem_inputs()
+        with pytest.raises(PlacementError, match="duplicate"):
+            race_portfolio(grid, footprints, priorities, (arm, arm))
+
+    def test_empty_arms_rejected(self):
+        grid, footprints, priorities = _problem_inputs()
+        with pytest.raises(PlacementError, match="at least one"):
+            race_portfolio(grid, footprints, priorities, ())
+
+    def test_greedy_init_cpu_is_charged(self):
+        grid, footprints, priorities = _problem_inputs()
+        arms = parse_arms("inc,inc:init=greedy", base_seed=1)
+        raced = race_portfolio(
+            grid, footprints, priorities, arms, parameters=FAST, rungs=2
+        )
+        summary = raced.summary
+        assert summary["greedy_init_cpu_seconds"] >= 0.0
+        assert summary["total_cpu_seconds"] >= (
+            sum(a["cpu_seconds"] for a in summary["arms"])
+        )
+
+
+class TestErrorTransport:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_bad_schedule_surfaces_as_placement_error(self, jobs):
+        # A grid too small for the components fails inside the worker;
+        # the original ReproError type must cross the pool boundary.
+        from repro.place.grid import ChipGrid
+
+        _, footprints, priorities = _problem_inputs()
+        arms = parse_arms("inc,inc", base_seed=1)
+        with pytest.raises(PlacementError):
+            race_portfolio(
+                ChipGrid(2, 2), footprints, priorities, arms,
+                parameters=FAST, rungs=2, jobs=jobs,
+            )
