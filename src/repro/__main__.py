@@ -2,8 +2,14 @@
 
 Subcommands:
 
+* ``serve``        — run the synthesis service: HTTP/JSON job API with
+  a persistent queue and content-addressed result cache; see
+  :mod:`repro.serve` and ``docs/SERVICE.md``.
+* ``submit``       — submit jobs to a running server (and query stats,
+  follow progress, or drain it); see :mod:`repro.serve.client`.
 * ``stats``        — summarise the run ledger, optionally flagging
-  regressions (``--baseline``); see :mod:`repro.obs.ledger`.
+  regressions (``--baseline``) or only server-side runs (``--serve``);
+  see :mod:`repro.obs.ledger`.
 * ``trace2chrome`` — convert a ``--trace`` JSONL file to Chrome
   trace-event JSON for Perfetto; see :mod:`repro.obs.export`.
 * anything else    — forwarded verbatim to the synthesis CLI
@@ -18,6 +24,14 @@ import sys
 
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else list(argv)
+    if args and args[0] == "serve":
+        from repro.serve.server import run_serve
+
+        return run_serve(args[1:])
+    if args and args[0] == "submit":
+        from repro.serve.client import run_submit
+
+        return run_submit(args[1:])
     if args and args[0] == "stats":
         from repro.obs.ledger import run_stats
 

@@ -19,6 +19,7 @@ __all__ = [
     "RoutingError",
     "ValidationError",
     "ParallelExecutionError",
+    "ParallelTimeoutError",
     "CheckError",
 ]
 
@@ -97,4 +98,15 @@ class ParallelExecutionError(ReproError):
     infrastructure failures — a broken or timed-out pool, an invalid
     job count — so they still honour ``except ReproError`` guards and
     the CLI's exit-code-3 contract.
+    """
+
+
+class ParallelTimeoutError(ParallelExecutionError):
+    """Raised when a pool wave exceeds its deadline.
+
+    A distinct subclass so long-lived callers (the synthesis server's
+    job executor) can tell "this task blew its deadline — fail it" from
+    "the pool infrastructure died under an innocent task — rebuild and
+    retry" without parsing messages.  Existing ``except
+    ParallelExecutionError`` guards keep catching it.
     """

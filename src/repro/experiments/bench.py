@@ -211,6 +211,13 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None, choices=benchmark_names(),
                         help="benchmarks for the --throughput section "
                              f"(default: {', '.join(THROUGHPUT_BENCHMARKS)})")
+    parser.add_argument("--serve", action="store_true",
+                        help="run the service tier instead: boot a "
+                             "synthesis server, measure cold submission "
+                             "latency then concurrent cache-hit latency/"
+                             "throughput, and gate on the cache-hit "
+                             "speedup (artifact: BENCH_pr9.json; see "
+                             "docs/SERVICE.md)")
     parser.add_argument("--portfolio", type=int, metavar="N", default=None,
                         help="run the portfolio tier instead: race N "
                              "successive-halving arms against equal-budget "
@@ -244,6 +251,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def run(argv: list[str]) -> int:
     args = build_parser().parse_args(argv)
+    if args.serve:
+        from repro.serve.loadgen import run_serve_bench
+
+        return run_serve_bench(quick=args.quick, output=args.output)
     if args.portfolio is not None:
         return _run_portfolio_tier(args)
     if args.benchmarks is not None:

@@ -38,6 +38,8 @@ Record schema (version 1)::
                     "rungs_survived": 3, "total_cpu_seconds": …,
                     "energy_per_cpu_second": …, "arms": […]},
                                            # optional (portfolio runs)
+      "source": "serve",                   # optional (server-side runs;
+                                           # filter with 'stats --serve')
     }
 
 The ledger is **off by default in the Python API** — ``synthesize``
@@ -47,13 +49,17 @@ CLI (``--no-ledger`` opts out, ``--ledger PATH`` redirects).
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import time
-from dataclasses import asdict
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
+
+# Deprecated re-export: the digest definition moved to
+# :mod:`repro.core.digest` (PR 9) so the serve cache and the ledger
+# share one canonicalisation.  Importing it from here keeps working —
+# and must keep producing byte-identical digests — forever.
+from repro.core.digest import DIGEST_EXCLUDED_PARAMETERS, problem_digest
 
 __all__ = [
     "DEFAULT_LEDGER_PATH",
@@ -70,37 +76,9 @@ __all__ = [
 DEFAULT_LEDGER_PATH = Path(".repro") / "ledger.jsonl"
 LEDGER_SCHEMA_VERSION = 1
 
-#: Parameters excluded from the digest: ``jobs`` only redistributes the
-#: same deterministic work across processes.
-_DIGEST_EXCLUDED_PARAMETERS = frozenset({"jobs"})
-
-
-# ----------------------------------------------------------------------
-# Content addressing
-# ----------------------------------------------------------------------
-def problem_digest(problem: Any) -> str:
-    """SHA-256 content address of (assay, allocation, parameters-jobs).
-
-    Two problems share a digest exactly when the pipeline is guaranteed
-    to produce bit-identical results for them, so ledger records with
-    equal digests are directly comparable.
-    """
-    from repro.assay.io import assay_to_dict
-
-    parameters = {
-        key: value
-        for key, value in asdict(problem.parameters).items()
-        if key not in _DIGEST_EXCLUDED_PARAMETERS
-    }
-    grid = problem.grid
-    document = {
-        "assay": assay_to_dict(problem.assay),
-        "allocation": list(problem.allocation.as_tuple()),
-        "parameters": parameters,
-        "grid": None if grid is None else [grid.width, grid.height, grid.pitch_mm],
-    }
-    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+#: Deprecated alias of
+#: :data:`repro.core.digest.DIGEST_EXCLUDED_PARAMETERS`.
+_DIGEST_EXCLUDED_PARAMETERS = DIGEST_EXCLUDED_PARAMETERS
 
 
 # ----------------------------------------------------------------------
@@ -111,8 +89,14 @@ def build_record(
     histograms: Mapping[str, Mapping[str, Any]] | None = None,
     checkpoints: Sequence[Mapping[str, Any]] | None = None,
     timestamp: float | None = None,
+    source: str | None = None,
 ) -> dict[str, Any]:
-    """Build the schema-1 ledger record for one finished run."""
+    """Build the schema-1 ledger record for one finished run.
+
+    *source* tags where the run came from (the synthesis server writes
+    ``"serve"``); omitted for classic CLI/API runs, so old records and
+    new CLI records look identical.
+    """
     problem = result.problem
     params = problem.parameters
     grid = result.placement.grid
@@ -143,6 +127,8 @@ def build_record(
         "check": check,
         "histograms": dict(histograms or {}),
     }
+    if source is not None:
+        record["source"] = source
     if checkpoints:
         record["checkpoints"] = [dict(point) for point in checkpoints]
     portfolio = getattr(result, "portfolio", None)
@@ -168,15 +154,19 @@ def record_run(
     instrumentation: Any = None,
     path: str | Path | None = None,
     checkpoints: Sequence[Mapping[str, Any]] | None = None,
+    source: str | None = None,
 ) -> Path:
     """Build and append a ledger record for *result* in one call.
 
-    *instrumentation* (optional) contributes its histogram summaries.
+    *instrumentation* (optional) contributes its histogram summaries;
+    *source* tags the record's origin (see :func:`build_record`).
     """
     histograms = None
     if instrumentation is not None:
         histograms = instrumentation.histogram_summaries()
-    record = build_record(result, histograms=histograms, checkpoints=checkpoints)
+    record = build_record(
+        result, histograms=histograms, checkpoints=checkpoints, source=source
+    )
     return append_record(record, path)
 
 
@@ -220,12 +210,14 @@ def _filter_records(
     benchmark: str | None = None,
     digest: str | None = None,
     last: int | None = None,
+    source: str | None = None,
 ) -> list[dict[str, Any]]:
     selected = [
         r
         for r in records
         if (benchmark is None or r.get("benchmark") == benchmark)
         and (digest is None or str(r.get("digest", "")).startswith(digest))
+        and (source is None or r.get("source") == source)
     ]
     if last is not None and last > 0:
         selected = selected[-last:]
@@ -334,6 +326,12 @@ def run_stats(argv: Sequence[str] | None = None) -> int:
         "--last", type=int, help="only the newest N matching records"
     )
     parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="only records written by the synthesis server "
+        "(tagged 'source: serve'; see docs/SERVICE.md)",
+    )
+    parser.add_argument(
         "--baseline",
         action="store_true",
         help="compare each digest's newest record against the median of "
@@ -364,6 +362,7 @@ def run_stats(argv: Sequence[str] | None = None) -> int:
         benchmark=args.benchmark,
         digest=args.digest,
         last=args.last,
+        source="serve" if args.serve else None,
     )
     if not records:
         print(f"no ledger records match (ledger: {args.ledger})")

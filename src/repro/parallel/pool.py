@@ -41,6 +41,7 @@ pool, so no wave can silently orphan its tasks.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -48,7 +49,11 @@ from dataclasses import dataclass
 from traceback import format_exc
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.errors import ParallelExecutionError, ReproError
+from repro.errors import (
+    ParallelExecutionError,
+    ParallelTimeoutError,
+    ReproError,
+)
 
 __all__ = ["PoolSession", "resolve_jobs", "run_tasks"]
 
@@ -168,17 +173,33 @@ class PoolSession:
       in the parent with its original type (the data transport of
       :func:`run_tasks`); the session stays usable — the error was the
       task's, not the pool's;
-    * a broken pool or an exceeded wave deadline raises
-      :class:`ParallelExecutionError` *and poisons the session*:
-      every later :meth:`run` fails fast with the stored reason, so a
-      caller iterating waves can never dispatch work onto a dead pool
-      or strand a wave's tasks half-submitted.
+    * a broken pool raises :class:`ParallelExecutionError` and an
+      exceeded wave deadline raises :class:`ParallelTimeoutError` (a
+      subclass); both *poison the session*: every later :meth:`run`
+      fails fast with the stored reason, so a caller iterating waves
+      can never dispatch work onto a dead pool or strand a wave's
+      tasks half-submitted.  Poisoning is *recoverable*: a long-lived
+      caller (the synthesis server) calls :meth:`reset` to discard the
+      dead pool and re-fork workers on the next wave — queued work
+      held by the caller is never lost to a single dead worker.
+
+    The session is safe to use from multiple threads: waves may be
+    submitted concurrently (the synthesis server runs one wave per
+    in-flight job), and pool creation / poisoning / reset are
+    serialised internally.  Note that one wave's deadline poisoning
+    terminates the shared workers, so sibling waves fail with
+    :class:`ParallelExecutionError` and should be retried after a
+    :meth:`reset`.
     """
 
     def __init__(self, jobs: int = 1) -> None:
         self.jobs = resolve_jobs(jobs)
         self._pool: ProcessPoolExecutor | None = None
         self._broken: str | None = None
+        self._lock = threading.Lock()
+        #: Pools generations created over this session's lifetime
+        #: (1 fork + 1 per reset-after-poison); telemetry only.
+        self.generations = 0
 
     # -- lifecycle ------------------------------------------------------
     def __enter__(self) -> "PoolSession":
@@ -189,9 +210,31 @@ class PoolSession:
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
-        pool, self._pool = self._pool, None
+        with self._lock:
+            pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
+
+    def reset(self) -> None:
+        """Recover a poisoned session: drop the dead pool, clear the poison.
+
+        The next :meth:`run` forks a fresh worker pool.  Nothing the
+        caller holds (queued payloads, earlier results) is touched —
+        this only discards the broken process-pool infrastructure, so a
+        server can retry the interrupted wave instead of wedging.  Safe
+        (and a no-op beyond a pool recycle) on a healthy session.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._broken = None
+        if pool is not None:
+            # The pool may hold wedged or dead workers; never block on it.
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    @property
+    def broken(self) -> str | None:
+        """The stored poisoning reason, or ``None`` while healthy."""
+        return self._broken
 
     # -- dispatch -------------------------------------------------------
     def run(
@@ -208,19 +251,23 @@ class PoolSession:
         items: Sequence[Any] = list(payloads)
         if self.jobs == 1:
             return [fn(item) for item in items]
-        if self._broken is not None:
-            raise ParallelExecutionError(
-                f"pool session unusable after earlier failure: {self._broken}"
-            )
         if not items:
             return []
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        with self._lock:
+            if self._broken is not None:
+                raise ParallelExecutionError(
+                    f"pool session unusable after earlier failure: "
+                    f"{self._broken}"
+                )
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+                self.generations += 1
+            pool = self._pool
         results: list[Any] = []
         deadline = None if timeout is None else time.monotonic() + timeout
         try:
             futures = [
-                self._pool.submit(_guarded_call, fn, item) for item in items
+                pool.submit(_guarded_call, fn, item) for item in items
             ]
             for future in futures:
                 remaining: float | None = None
@@ -232,7 +279,7 @@ class PoolSession:
                     for pending in futures:
                         pending.cancel()
                     self._poison(f"wave timed out after {timeout:.1f}s")
-                    raise ParallelExecutionError(
+                    raise ParallelTimeoutError(
                         f"worker pool timed out after {timeout:.1f}s "
                         f"({len(results)}/{len(items)} tasks finished)"
                     ) from None
@@ -252,8 +299,9 @@ class PoolSession:
         wedged — blocking on it would hang the parent on exactly the
         failure the deadline was meant to bound.
         """
-        self._broken = reason
-        pool, self._pool = self._pool, None
+        with self._lock:
+            self._broken = reason
+            pool, self._pool = self._pool, None
         if pool is not None:
             # A wedged worker would otherwise be joined at interpreter
             # exit, turning a bounded deadline into an unbounded hang.

@@ -1,0 +1,125 @@
+"""Content-addressed synthesis result cache.
+
+The synthesis flow is deterministic for a fixed submission, so a
+result is fully identified by its submission's content address
+(:mod:`repro.core.digest`).  The cache maps that key to the canonical
+result-document *text* produced by the first execution: a hit replays
+the original result byte for byte, which is the service's cache
+contract (``"cached": true`` responses are indistinguishable from the
+original run's ``result`` object).
+
+Storage is one file per entry under ``<root>/<key>.json``, written
+atomically (temp file + :func:`os.replace`) so a crash mid-write can
+never leave a half-result a later boot would serve.  A warm in-memory
+mirror makes repeat hits microsecond-fast; cold hits (after a restart)
+read the file once and re-warm.
+
+Hit/miss counters live on the instance; the server republishes them as
+``serve.cache_hits`` / ``serve.cache_misses`` counters and in
+``GET /stats``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+
+__all__ = ["ResultCache"]
+
+#: Characters allowed in cache keys (hex digests plus the lowercase
+#: algorithm namespace prefix) — anything else would risk path games.
+_KEY_CHARS = frozenset("abcdefghijklmnopqrstuvwxyz0123456789-")
+
+
+class ResultCache:
+    """Disk-backed, memory-mirrored map of content key -> result text."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self._memory: dict[str, str] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _check_key(key: str) -> str:
+        if not key or not set(key) <= _KEY_CHARS:
+            raise ValueError(f"invalid cache key: {key!r}")
+        return key
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{self._check_key(key)}.json"
+
+    def get(self, key: str) -> str | None:
+        """The cached result text for *key*, or ``None`` (counted)."""
+        with self._lock:
+            text = self._memory.get(key)
+            if text is not None:
+                self.hits += 1
+                return text
+        path = self._path(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            text = None
+        with self._lock:
+            if text is not None:
+                self._memory[key] = text
+                self.hits += 1
+            else:
+                self.misses += 1
+        return text
+
+    def peek(self, key: str) -> str | None:
+        """Read *key* without touching the hit/miss counters.
+
+        Status endpoints use this: retrieving an already-delivered
+        result is not a cache decision and must not skew the ratio.
+        """
+        with self._lock:
+            text = self._memory.get(key)
+        if text is not None:
+            return text
+        try:
+            text = self._path(key).read_text(encoding="utf-8")
+        except OSError:
+            return None
+        with self._lock:
+            self._memory[key] = text
+        return text
+
+    def contains(self, key: str) -> bool:
+        """Presence probe that does not touch the hit/miss counters."""
+        with self._lock:
+            if key in self._memory:
+                return True
+        return self._path(key).exists()
+
+    def put(self, key: str, text: str) -> None:
+        """Store *text* under *key* (atomic; last writer wins)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}-{threading.get_ident()}")
+        with open(tmp, "w", encoding="utf-8") as stream:
+            stream.write(text)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp, path)
+        with self._lock:
+            self._memory[key] = text
+
+    def entries(self) -> int:
+        """Number of entries on disk (authoritative across restarts)."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": self.entries(),
+                "warm": len(self._memory),
+            }

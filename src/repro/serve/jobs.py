@@ -1,0 +1,329 @@
+"""Bounded persistent job queue: a JSONL journal replayed on restart.
+
+Accepted jobs must survive a server crash — acceptance is a promise.
+The queue therefore journals every state transition as one JSON line
+(``job`` / ``start`` / ``done`` / ``fail``) appended with fsync, the
+same crash-parseable-prefix discipline as the run ledger and the
+hardened :class:`~repro.obs.sinks.JsonlSink`: a process killed
+mid-append leaves at most one damaged *final* line, which replay
+skips.
+
+Replay rules (:meth:`JobQueue.replay`):
+
+* a ``job`` line (re)creates the job as *queued*; duplicate ids are
+  idempotent — the first submission wins, later ones are ignored;
+* a ``start`` line bumps the attempt counter but the job stays
+  *queued* unless a terminal line follows: a job that was running when
+  the server died was lost mid-flight and must run again;
+* ``done`` / ``fail`` are terminal (``done`` jobs re-serve from the
+  result cache; they are kept for status queries, not re-executed).
+
+The bound (*limit*) applies to **pending** jobs only — that is the
+backpressure surface: a full queue makes ``POST /jobs`` answer 429
+with ``Retry-After`` instead of accepting work it cannot promise.
+
+All methods are thread-safe: the asyncio loop submits, executor
+threads finish, the journal serialises under one lock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.errors import ReproError
+
+__all__ = [
+    "DEFAULT_QUEUE_LIMIT",
+    "Job",
+    "JobQueue",
+    "QueueFullError",
+    "read_journal",
+]
+
+#: Default cap on pending (accepted but not yet running) jobs.
+DEFAULT_QUEUE_LIMIT = 64
+
+#: Job lifecycle states.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+
+class QueueFullError(ReproError):
+    """Raised when the pending-job bound is hit (HTTP 429)."""
+
+
+@dataclass
+class Job:
+    """One accepted submission and its lifecycle state."""
+
+    job_id: str
+    document: dict[str, Any]
+    digest: str
+    cache_key: str
+    status: str = QUEUED
+    attempts: int = 0
+    error: str | None = None
+    #: True when the job was answered from the result cache without a
+    #: synthesis execution (only for journal-replayed duplicates).
+    cached: bool = False
+    created: float = 0.0
+    started: float | None = None
+    finished: float | None = None
+
+    def as_status(self) -> dict[str, Any]:
+        """The JSON status document of ``GET /jobs/{id}``."""
+        return {
+            "job_id": self.job_id,
+            "status": self.status,
+            "benchmark": self.document.get(
+                "benchmark",
+                (self.document.get("assay") or {}).get("name", "assay"),
+            ),
+            "digest": self.digest,
+            "attempts": self.attempts,
+            "cached": self.cached,
+            "error": self.error,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+        }
+
+
+def read_journal(path: str | Path) -> list[dict[str, Any]]:
+    """All parseable journal records, oldest first.
+
+    Damaged lines (a crash mid-append) are skipped, never fatal — the
+    journal must stay replayable after any crash.
+    """
+    journal = Path(path)
+    if not journal.exists():
+        return []
+    records: list[dict[str, Any]] = []
+    with open(journal, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and "kind" in record:
+                records.append(record)
+    return records
+
+
+class JobQueue:
+    """The bounded, journal-backed job queue of one server instance."""
+
+    def __init__(
+        self,
+        journal_path: str | Path,
+        limit: int = DEFAULT_QUEUE_LIMIT,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if limit < 1:
+            raise ReproError(f"queue limit must be >= 1, got {limit}")
+        self.journal_path = Path(journal_path)
+        self.limit = limit
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._pending: deque[str] = deque()
+        self._seq = 0
+        #: Jobs requeued by journal replay (lost mid-flight in a crash).
+        self.recovered = 0
+        self.replay()
+
+    # -- journal --------------------------------------------------------
+    def _append(self, record: dict[str, Any]) -> None:
+        self.journal_path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, default=repr)
+        with open(self.journal_path, "a", encoding="utf-8") as stream:
+            stream.write(line + "\n")
+            stream.flush()
+            os.fsync(stream.fileno())
+
+    def replay(self) -> None:
+        """Rebuild in-memory state from the journal (idempotent)."""
+        with self._lock:
+            self._jobs.clear()
+            self._pending.clear()
+            started: set[str] = set()
+            for record in read_journal(self.journal_path):
+                kind = record.get("kind")
+                job_id = str(record.get("id", ""))
+                if kind == "job":
+                    if job_id in self._jobs:
+                        continue  # duplicate submission: idempotent
+                    document = record.get("document")
+                    if not isinstance(document, dict):
+                        continue
+                    self._jobs[job_id] = Job(
+                        job_id=job_id,
+                        document=document,
+                        digest=str(record.get("digest", "")),
+                        cache_key=str(record.get("cache_key", "")),
+                        created=float(record.get("ts", 0.0)),
+                    )
+                    self._pending.append(job_id)
+                    continue
+                job = self._jobs.get(job_id)
+                if job is None:
+                    continue
+                if kind == "start":
+                    job.attempts = max(
+                        job.attempts, int(record.get("attempt", 1))
+                    )
+                    started.add(job_id)
+                elif kind == "done":
+                    job.status = DONE
+                    job.cached = bool(record.get("cached", False))
+                    job.finished = float(record.get("ts", 0.0))
+                    if job_id in self._pending:
+                        self._pending.remove(job_id)
+                elif kind == "fail":
+                    job.status = FAILED
+                    job.error = str(record.get("error", "unknown"))
+                    job.finished = float(record.get("ts", 0.0))
+                    if job_id in self._pending:
+                        self._pending.remove(job_id)
+            # Jobs with a start but no terminal record were in flight
+            # when the process died: they stay queued and run again.
+            self.recovered = sum(
+                1 for job_id in self._pending if job_id in started
+            )
+            self._seq = len(self._jobs)
+
+    # -- submission -----------------------------------------------------
+    def submit(
+        self,
+        document: dict[str, Any],
+        digest: str,
+        cache_key: str,
+        job_id: str | None = None,
+    ) -> tuple[Job, bool]:
+        """Accept one submission; returns ``(job, created)``.
+
+        A known *job_id* returns the existing job unchanged (idempotent
+        resubmission); a full queue raises :class:`QueueFullError`.
+        """
+        with self._lock:
+            if job_id is not None and job_id in self._jobs:
+                return self._jobs[job_id], False
+            if len(self._pending) >= self.limit:
+                raise QueueFullError(
+                    f"job queue full ({self.limit} pending); retry later"
+                )
+            if job_id is None:
+                self._seq += 1
+                job_id = f"j{self._seq:06d}-{digest[:8]}"
+                while job_id in self._jobs:  # pragma: no cover - paranoia
+                    self._seq += 1
+                    job_id = f"j{self._seq:06d}-{digest[:8]}"
+            job = Job(
+                job_id=job_id,
+                document=dict(document),
+                digest=digest,
+                cache_key=cache_key,
+                created=self._clock(),
+            )
+            self._jobs[job_id] = job
+            self._pending.append(job_id)
+            self._append(
+                {
+                    "kind": "job",
+                    "id": job_id,
+                    "document": job.document,
+                    "digest": digest,
+                    "cache_key": cache_key,
+                    "ts": job.created,
+                }
+            )
+            return job, True
+
+    # -- lifecycle ------------------------------------------------------
+    def claim(self) -> Job | None:
+        """Pop the oldest pending job and mark it running (or ``None``)."""
+        with self._lock:
+            if not self._pending:
+                return None
+            job = self._jobs[self._pending.popleft()]
+            job.status = RUNNING
+            job.attempts += 1
+            job.started = self._clock()
+            self._append(
+                {
+                    "kind": "start",
+                    "id": job.job_id,
+                    "attempt": job.attempts,
+                    "ts": job.started,
+                }
+            )
+            return job
+
+    def finish(self, job_id: str, cached: bool = False) -> Job:
+        """Mark a running job done (its result is in the cache)."""
+        with self._lock:
+            job = self._jobs[job_id]
+            job.status = DONE
+            job.cached = cached
+            job.finished = self._clock()
+            self._append(
+                {
+                    "kind": "done",
+                    "id": job_id,
+                    "cached": cached,
+                    "ts": job.finished,
+                }
+            )
+            return job
+
+    def fail(self, job_id: str, error: str) -> Job:
+        """Mark a running job failed with *error*."""
+        with self._lock:
+            job = self._jobs[job_id]
+            job.status = FAILED
+            job.error = error
+            job.finished = self._clock()
+            self._append(
+                {
+                    "kind": "fail",
+                    "id": job_id,
+                    "error": error,
+                    "ts": job.finished,
+                }
+            )
+            return job
+
+    # -- introspection --------------------------------------------------
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    @property
+    def depth(self) -> int:
+        """Pending (accepted, not yet running) job count."""
+        with self._lock:
+            return len(self._pending)
+
+    def jobs(self) -> Iterable[Job]:
+        """Snapshot of every known job (insertion order)."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def counts(self) -> dict[str, int]:
+        """Job tally by status (for ``GET /stats``)."""
+        with self._lock:
+            tally: dict[str, int] = {
+                QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0,
+            }
+            for job in self._jobs.values():
+                tally[job.status] = tally.get(job.status, 0) + 1
+            return tally

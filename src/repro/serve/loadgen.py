@@ -1,0 +1,249 @@
+"""Service load generator: the ``bench --serve`` tier.
+
+Measures the two numbers that justify the service's existence:
+
+* **Cold latency** — end-to-end ``POST /jobs?wait=`` time for a fresh
+  submission (queue + pool + synthesis + cache write).
+* **Hot latency** — one client replaying the same submissions
+  sequentially against the now-warm content-addressed cache.  Every
+  request is a cache hit measured *unloaded* (no queueing on the event
+  loop), which is the honest per-request cost of memoisation; the
+  distribution comes from the obs
+  :class:`~repro.obs.histogram.Histogram` (p50/p90/p99).
+* **Throughput under load** — many concurrent clients hammering the
+  warm cache; the aggregate request rate plus the latency distribution
+  *with* queueing.
+
+The headline gate: median cache-hit latency must be at least
+``SPEEDUP_GATE``× faster than median cold synthesis — the artifact
+(``BENCH_pr9.json``) records the ratio, and CI fails if memoisation
+ever stops paying for itself.
+
+The server under test is a real :class:`~repro.serve.server.SynthesisServer`
+on an ephemeral port with throwaway state; clients are plain threads
+using :class:`~repro.serve.client.ServeClient` — the same code paths a
+production deployment exercises, minus the network between machines.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+from repro.obs.histogram import Histogram
+
+__all__ = ["SPEEDUP_GATE", "run_serve_bench"]
+
+#: Required cold-median / hot-median ratio (cache hits must be at
+#: least this much faster than synthesis).
+SPEEDUP_GATE = 100.0
+
+#: Default artifact of the serve tier.
+DEFAULT_SERVE_OUTPUT = "BENCH_pr9.json"
+
+#: Cold-phase submissions: (benchmark, seed) pairs.  Quick keeps CI
+#: fast; full covers three assay shapes.
+QUICK_PLAN = (("PCR", 1), ("PCR", 2))
+FULL_PLAN = (("PCR", 1), ("PCR", 2), ("IVD", 1), ("CPA", 1))
+
+
+def _boot_server(state_dir: Path):
+    """Start a throwaway server on an ephemeral port; returns
+    ``(server, thread, client)``."""
+    import asyncio
+
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServeConfig, SynthesisServer
+
+    config = ServeConfig(
+        port=0,
+        pool_jobs=1,
+        inflight=2,
+        state_dir=state_dir,
+        ledger=None,
+        heartbeats=False,
+    )
+    server = SynthesisServer(config)
+
+    def runner() -> None:
+        asyncio.run(server.run(install_signal_handlers=False))
+
+    thread = threading.Thread(
+        target=runner, name="repro-serve-bench", daemon=True
+    )
+    thread.start()
+    if not server.ready.wait(30.0):
+        raise ReproError("bench server failed to start within 30s")
+    client = ServeClient(f"http://127.0.0.1:{server.bound_port}")
+    return server, thread, client
+
+
+def run_serve_bench(
+    quick: bool = False,
+    output: Path | None = None,
+    clients: int | None = None,
+    requests: int | None = None,
+) -> int:
+    """Run the serve tier; writes the artifact and returns an exit code."""
+    import sys
+
+    from repro.perf.report import write_bench_json
+    from repro.serve.client import ServeClient  # noqa: F401 (re-export)
+
+    plan = QUICK_PLAN if quick else FULL_PLAN
+    n_clients = clients if clients is not None else (4 if quick else 8)
+    n_requests = requests if requests is not None else (25 if quick else 50)
+    artifact = output or Path(DEFAULT_SERVE_OUTPUT)
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        server, thread, client = _boot_server(Path(tmp))
+        try:
+            submissions = [
+                {"benchmark": name, "parameters": {"seed": seed}}
+                for name, seed in plan
+            ]
+
+            # -- cold phase: first-ever submissions, full synthesis ----
+            cold = Histogram()
+            for submission in submissions:
+                started = time.perf_counter()
+                status, _, body = client.submit(submission, wait=600.0)
+                elapsed = time.perf_counter() - started
+                if status != 200 or body.get("status") != "done":
+                    raise ReproError(
+                        f"cold submission failed ({status}): {body}"
+                    )
+                if body.get("cached"):
+                    raise ReproError(
+                        f"cold submission unexpectedly cached: {submission}"
+                    )
+                cold.record(elapsed)
+                print(
+                    f"  cold {submission['benchmark']} "
+                    f"seed={submission['parameters']['seed']}: "
+                    f"{elapsed:.3f}s",
+                    file=sys.stderr,
+                )
+
+            # -- hot phase: one client, sequential — unloaded cache-hit
+            # latency, the number the speedup gate judges -------------
+            hot = Histogram()
+            for i in range(n_requests):
+                submission = submissions[i % len(submissions)]
+                started = time.perf_counter()
+                status, _, body = client.submit(submission)
+                elapsed = time.perf_counter() - started
+                if status != 200 or not body.get("cached"):
+                    print(
+                        f"error: hot request not a cache hit "
+                        f"({status}): {body.get('status')}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                hot.record(elapsed)
+
+            # -- load phase: concurrent clients hammer the warm cache —
+            # aggregate throughput plus latency *with* queueing -------
+            loaded = Histogram()
+            load_lock = threading.Lock()
+            errors: list[str] = []
+
+            def hammer(worker: int) -> None:
+                worker_client = type(client)(
+                    f"http://127.0.0.1:{server.bound_port}"
+                )
+                for i in range(n_requests):
+                    submission = submissions[(worker + i) % len(submissions)]
+                    started = time.perf_counter()
+                    try:
+                        status, _, body = worker_client.submit(submission)
+                    except ReproError as error:
+                        with load_lock:
+                            errors.append(str(error))
+                        return
+                    elapsed = time.perf_counter() - started
+                    with load_lock:
+                        if status != 200 or not body.get("cached"):
+                            errors.append(
+                                f"loaded request not a cache hit "
+                                f"({status}): {body.get('status')}"
+                            )
+                            return
+                        loaded.record(elapsed)
+
+            wall_started = time.perf_counter()
+            workers = [
+                threading.Thread(target=hammer, args=(w,), daemon=True)
+                for w in range(n_clients)
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+            wall = time.perf_counter() - wall_started
+
+            if errors:
+                print(
+                    f"error: load phase failed: {errors[0]}", file=sys.stderr
+                )
+                return 1
+
+            stats = client.stats()
+        finally:
+            try:
+                client.shutdown()
+            except ReproError:
+                server.request_shutdown()
+            thread.join(timeout=30.0)
+
+    throughput = loaded.count / wall if wall > 0 else 0.0
+    speedup = (
+        (cold.p50 or 0.0) / hot.p50
+        if hot.p50 and cold.p50
+        else 0.0
+    )
+    speedup_ok = speedup >= SPEEDUP_GATE
+
+    payload = {
+        "schema": 1,
+        "label": artifact.stem,
+        "tier": "serve",
+        "quick": quick,
+        "plan": [{"benchmark": name, "seed": seed} for name, seed in plan],
+        "clients": n_clients,
+        "requests_per_client": n_requests,
+        "cold_seconds": cold.summary(),
+        "hot_seconds": hot.summary(),
+        "loaded_seconds": loaded.summary(),
+        "loaded_wall_seconds": round(wall, 6),
+        "throughput_rps": round(throughput, 3),
+        "cache": stats["cache"],
+        "speedup_p50": round(speedup, 3),
+        "speedup_gate": SPEEDUP_GATE,
+        "speedup_ok": speedup_ok,
+    }
+    write_bench_json(artifact, payload)
+
+    print(f"\nserve tier: {len(plan)} cold submissions, "
+          f"{hot.count} unloaded + {loaded.count} loaded cache hits "
+          f"({n_clients} clients)")
+    print(f"  cold p50: {cold.p50:.4f}s   hot p50: {hot.p50 * 1e3:.3f}ms   "
+          f"p99: {hot.p99 * 1e3:.3f}ms")
+    print(f"  loaded p50: {loaded.p50 * 1e3:.3f}ms   "
+          f"p99: {loaded.p99 * 1e3:.3f}ms   "
+          f"throughput: {throughput:.1f} req/s")
+    print(f"  cache-hit speedup: {speedup:.0f}x "
+          f"(gate: >={SPEEDUP_GATE:.0f}x)")
+    print(f"wrote {artifact}")
+    if not speedup_ok:
+        print(
+            f"error: cache-hit speedup {speedup:.1f}x below the "
+            f"{SPEEDUP_GATE:.0f}x gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0

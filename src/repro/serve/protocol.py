@@ -1,0 +1,262 @@
+"""Submission and result documents of the synthesis service.
+
+A *submission* is the JSON body of ``POST /jobs``: either a registered
+benchmark name or an inline assay document plus allocation, with an
+optional subset of :class:`~repro.core.problem.SynthesisParameters`
+overrides and a flow selector::
+
+    {"benchmark": "PCR", "parameters": {"seed": 3, "check": "strict"}}
+
+    {"assay": {...repro-assay JSON...},
+     "allocation": {"mixers": 2, "heaters": 1, "filters": 0,
+                    "detectors": 1},
+     "parameters": {"seed": 1},
+     "algorithm": "ours",
+     "job_id": "client-chosen-idempotency-key"}
+
+:func:`parse_submission` validates the document (through the same
+machinery the CLI uses — bad assays, allocations, or parameter values
+fail with the library's own error messages), canonicalises it, and
+computes its content address.  The synthesis flow is deterministic for
+a fixed problem, so the address doubles as the result-cache key:
+submissions with equal digests are *the same job*.
+
+``jobs`` (process-pool width) is rejected in submissions: parallelism
+is the server's resource decision, never the client's, and the digest
+excludes it by construction (see :mod:`repro.core.digest`).
+
+The *result document* (:func:`result_document`) is the canonical JSON
+value a finished job serialises to.  Its canonical text — produced by
+:func:`repro.core.digest.canonical_json` — is what the cache stores,
+so a cache hit replays the original run's result byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Any, Mapping
+
+from repro.core.digest import canonical_json, problem_digest, text_digest
+from repro.errors import ReproError
+
+__all__ = [
+    "ALGORITHMS",
+    "RESULT_SCHEMA_VERSION",
+    "Submission",
+    "SubmissionError",
+    "parse_submission",
+    "result_document",
+]
+
+#: Synthesis flows a submission may select.
+ALGORITHMS = ("ours", "baseline")
+
+#: Version stamp of the result document.
+RESULT_SCHEMA_VERSION = 1
+
+#: Parameters a submission may not set: pool width belongs to the
+#: server (and is digest-excluded anyway).
+_FORBIDDEN_PARAMETERS = frozenset({"jobs"})
+
+#: Maximum accepted client job-id length (it becomes a journal key and
+#: part of URLs).
+_MAX_JOB_ID = 120
+
+
+class SubmissionError(ReproError):
+    """Raised when a submission document is malformed (HTTP 400)."""
+
+
+def _parameter_names() -> frozenset[str]:
+    from repro.core.problem import SynthesisParameters
+
+    return frozenset(f.name for f in dataclass_fields(SynthesisParameters))
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One validated, canonicalised assay submission.
+
+    ``document`` re-parses to an equal submission (it is what the job
+    journal stores), ``digest`` is the problem content address, and
+    ``cache_key`` namespaces it by algorithm — the baseline flow must
+    never serve a cache entry produced by the proposed flow.
+    """
+
+    document: dict[str, Any]
+    algorithm: str
+    digest: str
+    cache_key: str
+    job_id: str | None = None
+
+    @property
+    def benchmark(self) -> str:
+        """The assay's display name (benchmark name or assay name)."""
+        if "benchmark" in self.document:
+            return str(self.document["benchmark"])
+        return str(self.document["assay"].get("name", "assay"))
+
+    def problem(self):
+        """Build the :class:`~repro.core.problem.SynthesisProblem`."""
+        return _build_problem(self.document)
+
+
+def _build_problem(document: Mapping[str, Any]):
+    from repro.assay.io import assay_from_dict
+    from repro.benchmarks.registry import benchmark_names, get_benchmark
+    from repro.components.allocation import Allocation
+    from repro.core.problem import SynthesisParameters, SynthesisProblem
+
+    if "benchmark" in document:
+        name = document["benchmark"]
+        if name not in benchmark_names():
+            raise SubmissionError(
+                f"unknown benchmark {name!r}; expected one of "
+                f"{', '.join(benchmark_names())}"
+            )
+        case = get_benchmark(name)
+        assay, allocation = case.assay, case.allocation
+    else:
+        assay = assay_from_dict(document["assay"])
+        alloc_doc = document.get("allocation") or {}
+        allocation = Allocation(
+            mixers=int(alloc_doc.get("mixers", 0)),
+            heaters=int(alloc_doc.get("heaters", 0)),
+            filters=int(alloc_doc.get("filters", 0)),
+            detectors=int(alloc_doc.get("detectors", 0)),
+        )
+    parameters = SynthesisParameters(**document.get("parameters", {}))
+    return SynthesisProblem(
+        assay=assay, allocation=allocation, parameters=parameters
+    )
+
+
+def parse_submission(data: Any) -> Submission:
+    """Validate and canonicalise one submission document.
+
+    Raises :class:`SubmissionError` for structural problems; parameter
+    and assay value errors surface as the library's own
+    :class:`~repro.errors.ReproError` subclasses (the server maps any
+    of them to HTTP 400).
+    """
+    if not isinstance(data, Mapping):
+        raise SubmissionError(
+            f"submission must be a JSON object, got {type(data).__name__}"
+        )
+    unknown = set(data) - {
+        "benchmark", "assay", "allocation", "parameters", "algorithm",
+        "job_id",
+    }
+    if unknown:
+        raise SubmissionError(
+            f"unknown submission field(s): {', '.join(sorted(unknown))}"
+        )
+    if ("benchmark" in data) == ("assay" in data):
+        raise SubmissionError(
+            "submission needs exactly one of 'benchmark' or 'assay'"
+        )
+    algorithm = data.get("algorithm", "ours")
+    if algorithm not in ALGORITHMS:
+        raise SubmissionError(
+            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+        )
+    parameters = data.get("parameters") or {}
+    if not isinstance(parameters, Mapping):
+        raise SubmissionError("'parameters' must be a JSON object")
+    forbidden = set(parameters) & _FORBIDDEN_PARAMETERS
+    if forbidden:
+        raise SubmissionError(
+            f"parameter(s) not accepted by the service: "
+            f"{', '.join(sorted(forbidden))} (pool width is a server "
+            "resource decision)"
+        )
+    unknown_params = set(parameters) - _parameter_names()
+    if unknown_params:
+        raise SubmissionError(
+            f"unknown parameter(s): {', '.join(sorted(unknown_params))}"
+        )
+    job_id = data.get("job_id")
+    if job_id is not None:
+        job_id = str(job_id)
+        if not job_id or len(job_id) > _MAX_JOB_ID:
+            raise SubmissionError(
+                f"job_id must be 1..{_MAX_JOB_ID} characters"
+            )
+        if any(c.isspace() or c == "/" for c in job_id):
+            raise SubmissionError(
+                "job_id may not contain whitespace or '/'"
+            )
+
+    document: dict[str, Any] = {"algorithm": algorithm}
+    if "benchmark" in data:
+        document["benchmark"] = str(data["benchmark"])
+    else:
+        document["assay"] = dict(data["assay"])
+        document["allocation"] = dict(data.get("allocation") or {})
+    if parameters:
+        document["parameters"] = dict(parameters)
+
+    # Building the problem runs the full validation stack (assay
+    # schema, allocation feasibility, parameter ranges) and yields the
+    # content address.
+    problem = _build_problem(document)
+    digest = problem_digest(problem)
+    cache_key = digest if algorithm == "ours" else f"{algorithm}-{digest}"
+    return Submission(
+        document=document,
+        algorithm=algorithm,
+        digest=digest,
+        cache_key=cache_key,
+        job_id=job_id,
+    )
+
+
+def result_document(result: Any, digest: str) -> dict[str, Any]:
+    """The canonical JSON value of one finished synthesis run.
+
+    Everything in it is a pure function of the submission (metrics,
+    engines, check verdict) except ``phase_times``/``cpu_time``, which
+    record how long *this* execution took — a cache hit replays them
+    verbatim from the original run, which is exactly what
+    content-addressed result identity means.
+    """
+    problem = result.problem
+    params = problem.parameters
+    grid = result.placement.grid
+    metrics = result.metrics.as_dict()
+    check = None
+    if result.check_report is not None:
+        check = {
+            "mode": params.check,
+            "ok": result.check_report.ok,
+            "errors": result.check_report.error_count,
+        }
+    document: dict[str, Any] = {
+        "schema": RESULT_SCHEMA_VERSION,
+        "digest": digest,
+        "benchmark": problem.assay.name,
+        "algorithm": result.algorithm,
+        "seed": params.seed,
+        "engines": {
+            "placement": params.placement_engine,
+            "route": params.route_engine,
+        },
+        "grid": [grid.width, grid.height],
+        "metrics": metrics,
+        # Identity proof of the solution: digest of the deterministic
+        # metrics (cpu time is measurement, not solution).
+        "solution_digest": text_digest(
+            canonical_json(
+                {k: v for k, v in metrics.items() if k != "cpu_time_s"}
+            )
+        ),
+        "phase_times": {k: round(v, 6) for k, v in result.phase_times.items()},
+        "check": check,
+        "summary": result.summary(),
+    }
+    if result.portfolio is not None:
+        document["portfolio"] = {
+            "winner": result.portfolio.get("winner"),
+            "winner_spec": result.portfolio.get("winner_spec"),
+        }
+    return document

@@ -13,6 +13,7 @@ import pytest
 from repro.errors import (
     GraphCycleError,
     ParallelExecutionError,
+    ParallelTimeoutError,
     ReproError,
     RoutingError,
 )
@@ -184,6 +185,51 @@ class TestPoolSession:
             session.run(_die_abruptly, ["die", "die"])
         session.close()
         session.close()
+
+    def test_deadline_raises_timeout_subtype(self):
+        # Deadline expiry and worker death must be distinguishable by
+        # type: the serve executor fails the job on the former but
+        # rebuilds-and-retries on the latter.
+        with PoolSession(jobs=2) as session:
+            with pytest.raises(ParallelTimeoutError):
+                session.run(_sleep_forever, [1, 2], timeout=0.5)
+
+    def test_reset_recovers_a_poisoned_session(self):
+        # Long-lived servers cannot treat poisoning as terminal: after
+        # reset() the session must build a fresh pool and serve waves
+        # again.
+        with PoolSession(jobs=2) as session:
+            with pytest.raises(ParallelExecutionError):
+                session.run(_die_abruptly, ["ok", "die"])
+            assert session.broken
+            session.reset()
+            assert not session.broken
+            assert session.run(_square, [2, 3]) == [4, 9]
+
+    def test_reset_recovers_after_deadline_kill(self):
+        with PoolSession(jobs=2) as session:
+            with pytest.raises(ParallelTimeoutError):
+                session.run(_sleep_forever, [1, 2], timeout=0.3)
+            session.reset()
+            assert session.run(_square, [5, 6]) == [25, 36]
+
+    def test_reset_on_healthy_session_is_harmless(self):
+        with PoolSession(jobs=2) as session:
+            assert session.run(_square, [2]) == [4]
+            session.reset()
+            assert session.run(_square, [3]) == [9]
+
+    def test_generations_count_pool_builds(self):
+        with PoolSession(jobs=2) as session:
+            assert session.generations == 0
+            session.run(_square, [1, 2])
+            session.run(_square, [3, 4])
+            assert session.generations == 1  # same pool reused
+            with pytest.raises(ParallelExecutionError):
+                session.run(_die_abruptly, ["die", "die"])
+            session.reset()
+            session.run(_square, [5, 6])
+            assert session.generations == 2
 
     def test_deadline_does_not_hang_shutdown(self):
         # The poisoned pool terminates its sleeping workers; closing

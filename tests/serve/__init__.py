@@ -1,0 +1,1 @@
+"""Tests for the synthesis service (repro.serve)."""

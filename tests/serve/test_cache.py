@@ -1,0 +1,72 @@
+"""Content-addressed result cache: atomicity, counters, restarts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.cache import ResultCache
+
+
+KEY = "ab" * 32
+TEXT = '{"answer":42}'
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(KEY) is None
+        cache.put(KEY, TEXT)
+        assert cache.get(KEY) == TEXT
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "entries": 1, "warm": 1,
+        }
+
+    def test_survives_restart_byte_identical(self, tmp_path):
+        ResultCache(tmp_path).put(KEY, TEXT)
+        cold = ResultCache(tmp_path)
+        assert cold.get(KEY) == TEXT          # disk hit re-warms
+        assert cold.stats()["hits"] == 1
+        assert cold.get(KEY) == TEXT          # now memory-fast
+
+    def test_peek_does_not_count(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, TEXT)
+        assert cache.peek(KEY) == TEXT
+        assert cache.peek("cd" * 32) is None
+        assert cache.stats()["hits"] == 0
+        assert cache.stats()["misses"] == 0
+
+    def test_contains_does_not_count(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, TEXT)
+        assert cache.contains(KEY)
+        assert not cache.contains("cd" * 32)
+        assert cache.stats()["hits"] == 0
+
+    def test_namespaced_keys(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, TEXT)
+        cache.put(f"baseline-{KEY}", '{"other":1}')
+        assert cache.get(KEY) == TEXT
+        assert cache.get(f"baseline-{KEY}") == '{"other":1}'
+
+    def test_hostile_keys_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for bad in ("", "../escape", "UPPER", "a b", "x\x00y"):
+            with pytest.raises(ValueError, match="invalid cache key"):
+                cache.put(bad, TEXT)
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, TEXT)
+        cache.put(KEY, TEXT)  # overwrite
+        leftovers = [
+            p for p in tmp_path.iterdir() if not p.name.endswith(".json")
+        ]
+        assert leftovers == []
+
+    def test_empty_root_stats(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.stats() == {
+            "hits": 0, "misses": 0, "entries": 0, "warm": 0,
+        }

@@ -1,0 +1,182 @@
+"""Job execution semantics: deadlines, worker death, retries.
+
+Worker-death scenarios poison the executor's real
+:class:`~repro.parallel.pool.PoolSession` with a crashing payload and
+then assert the next job still completes — the recoverable-poisoning
+regression that long-lived servers depend on.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ParallelExecutionError, ParallelTimeoutError
+from repro.obs.instrument import Instrumentation
+from repro.serve.executor import (
+    JobDeadlineError,
+    JobExecutor,
+    JobOutcome,
+    execute_submission,
+    JobTask,
+)
+
+
+PCR = {"benchmark": "PCR", "parameters": {"seed": 1}}
+
+
+def _die(_payload):
+    os._exit(1)
+
+
+class _FlakySession:
+    """Stand-in session: dies *failures* times, then succeeds."""
+
+    def __init__(self, failures: int, outcome: str = "ok") -> None:
+        self.failures = failures
+        self.outcome = outcome
+        self.runs = 0
+        self.resets = 0
+        self.jobs = 2
+        self.generations = 0
+
+    def run(self, fn, payloads, timeout=None):
+        self.runs += 1
+        if self.runs <= self.failures:
+            raise ParallelExecutionError("pool broke mid-wave")
+        if self.outcome == "timeout":
+            raise ParallelTimeoutError("wave timed out after 0.1s")
+        return [self.outcome]
+
+    def reset(self):
+        self.resets += 1
+
+    def close(self):
+        pass
+
+
+def _flaky_executor(failures: int, retries: int = 3, outcome: str = "ok"):
+    executor = JobExecutor(pool_jobs=1, retries=retries)
+    executor.session.close()
+    executor.session = _FlakySession(failures, outcome=outcome)
+    return executor
+
+
+class TestRetryLoop:
+    def test_worker_death_is_retried(self):
+        instr = Instrumentation()
+        executor = _flaky_executor(failures=2)
+        executor.instrumentation = instr
+        assert executor.execute(PCR) == "ok"
+        assert executor.session.runs == 3
+        assert executor.session.resets == 2
+        assert instr.counters["serve.pool_rebuilds"] == 2
+        assert instr.counters["serve.jobs_retried"] == 2
+
+    def test_retry_budget_is_exhausted(self):
+        executor = _flaky_executor(failures=10, retries=2)
+        with pytest.raises(ParallelExecutionError, match="3 pool rebuild"):
+            executor.execute(PCR)
+        assert executor.session.resets == 3
+
+    def test_deadline_fails_without_retry(self):
+        instr = Instrumentation()
+        executor = _flaky_executor(failures=0, outcome="timeout")
+        executor.instrumentation = instr
+        with pytest.raises(JobDeadlineError, match="deadline"):
+            executor.execute(PCR, deadline=0.1)
+        # One run, one reset (pool recycled), zero retries.
+        assert executor.session.runs == 1
+        assert executor.session.resets == 1
+        assert "serve.jobs_retried" not in instr.counters
+        assert instr.counters["serve.deadline_kills"] == 1
+
+
+class TestRealPool:
+    """The expensive truths: real processes, real death, real recovery."""
+
+    def test_inline_execution_produces_an_outcome(self):
+        executor = JobExecutor(pool_jobs=1)
+        try:
+            outcome = executor.execute(PCR)
+        finally:
+            executor.close()
+        assert isinstance(outcome, JobOutcome)
+        assert '"benchmark":"PCR"' in outcome.result_text
+        assert outcome.record["benchmark"] == "PCR"
+
+    def test_pooled_execution_matches_inline(self):
+        import json
+
+        inline = JobExecutor(pool_jobs=1)
+        pooled = JobExecutor(pool_jobs=2)
+        try:
+            a = inline.execute(PCR)
+            b = pooled.execute(PCR)
+        finally:
+            inline.close()
+            pooled.close()
+        # Determinism across process boundaries: the solutions agree
+        # exactly.  (Timing fields — cpu_time_s, phase_times — are
+        # measurements of *this* execution and legitimately differ;
+        # byte-identity is the cache-replay contract, not a
+        # re-execution one.)
+        da, db = json.loads(a.result_text), json.loads(b.result_text)
+        assert da["solution_digest"] == db["solution_digest"]
+        assert da["digest"] == db["digest"]
+        ma = {k: v for k, v in da["metrics"].items() if k != "cpu_time_s"}
+        mb = {k: v for k, v in db["metrics"].items() if k != "cpu_time_s"}
+        assert ma == mb
+
+    def test_job_completes_after_worker_death(self):
+        # Kill the pool out from under the executor (what the OOM
+        # killer, or a sibling wave's deadline kill, does to a shared
+        # session), then ask for a job: the executor must rebuild the
+        # pool and deliver.
+        instr = Instrumentation()
+        executor = JobExecutor(pool_jobs=2, instrumentation=instr)
+        try:
+            with pytest.raises(ParallelExecutionError):
+                executor.session.run(_die, ["x", "y"])
+            assert executor.session.broken
+            outcome = executor.execute(PCR)
+        finally:
+            executor.close()
+        assert outcome.record["benchmark"] == "PCR"
+        assert instr.counters["serve.pool_rebuilds"] >= 1
+
+    def test_deadline_kills_a_real_job(self):
+        # Scale50 needs ~0.3s of synthesis; a 50ms deadline must fire,
+        # fail the job, and leave the executor serving.
+        executor = JobExecutor(pool_jobs=2)
+        try:
+            with pytest.raises(JobDeadlineError):
+                executor.execute(
+                    {"benchmark": "Scale50", "parameters": {"seed": 1}},
+                    deadline=0.05,
+                )
+            outcome = executor.execute(PCR)
+        finally:
+            executor.close()
+        assert outcome.record["benchmark"] == "PCR"
+
+
+class TestExecuteSubmission:
+    def test_worker_function_round_trip(self):
+        outcome = execute_submission(JobTask(document=PCR))
+        assert isinstance(outcome, JobOutcome)
+        assert outcome.record["seed"] == 1
+        assert outcome.snapshot.counters  # synthesis counted something
+
+    def test_baseline_algorithm_routes_to_baseline_flow(self):
+        outcome = execute_submission(
+            JobTask(
+                document={
+                    "benchmark": "PCR",
+                    "algorithm": "baseline",
+                    "parameters": {"seed": 1},
+                }
+            )
+        )
+        assert outcome.record["algorithm"] == "baseline"

@@ -1,0 +1,195 @@
+"""Crash recovery of the persistent job queue.
+
+Accepted means durable: whatever a crash does to the journal's final
+line, replay must reconstruct every accepted-but-unfinished job and
+never resurrect a finished one.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.jobs import DEFAULT_QUEUE_LIMIT, JobQueue, QueueFullError
+
+
+DOC = {"benchmark": "PCR", "parameters": {"seed": 1}}
+
+
+def _queue(tmp_path, **kwargs) -> JobQueue:
+    return JobQueue(tmp_path / "journal.jsonl", **kwargs)
+
+
+def _submit(queue: JobQueue, n: int = 1, job_id=None):
+    jobs = []
+    for i in range(n):
+        job, created = queue.submit(
+            DOC, digest=f"{i:064d}"[:64], cache_key=f"{i:064d}"[:64],
+            job_id=job_id,
+        )
+        assert created
+        jobs.append(job)
+    return jobs
+
+
+class TestLifecycle:
+    def test_submit_claim_finish(self, tmp_path):
+        queue = _queue(tmp_path)
+        [job] = _submit(queue)
+        assert queue.depth == 1
+        claimed = queue.claim()
+        assert claimed.job_id == job.job_id
+        assert claimed.status == "running"
+        assert queue.depth == 0
+        queue.finish(job.job_id)
+        assert queue.get(job.job_id).status == "done"
+
+    def test_claim_order_is_fifo(self, tmp_path):
+        queue = _queue(tmp_path)
+        jobs = _submit(queue, 3)
+        assert [queue.claim().job_id for _ in range(3)] == [
+            j.job_id for j in jobs
+        ]
+
+    def test_fail_records_the_error(self, tmp_path):
+        queue = _queue(tmp_path)
+        [job] = _submit(queue)
+        queue.claim()
+        queue.fail(job.job_id, "worker exploded")
+        assert queue.get(job.job_id).error == "worker exploded"
+
+    def test_queue_limit_bounds_pending(self, tmp_path):
+        queue = _queue(tmp_path, limit=2)
+        _submit(queue, 2)
+        with pytest.raises(QueueFullError, match="full"):
+            _submit(queue)
+        # Claiming frees a slot: the bound is on *pending*, not total.
+        queue.claim()
+        _submit(queue)
+
+    def test_limit_must_be_positive(self, tmp_path):
+        with pytest.raises(ReproError, match="limit"):
+            _queue(tmp_path, limit=0)
+
+    def test_default_limit(self, tmp_path):
+        assert _queue(tmp_path).limit == DEFAULT_QUEUE_LIMIT
+
+
+class TestReplay:
+    def test_queued_jobs_survive_restart(self, tmp_path):
+        queue = _queue(tmp_path)
+        jobs = _submit(queue, 3)
+        reborn = _queue(tmp_path)
+        assert reborn.depth == 3
+        assert [reborn.claim().job_id for _ in range(3)] == [
+            j.job_id for j in jobs
+        ]
+
+    def test_running_jobs_requeue_and_count_as_recovered(self, tmp_path):
+        queue = _queue(tmp_path)
+        [job] = _submit(queue)
+        queue.claim()  # running when the "crash" happens
+        reborn = _queue(tmp_path)
+        assert reborn.depth == 1
+        assert reborn.recovered == 1
+        requeued = reborn.claim()
+        assert requeued.job_id == job.job_id
+        # The replayed attempt counter keeps history: this is try #2.
+        assert requeued.attempts == 2
+
+    def test_finished_jobs_are_not_requeued(self, tmp_path):
+        queue = _queue(tmp_path)
+        done, failed, pending = _submit(queue, 3)
+        queue.claim(); queue.finish(done.job_id)
+        queue.claim(); queue.fail(failed.job_id, "boom")
+        reborn = _queue(tmp_path)
+        assert reborn.depth == 1
+        assert reborn.claim().job_id == pending.job_id
+        assert reborn.get(done.job_id).status == "done"
+        assert reborn.get(failed.job_id).status == "failed"
+
+    def test_truncated_final_line_is_skipped(self, tmp_path):
+        queue = _queue(tmp_path)
+        _submit(queue, 2)
+        journal = queue.journal_path
+        text = journal.read_text(encoding="utf-8")
+        # Simulate a crash mid-append: chop the last line in half.
+        journal.write_text(text[: len(text) - 25], encoding="utf-8")
+        reborn = _queue(tmp_path)
+        assert reborn.depth == 1  # the damaged job line is gone, not fatal
+
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        queue = _queue(tmp_path)
+        [job] = _submit(queue)
+        with open(queue.journal_path, "a", encoding="utf-8") as stream:
+            stream.write("not json at all\n")
+            stream.write('{"kindless": true}\n')
+            stream.write("\n")
+        reborn = _queue(tmp_path)
+        assert reborn.depth == 1
+        assert reborn.get(job.job_id) is not None
+
+    def test_duplicate_job_lines_are_idempotent(self, tmp_path):
+        queue = _queue(tmp_path)
+        [job] = _submit(queue)
+        # Replay a journal where the same job line appears twice (e.g. a
+        # retried client submission that raced a crash).
+        line = json.dumps(
+            {
+                "kind": "job",
+                "id": job.job_id,
+                "document": DOC,
+                "digest": job.digest,
+                "cache_key": job.cache_key,
+                "ts": 1.0,
+            }
+        )
+        with open(queue.journal_path, "a", encoding="utf-8") as stream:
+            stream.write(line + "\n")
+        reborn = _queue(tmp_path)
+        assert reborn.depth == 1  # once, not twice
+
+    def test_terminal_record_for_unknown_job_is_ignored(self, tmp_path):
+        queue = _queue(tmp_path)
+        with open(queue.journal_path, "a", encoding="utf-8") as stream:
+            stream.write(
+                json.dumps({"kind": "done", "id": "ghost", "ts": 1.0}) + "\n"
+            )
+        reborn = _queue(tmp_path)
+        assert reborn.get("ghost") is None
+
+    def test_missing_journal_is_an_empty_queue(self, tmp_path):
+        queue = _queue(tmp_path / "deep" / "nested")
+        assert queue.depth == 0
+        assert queue.claim() is None
+
+
+class TestIdempotentSubmission:
+    def test_known_job_id_returns_existing(self, tmp_path):
+        queue = _queue(tmp_path)
+        first, created = queue.submit(
+            DOC, digest="a" * 64, cache_key="a" * 64, job_id="mine"
+        )
+        assert created
+        again, created = queue.submit(
+            DOC, digest="a" * 64, cache_key="a" * 64, job_id="mine"
+        )
+        assert not created
+        assert again is first
+        assert queue.depth == 1
+
+    def test_resubmission_does_not_grow_the_journal(self, tmp_path):
+        queue = _queue(tmp_path)
+        queue.submit(DOC, digest="a" * 64, cache_key="a" * 64, job_id="j")
+        size = queue.journal_path.stat().st_size
+        queue.submit(DOC, digest="a" * 64, cache_key="a" * 64, job_id="j")
+        assert queue.journal_path.stat().st_size == size
+
+    def test_auto_ids_are_unique_across_restart(self, tmp_path):
+        queue = _queue(tmp_path)
+        jobs = _submit(queue, 2)
+        reborn = _queue(tmp_path)
+        extra, _ = reborn.submit(DOC, digest="f" * 64, cache_key="f" * 64)
+        assert extra.job_id not in {j.job_id for j in jobs}
