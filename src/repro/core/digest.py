@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict
+from dataclasses import fields as dataclass_fields
 from typing import Any
 
 __all__ = [
@@ -66,10 +66,13 @@ def problem_document(problem: Any) -> dict[str, Any]:
     """The canonical JSON-compatible document a problem digests to."""
     from repro.assay.io import assay_to_dict
 
+    # Every parameter field is a scalar, so plain attribute access
+    # serialises identically to ``dataclasses.asdict`` without its
+    # per-field deepcopy (which dominated the service accept path).
     parameters = {
-        key: value
-        for key, value in asdict(problem.parameters).items()
-        if key not in DIGEST_EXCLUDED_PARAMETERS
+        f.name: getattr(problem.parameters, f.name)
+        for f in dataclass_fields(problem.parameters)
+        if f.name not in DIGEST_EXCLUDED_PARAMETERS
     }
     grid = problem.grid
     return {

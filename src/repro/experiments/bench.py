@@ -218,6 +218,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "throughput, and gate on the cache-hit "
                              "speedup (artifact: BENCH_pr9.json; see "
                              "docs/SERVICE.md)")
+    parser.add_argument("--shards", type=int, metavar="N", default=None,
+                        choices=(1, 2, 4),
+                        help="with --serve: benchmark the sharded tier "
+                             "instead — boot shard counts up to N behind "
+                             "the digest-routing front, verify byte/digest "
+                             "identity across serving paths, and measure "
+                             "loaded throughput per shard count "
+                             "(artifact: BENCH_pr10.json; see "
+                             "docs/SERVICE.md \"Scaling out\")")
     parser.add_argument("--portfolio", type=int, metavar="N", default=None,
                         help="run the portfolio tier instead: race N "
                              "successive-halving arms against equal-budget "
@@ -252,9 +261,18 @@ def build_parser() -> argparse.ArgumentParser:
 def run(argv: list[str]) -> int:
     args = build_parser().parse_args(argv)
     if args.serve:
+        if args.shards is not None:
+            from repro.serve.loadgen import run_shard_bench
+
+            return run_shard_bench(
+                max_shards=args.shards, quick=args.quick,
+                output=args.output,
+            )
         from repro.serve.loadgen import run_serve_bench
 
         return run_serve_bench(quick=args.quick, output=args.output)
+    if args.shards is not None:
+        build_parser().error("--shards requires --serve")
     if args.portfolio is not None:
         return _run_portfolio_tier(args)
     if args.benchmarks is not None:

@@ -1,0 +1,308 @@
+"""Minimal asyncio HTTP/1.1 client for shard-to-shard traffic.
+
+The front tier proxies every request to a backend, and backends ask
+their peers' caches — all inside asyncio event loops where the
+blocking :class:`~repro.serve.client.ServeClient` cannot run.  This is
+the stdlib-streams counterpart of :mod:`repro.serve.http`:
+
+* request + buffered response (``Content-Length`` bodies), with
+  connection reuse when the server answers keep-alive;
+* streaming responses (SSE pass-through) — the caller drains the
+  reader; the connection is closed afterwards, never reused;
+* per-call timeouts, and a pool bounding idle kept-alive connections
+  per target.
+
+Scope mirrors the server: no chunked encoding, no TLS, no redirects —
+shard traffic is same-deployment JSON over loopback or a trusted LAN.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, AsyncIterator
+
+__all__ = ["AioHttpError", "AsyncHttpClient", "HttpResponse"]
+
+#: Cap on a response head (status line + headers).
+MAX_RESPONSE_HEAD = 32 * 1024
+
+#: Cap on buffered response bodies (matches the server's request cap).
+MAX_RESPONSE_BODY = 64 * 1024 * 1024
+
+
+class AioHttpError(Exception):
+    """Transport-level failure talking to a peer/backend (dead node,
+    malformed response, timeout) — never an HTTP status."""
+
+
+class HttpResponse:
+    """One parsed response: status, headers, and body access."""
+
+    def __init__(
+        self,
+        status: int,
+        headers: dict[str, str],
+        body: bytes | None,
+        reader: asyncio.StreamReader | None = None,
+    ) -> None:
+        self.status = status
+        self.headers = headers
+        self.body = b"" if body is None else body
+        self._reader = reader
+        self._connection: Any = None
+
+    def close(self) -> None:
+        """Release a streaming call's connection (no-op when buffered)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def json(self) -> Any:
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return None
+
+    async def iter_chunks(self, size: int = 4096) -> AsyncIterator[bytes]:
+        """Stream the (connection-delimited) body of a streaming call."""
+        assert self._reader is not None, "not a streaming response"
+        while True:
+            chunk = await self._reader.read(size)
+            if not chunk:
+                return
+            yield chunk
+
+
+class _Connection:
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+
+    def close(self) -> None:
+        try:
+            self.writer.close()
+        except Exception:
+            pass
+
+
+async def _read_head(
+    reader: asyncio.StreamReader,
+) -> tuple[int, dict[str, str]]:
+    head = await reader.readuntil(b"\r\n\r\n")
+    if len(head) > MAX_RESPONSE_HEAD:
+        raise AioHttpError("response head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(None, 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise AioHttpError(f"malformed status line: {lines[0]!r}")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise AioHttpError(f"malformed status line: {lines[0]!r}")
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+class AsyncHttpClient:
+    """HTTP/1.1 client for one ``host:port`` target with keep-alive.
+
+    Safe for concurrent use from one event loop: each in-flight call
+    holds its own connection; completed keep-alive connections return
+    to an idle pool (bounded — extras close).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 5.0,
+        idle_limit: int = 8,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.idle_limit = idle_limit
+        self._idle: list[_Connection] = []
+
+    # -- connection management -----------------------------------------
+    async def _connect(self) -> _Connection:
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                timeout=self.connect_timeout,
+            )
+        except (OSError, asyncio.TimeoutError) as error:
+            raise AioHttpError(
+                f"cannot connect to {self.host}:{self.port}: {error}"
+            ) from error
+        return _Connection(reader, writer)
+
+    def _release(self, connection: _Connection, reusable: bool) -> None:
+        if reusable and len(self._idle) < self.idle_limit:
+            self._idle.append(connection)
+        else:
+            connection.close()
+
+    def close(self) -> None:
+        """Close every idle connection (in-flight ones close on exit)."""
+        while self._idle:
+            self._idle.pop().close()
+
+    # -- requests -------------------------------------------------------
+    def _head_bytes(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None,
+        headers: dict[str, str] | None,
+    ) -> bytes:
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+        ]
+        if body is not None:
+            lines.append("Content-Type: application/json")
+            lines.append(f"Content-Length: {len(body)}")
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+    async def _exchange(
+        self,
+        connection: _Connection,
+        method: str,
+        path: str,
+        body: bytes | None,
+        headers: dict[str, str] | None,
+        timeout: float | None,
+    ) -> tuple[int, dict[str, str], bytes | None]:
+        connection.writer.write(self._head_bytes(method, path, body, headers))
+        if body:
+            connection.writer.write(body)
+        await connection.writer.drain()
+        status, response_headers = await asyncio.wait_for(
+            _read_head(connection.reader), timeout=timeout
+        )
+        length = response_headers.get("content-length")
+        if length is None:
+            return status, response_headers, None  # stream (until EOF)
+        size = int(length)
+        if size > MAX_RESPONSE_BODY:
+            raise AioHttpError(f"response too large ({size} bytes)")
+        payload = await asyncio.wait_for(
+            connection.reader.readexactly(size), timeout=timeout
+        )
+        return status, response_headers, payload
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        headers: dict[str, str] | None = None,
+        timeout: float | None = 30.0,
+    ) -> HttpResponse:
+        """One buffered request/response exchange.
+
+        Reuses an idle keep-alive connection when one exists; a stale
+        reused connection (peer closed it between calls) is retried
+        once on a fresh one — the shard API is idempotent, so the
+        retry is safe.  Raises :class:`AioHttpError` on transport
+        failure (the caller treats the target as dead).
+        """
+        attempts = 0
+        while True:
+            reused = bool(self._idle)
+            connection = self._idle.pop() if reused else await self._connect()
+            attempts += 1
+            try:
+                status, response_headers, payload = await self._exchange(
+                    connection, method, path, body, headers, timeout
+                )
+            except (
+                OSError,
+                EOFError,
+                asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError,
+                asyncio.TimeoutError,
+                ConnectionError,
+            ) as error:
+                connection.close()
+                if reused and attempts <= 1:
+                    continue  # stale keep-alive connection: one retry
+                if isinstance(error, asyncio.TimeoutError):
+                    raise AioHttpError(
+                        f"timeout talking to {self.host}:{self.port}"
+                    ) from error
+                raise AioHttpError(
+                    f"request to {self.host}:{self.port} failed: {error}"
+                ) from error
+            if payload is None:
+                # No Content-Length: body runs to EOF; drain it here.
+                chunks = []
+                total = 0
+                while True:
+                    chunk = await connection.reader.read(65536)
+                    if not chunk:
+                        break
+                    total += len(chunk)
+                    if total > MAX_RESPONSE_BODY:
+                        connection.close()
+                        raise AioHttpError("response too large")
+                    chunks.append(chunk)
+                connection.close()
+                return HttpResponse(status, response_headers, b"".join(chunks))
+            keep = (
+                response_headers.get("connection", "").lower() == "keep-alive"
+            )
+            self._release(connection, reusable=keep)
+            return HttpResponse(status, response_headers, payload)
+
+    async def stream(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        headers: dict[str, str] | None = None,
+        timeout: float | None = 30.0,
+    ) -> HttpResponse:
+        """Start a streaming exchange (SSE): returns once the response
+        head arrives; the body is consumed via
+        :meth:`HttpResponse.iter_chunks`.  Always a fresh connection,
+        closed by the caller finishing the iterator (or GC)."""
+        connection = await self._connect()
+        try:
+            connection.writer.write(
+                self._head_bytes(method, path, body, headers)
+            )
+            if body:
+                connection.writer.write(body)
+            await connection.writer.drain()
+            status, response_headers = await asyncio.wait_for(
+                _read_head(connection.reader), timeout=timeout
+            )
+        except (
+            OSError,
+            asyncio.IncompleteReadError,
+            asyncio.TimeoutError,
+            ConnectionError,
+        ) as error:
+            connection.close()
+            raise AioHttpError(
+                f"stream to {self.host}:{self.port} failed: {error}"
+            ) from error
+        response = HttpResponse(
+            status, response_headers, None, reader=connection.reader
+        )
+        # Tie the connection's lifetime to the response object.
+        response._connection = connection  # type: ignore[attr-defined]
+        return response

@@ -2,9 +2,15 @@
 
 :class:`ServeClient` is the library-side counterpart of
 :class:`~repro.serve.server.SynthesisServer`: plain stdlib
-``http.client`` (the server speaks ``Connection: close`` HTTP/1.1, so
-one connection per call is exactly right), JSON in/out, and a tiny SSE
-parser for the progress stream.
+``http.client`` with keep-alive — the server answers JSON exchanges
+with ``Connection: keep-alive``, so the client holds one TCP
+connection across calls (per-request connection setup was a measured
+tax in the load generator; see ``BENCH_pr10.json``'s keep-alive
+delta), retrying once on a fresh connection when a kept-alive one
+went stale.  JSON in/out, plus a tiny SSE parser for the progress
+stream; :meth:`ServeClient.follow_events` resumes a dropped stream
+from the last seen event index (``?start=``) without losing the
+terminal frame.
 
 ``run_submit`` is the command-line face::
 
@@ -52,39 +58,64 @@ class ServeClient:
         self.host = split.hostname or "127.0.0.1"
         self.port = split.port or 80
         self.timeout = timeout
+        self._connection: HTTPConnection | None = None
+
+    def close(self) -> None:
+        """Drop the kept-alive connection (reconnects on next call)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # -- transport ------------------------------------------------------
     def _request(
         self, method: str, path: str, body: Any = None
     ) -> tuple[int, dict[str, str], Any]:
-        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
-        try:
-            payload = (
-                None
-                if body is None
-                else json.dumps(
-                    body, sort_keys=True, separators=(",", ":")
-                ).encode("utf-8")
+        payload = (
+            None
+            if body is None
+            else json.dumps(
+                body, sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+        )
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (0, 1):
+            reused = self._connection is not None
+            connection = self._connection or HTTPConnection(
+                self.host, self.port, timeout=self.timeout
             )
-            headers = {"Content-Type": "application/json"} if payload else {}
-            connection.request(method, path, body=payload, headers=headers)
-            response = connection.getresponse()
-            raw = response.read()
+            self._connection = None
+            try:
+                connection.request(method, path, body=payload,
+                                   headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except (OSError, HTTPException) as error:
+                connection.close()
+                if reused and attempt == 0:
+                    continue  # stale keep-alive connection: one retry
+                raise ServeUnavailableError(
+                    f"cannot reach synthesis server at "
+                    f"http://{self.host}:{self.port}: {error}"
+                ) from error
             headers_out = {
                 name.lower(): value for name, value in response.getheaders()
             }
+            if response.will_close:
+                connection.close()
+            else:
+                self._connection = connection  # keep-alive: reuse next call
             try:
                 data = json.loads(raw) if raw else None
             except ValueError:
                 data = {"error": raw.decode("utf-8", "replace")}
             return response.status, headers_out, data
-        except (OSError, HTTPException) as error:
-            raise ServeUnavailableError(
-                f"cannot reach synthesis server at "
-                f"http://{self.host}:{self.port}: {error}"
-            ) from error
-        finally:
-            connection.close()
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- API ------------------------------------------------------------
     def healthz(self) -> dict[str, Any]:
@@ -145,13 +176,23 @@ class ServeClient:
             if status.get("status") in ("done", "failed"):
                 return status
 
-    def events(self, job_id: str) -> Iterator[dict[str, Any]]:
-        """Yield SSE progress events for *job_id* until it finishes."""
+    def events(
+        self, job_id: str, start: int = 0
+    ) -> Iterator[dict[str, Any]]:
+        """Yield SSE progress events for *job_id* until it finishes.
+
+        *start* resumes the stream from that event index (each frame
+        carries its index in the ``i`` field).  One shot: a broken
+        connection raises; :meth:`follow_events` adds reconnection.
+        """
         connection = HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
+        path = f"/jobs/{job_id}/events"
+        if start:
+            path += f"?start={start}"
         try:
-            connection.request("GET", f"/jobs/{job_id}/events")
+            connection.request("GET", path)
             response = connection.getresponse()
             if response.status != 200:
                 raise ReproError(
@@ -166,6 +207,39 @@ class ServeClient:
             ) from error
         finally:
             connection.close()
+
+    def follow_events(
+        self,
+        job_id: str,
+        start: int = 0,
+        max_reconnects: int = 5,
+    ) -> Iterator[dict[str, Any]]:
+        """Like :meth:`events`, but survive dropped connections.
+
+        Tracks the last seen event index and reconnects with
+        ``?start=<index + 1>``, so no event — in particular the
+        terminal ``done``/``failed`` frame — is lost or repeated.
+        Gives up (re-raising) after *max_reconnects* consecutive
+        failures.
+        """
+        position = start
+        failures = 0
+        while True:
+            try:
+                for event in self.events(job_id, start=position):
+                    index = event.get("i")
+                    if isinstance(index, int):
+                        position = index + 1
+                    failures = 0
+                    yield event
+                    if event.get("event") == "end":
+                        return
+                return  # stream ended cleanly without an end frame
+            except ServeUnavailableError:
+                failures += 1
+                if failures > max_reconnects:
+                    raise
+                time.sleep(min(0.2 * failures, 2.0))
 
     def shutdown(self) -> dict[str, Any]:
         return self._request("POST", "/admin/shutdown", {})[2]
@@ -329,7 +403,7 @@ def run_submit(argv: list[str] | None = None) -> int:
                   file=sys.stderr)
             return 2
         if args.follow and body.get("status") not in ("done", "failed"):
-            for event in client.events(body["job_id"]):
+            for event in client.follow_events(body["job_id"]):
                 print(json.dumps(event, sort_keys=True), file=sys.stderr)
                 if event.get("event") in ("done", "failed", "end"):
                     break
@@ -349,3 +423,5 @@ def run_submit(argv: list[str] | None = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        client.close()

@@ -8,9 +8,11 @@ Scope (deliberate):
 
 * request line + headers + ``Content-Length`` bodies (no chunked
   request bodies, no multipart);
-* one request per connection (``Connection: close``) — the load
-  profile is short JSON exchanges and long SSE streams, neither of
-  which benefits from keep-alive at this scale;
+* keep-alive for JSON exchanges: responses carry ``Content-Length``
+  and ``Connection: keep-alive``, so one client connection serves many
+  requests (per-request TCP setup was measurable in the load
+  generator); a client may still opt out with ``Connection: close``,
+  and SSE streams always close (the body is connection-delimited);
 * hard caps on header and body size, so a confused client cannot
   balloon the server.
 """
@@ -72,6 +74,11 @@ class Request:
     query: dict[str, str] = field(default_factory=dict)
     headers: dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+
+    @property
+    def wants_close(self) -> bool:
+        """True when the client asked for one-shot ``Connection: close``."""
+        return self.headers.get("connection", "").lower() == "close"
 
     def json(self) -> Any:
         """The request body parsed as JSON (400 on garbage)."""
@@ -139,18 +146,24 @@ async def write_response(
     content_type: str = "application/json",
     extra_headers: dict[str, str] | None = None,
     head_only: bool = False,
+    close: bool = True,
 ) -> None:
-    """Write one complete response (connection closes afterwards).
+    """Write one complete response.
 
-    *head_only* starts a stream (SSE): no ``Content-Length`` — the
-    body is delimited by connection close — and the caller keeps
-    writing frames to the open connection.
+    *close* selects the connection disposition header: keep-alive
+    responses always carry ``Content-Length``, so the client knows
+    where the body ends and can reuse the connection.  *head_only*
+    starts a stream (SSE): no ``Content-Length`` — the body is
+    delimited by connection close (*close* is forced) — and the caller
+    keeps writing frames to the open connection.
     """
     reason = _REASONS.get(status, "Unknown")
+    if head_only:
+        close = True
     head = [
         f"HTTP/1.1 {status} {reason}",
         f"Content-Type: {content_type}",
-        "Connection: close",
+        "Connection: close" if close else "Connection: keep-alive",
     ]
     if not head_only:
         head.insert(2, f"Content-Length: {len(body)}")
@@ -194,6 +207,7 @@ async def write_json(
     payload: Any,
     extra_headers: dict[str, str] | None = None,
     raw: dict[str, str] | None = None,
+    close: bool = True,
 ) -> None:
     """Serialise *payload* canonically and write it as the response.
 
@@ -203,12 +217,22 @@ async def write_json(
     parse/re-serialise round trip.
     """
     body = dumps_with_raw(payload, raw).encode("utf-8")
-    await write_response(writer, status, body, extra_headers=extra_headers)
+    await write_response(
+        writer, status, body, extra_headers=extra_headers, close=close
+    )
 
 
-def sse_event(data: Any, event: str | None = None) -> bytes:
-    """One Server-Sent-Events frame carrying *data* as JSON."""
+def sse_event(
+    data: Any, event: str | None = None, event_id: int | None = None
+) -> bytes:
+    """One Server-Sent-Events frame carrying *data* as JSON.
+
+    *event_id* emits an ``id:`` line — the stream position a client
+    resumes from (``?start=``) after a dropped connection.
+    """
     lines = []
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
     if event:
         lines.append(f"event: {event}")
     lines.append(

@@ -22,6 +22,21 @@ The bound (*limit*) applies to **pending** jobs only — that is the
 backpressure surface: a full queue makes ``POST /jobs`` answer 429
 with ``Retry-After`` instead of accepting work it cannot promise.
 
+**Compaction** (:meth:`JobQueue.compact`) keeps long-lived shards'
+journals from growing without bound.  The live state is snapshotted —
+one ``job`` line per retained job, a ``start`` line where attempts
+were made, a terminal line where one was reached — into a sibling
+temp file (fsynced), then atomically :func:`os.replace`\\ d over the
+journal.  A crash *before* or *during* the snapshot leaves the old
+journal untouched (replay ignores the temp file); a crash *after*
+replays the compacted one: the same crash-parseable-prefix discipline
+as appends.  Terminal jobs beyond the newest ``keep_terminal`` are
+evicted (their results live in the result cache; their ids stop
+answering ``GET /jobs/{id}``).  With ``journal_limit`` set, appends
+trigger compaction automatically; after a compaction that cannot
+shrink below the limit (everything is live), the trigger threshold
+doubles so a full-of-pending queue never thrashes.
+
 All methods are thread-safe: the asyncio loop submits, executor
 threads finish, the journal serialises under one lock.
 """
@@ -127,9 +142,16 @@ class JobQueue:
         journal_path: str | Path,
         limit: int = DEFAULT_QUEUE_LIMIT,
         clock: Callable[[], float] = time.time,
+        journal_limit: int | None = None,
+        keep_terminal: int | None = None,
+        on_compaction: Callable[[list[str]], None] | None = None,
     ) -> None:
         if limit < 1:
             raise ReproError(f"queue limit must be >= 1, got {limit}")
+        if journal_limit is not None and journal_limit < 8:
+            raise ReproError(
+                f"journal limit must be >= 8, got {journal_limit}"
+            )
         self.journal_path = Path(journal_path)
         self.limit = limit
         self._clock = clock
@@ -139,26 +161,76 @@ class JobQueue:
         self._seq = 0
         #: Jobs requeued by journal replay (lost mid-flight in a crash).
         self.recovered = 0
+        #: Compaction policy: trigger line count (``None`` = manual
+        #: only) and how many newest terminal jobs survive a snapshot.
+        self.journal_limit = journal_limit
+        self.keep_terminal = (
+            keep_terminal
+            if keep_terminal is not None
+            else (journal_limit // 4 if journal_limit else None)
+        )
+        #: Called after each compaction with the evicted job ids (the
+        #: server prunes its event logs and bumps its counter here).
+        self.on_compaction = on_compaction
+        #: Journal lines written so far (parseable records after
+        #: replay; every append increments it).
+        self.journal_lines = 0
+        #: Compactions performed over this instance's lifetime.
+        self.compactions = 0
+        self._compact_threshold = journal_limit
+        #: Persistent append handle — reopening the journal per record
+        #: costs more CPU than the record itself on the accept path.
+        #: Invalidated by compaction (``os.replace`` swaps the inode).
+        self._journal_stream: Any = None
         self.replay()
 
     # -- journal --------------------------------------------------------
+    def _close_journal_stream(self) -> None:
+        if self._journal_stream is not None:
+            try:
+                self._journal_stream.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+            self._journal_stream = None
+
     def _append(self, record: dict[str, Any]) -> None:
-        self.journal_path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps(record, sort_keys=True, default=repr)
-        with open(self.journal_path, "a", encoding="utf-8") as stream:
-            stream.write(line + "\n")
-            stream.flush()
-            os.fsync(stream.fileno())
+        stream = self._journal_stream
+        if stream is None:
+            self.journal_path.parent.mkdir(parents=True, exist_ok=True)
+            stream = open(self.journal_path, "a", encoding="utf-8")
+            self._journal_stream = stream
+        stream.write(line + "\n")
+        stream.flush()
+        os.fsync(stream.fileno())
+        self.journal_lines += 1
+        if (
+            self._compact_threshold is not None
+            and self.journal_lines >= self._compact_threshold
+        ):
+            self._compact_locked()
+
+    def close(self) -> None:
+        """Release the persistent journal append handle (idempotent)."""
+        with self._lock:
+            self._close_journal_stream()
 
     def replay(self) -> None:
         """Rebuild in-memory state from the journal (idempotent)."""
         with self._lock:
+            self._close_journal_stream()
             self._jobs.clear()
             self._pending.clear()
             started: set[str] = set()
-            for record in read_journal(self.journal_path):
+            meta_seq = 0
+            records = read_journal(self.journal_path)
+            self.journal_lines = len(records)
+            for record in records:
                 kind = record.get("kind")
                 job_id = str(record.get("id", ""))
+                if kind == "meta":
+                    meta_seq = max(meta_seq, int(record.get("seq", 0)))
+                    continue
                 if kind == "job":
                     if job_id in self._jobs:
                         continue  # duplicate submission: idempotent
@@ -199,7 +271,118 @@ class JobQueue:
             self.recovered = sum(
                 1 for job_id in self._pending if job_id in started
             )
-            self._seq = len(self._jobs)
+            # meta records (written by compaction) carry the id
+            # sequence forward so evicted ids are never reissued.
+            self._seq = max(len(self._jobs), meta_seq)
+            if (
+                self._compact_threshold is not None
+                and self.journal_lines >= self._compact_threshold
+            ):
+                self._compact_locked()
+
+    # -- compaction -----------------------------------------------------
+    def _snapshot_records(self) -> tuple[list[dict[str, Any]], list[str]]:
+        """The compacted journal's records, plus the evicted job ids.
+
+        Non-terminal jobs are always retained (queued order preserved:
+        records are written in original insertion order, and replay
+        rebuilds the pending deque from it).  Terminal jobs beyond the
+        newest ``keep_terminal`` are evicted.
+        """
+        terminal = [
+            job_id
+            for job_id, job in self._jobs.items()
+            if job.status in (DONE, FAILED)
+        ]
+        evict: set[str] = set()
+        if self.keep_terminal is not None and len(terminal) > self.keep_terminal:
+            cutoff = len(terminal) - self.keep_terminal
+            evict = set(terminal[:cutoff])
+        records: list[dict[str, Any]] = [
+            {"kind": "meta", "seq": self._seq, "ts": self._clock()}
+        ]
+        for job_id, job in self._jobs.items():
+            if job_id in evict:
+                continue
+            records.append(
+                {
+                    "kind": "job",
+                    "id": job_id,
+                    "document": job.document,
+                    "digest": job.digest,
+                    "cache_key": job.cache_key,
+                    "ts": job.created,
+                }
+            )
+            if job.attempts > 0:
+                records.append(
+                    {
+                        "kind": "start",
+                        "id": job_id,
+                        "attempt": job.attempts,
+                        "ts": job.started or job.created,
+                    }
+                )
+            if job.status == DONE:
+                records.append(
+                    {
+                        "kind": "done",
+                        "id": job_id,
+                        "cached": job.cached,
+                        "ts": job.finished or job.created,
+                    }
+                )
+            elif job.status == FAILED:
+                records.append(
+                    {
+                        "kind": "fail",
+                        "id": job_id,
+                        "error": job.error or "unknown",
+                        "ts": job.finished or job.created,
+                    }
+                )
+        return records, sorted(evict)
+
+    def _compact_locked(self) -> list[str]:
+        """Snapshot + truncate (caller holds the lock)."""
+        records, evicted = self._snapshot_records()
+        self.journal_path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.journal_path.with_name(
+            self.journal_path.name + ".compact"
+        )
+        with open(tmp, "w", encoding="utf-8") as stream:
+            for record in records:
+                stream.write(
+                    json.dumps(record, sort_keys=True, default=repr) + "\n"
+                )
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp, self.journal_path)
+        # The old append handle now points at the replaced (unlinked)
+        # inode; drop it so the next append reopens the new journal.
+        self._close_journal_stream()
+        for job_id in evicted:
+            job = self._jobs.pop(job_id, None)
+            if job is not None and job_id in self._pending:
+                self._pending.remove(job_id)  # pragma: no cover - paranoia
+        self.journal_lines = len(records)
+        self.compactions += 1
+        if self.journal_limit is not None:
+            # Back off while the journal is mostly live state: a queue
+            # full of pending jobs cannot shrink, and recompacting on
+            # every append would turn each accept into a full rewrite.
+            self._compact_threshold = max(
+                self.journal_limit, self.journal_lines * 2
+            )
+        if self.on_compaction is not None:
+            self.on_compaction(evicted)
+        return evicted
+
+    def compact(self) -> list[str]:
+        """Snapshot live state and truncate the journal; returns the
+        evicted (old terminal) job ids."""
+        with self._lock:
+            return self._compact_locked()
 
     # -- submission -----------------------------------------------------
     def submit(

@@ -36,7 +36,13 @@ from __future__ import annotations
 from dataclasses import dataclass, fields as dataclass_fields
 from typing import Any, Mapping
 
-from repro.core.digest import canonical_json, problem_digest, text_digest
+from repro.core.digest import (
+    DIGEST_EXCLUDED_PARAMETERS,
+    canonical_json,
+    problem_digest,
+    problem_document,
+    text_digest,
+)
 from repro.errors import ReproError
 
 __all__ = [
@@ -67,10 +73,35 @@ class SubmissionError(ReproError):
     """Raised when a submission document is malformed (HTTP 400)."""
 
 
-def _parameter_names() -> frozenset[str]:
-    from repro.core.problem import SynthesisParameters
+#: Lazily-computed (once) views of the ``SynthesisParameters`` schema —
+#: recomputing ``dataclasses.fields`` per submission is measurable on
+#: the service accept path.
+_PARAMETER_NAMES: frozenset[str] | None = None
+_DIGEST_FIELDS: tuple[str, ...] | None = None
 
-    return frozenset(f.name for f in dataclass_fields(SynthesisParameters))
+
+def _parameter_names() -> frozenset[str]:
+    global _PARAMETER_NAMES
+    if _PARAMETER_NAMES is None:
+        from repro.core.problem import SynthesisParameters
+
+        _PARAMETER_NAMES = frozenset(
+            f.name for f in dataclass_fields(SynthesisParameters)
+        )
+    return _PARAMETER_NAMES
+
+
+def _digest_fields() -> tuple[str, ...]:
+    global _DIGEST_FIELDS
+    if _DIGEST_FIELDS is None:
+        from repro.core.problem import SynthesisParameters
+
+        _DIGEST_FIELDS = tuple(
+            f.name
+            for f in dataclass_fields(SynthesisParameters)
+            if f.name not in DIGEST_EXCLUDED_PARAMETERS
+        )
+    return _DIGEST_FIELDS
 
 
 @dataclass(frozen=True)
@@ -101,19 +132,25 @@ class Submission:
         return _build_problem(self.document)
 
 
+def _check_benchmark_name(name: str) -> None:
+    from repro.benchmarks.registry import benchmark_names
+
+    if name not in benchmark_names():
+        raise SubmissionError(
+            f"unknown benchmark {name!r}; expected one of "
+            f"{', '.join(benchmark_names())}"
+        )
+
+
 def _build_problem(document: Mapping[str, Any]):
     from repro.assay.io import assay_from_dict
-    from repro.benchmarks.registry import benchmark_names, get_benchmark
+    from repro.benchmarks.registry import get_benchmark
     from repro.components.allocation import Allocation
     from repro.core.problem import SynthesisParameters, SynthesisProblem
 
     if "benchmark" in document:
         name = document["benchmark"]
-        if name not in benchmark_names():
-            raise SubmissionError(
-                f"unknown benchmark {name!r}; expected one of "
-                f"{', '.join(benchmark_names())}"
-            )
+        _check_benchmark_name(name)
         case = get_benchmark(name)
         assay, allocation = case.assay, case.allocation
     else:
@@ -128,6 +165,59 @@ def _build_problem(document: Mapping[str, Any]):
     parameters = SynthesisParameters(**document.get("parameters", {}))
     return SynthesisProblem(
         assay=assay, allocation=allocation, parameters=parameters
+    )
+
+
+#: Benchmark name -> ``(allocation, assay, grid)`` canonical-JSON
+#: fragments.  A registered benchmark's assay/allocation half of the
+#: digest document never varies between submissions, so it is rendered
+#: once and spliced into the canonical text thereafter; only immutable
+#: strings are cached, so no shared mutable state leaks between
+#: requests.  Populating an entry builds the full problem once, which
+#: also runs the assay-vs-allocation feasibility check that is likewise
+#: parameter-independent.
+_BENCHMARK_FRAGMENTS: dict[str, tuple[str, str, str]] = {}
+
+
+def _benchmark_fragments(name: str) -> tuple[str, str, str]:
+    fragments = _BENCHMARK_FRAGMENTS.get(name)
+    if fragments is None:
+        document = problem_document(_build_problem({"benchmark": name}))
+        fragments = (
+            canonical_json(document["allocation"]),
+            canonical_json(document["assay"]),
+            canonical_json(document["grid"]),
+        )
+        _BENCHMARK_FRAGMENTS[name] = fragments
+    return fragments
+
+
+def _digest_submission(document: Mapping[str, Any]) -> str:
+    """Content address of *document*, validating it along the way.
+
+    Equivalent to ``problem_digest(_build_problem(document))`` — the
+    top-level keys of the digest document sort as ``allocation``,
+    ``assay``, ``grid``, ``parameters``, so splicing independently
+    canonicalised fragments reproduces
+    :func:`~repro.core.digest.canonical_json` of the whole byte for
+    byte (pinned by tests) — but for benchmark submissions the
+    assay-side fragments come from :data:`_BENCHMARK_FRAGMENTS` and
+    only the parameters are validated and rendered per call.
+    """
+    if "benchmark" not in document:
+        return problem_digest(_build_problem(document))
+    from repro.core.problem import SynthesisParameters
+
+    name = document["benchmark"]
+    _check_benchmark_name(name)
+    allocation_txt, assay_txt, grid_txt = _benchmark_fragments(name)
+    parameters = SynthesisParameters(**document.get("parameters", {}))
+    parameters_txt = canonical_json(
+        {name: getattr(parameters, name) for name in _digest_fields()}
+    )
+    return text_digest(
+        '{"allocation":%s,"assay":%s,"grid":%s,"parameters":%s}'
+        % (allocation_txt, assay_txt, grid_txt, parameters_txt)
     )
 
 
@@ -196,11 +286,11 @@ def parse_submission(data: Any) -> Submission:
     if parameters:
         document["parameters"] = dict(parameters)
 
-    # Building the problem runs the full validation stack (assay
-    # schema, allocation feasibility, parameter ranges) and yields the
-    # content address.
-    problem = _build_problem(document)
-    digest = problem_digest(problem)
+    # Digesting runs the full validation stack (assay schema,
+    # allocation feasibility, parameter ranges) and yields the content
+    # address; benchmark submissions take the cached-fragment fast
+    # path.
+    digest = _digest_submission(document)
     cache_key = digest if algorithm == "ours" else f"{algorithm}-{digest}"
     return Submission(
         document=document,

@@ -1,0 +1,109 @@
+"""Rendezvous hashing: the shard-routing heart of the front tier.
+
+The service's natural shard key is the problem content address
+(:mod:`repro.core.digest`) — it already names "the same job" for the
+result cache and the run ledger, so hashing it across backends gives
+every problem exactly one home shard, and identical submissions always
+meet their own cached result.
+
+The shared key is the **routing digest** (:func:`routing_digest`) —
+SHA-256 of the canonical JSON of the raw submission document (minus
+``job_id``, so idempotent resubmissions land on the same shard).  The
+front tier computes it without building the synthesis problem: routing
+must cost microseconds, not the ~200µs validation stack.  Backends
+hash the *same* key over the *same* ring for cache peering, so under
+normal front-routed traffic every job lands on its own cache owner and
+no peer probe is paid; a backend that misses locally on a job it does
+**not** own (direct submission, or rerouting around a dead shard) asks
+``owner(routing_digest)`` for the entry before paying for a synthesis
+run.
+
+:class:`RendezvousRing` implements highest-random-weight (rendezvous)
+hashing over stable node ids (never addresses — ports are ephemeral;
+ids like ``shard-0`` keep ownership deterministic across boots).  Its
+defining property is minimal disruption: removing a node only remaps
+the keys that node owned, every other key keeps its shard — exactly
+the failover contract (``rank`` is the ring order the front tier walks
+when shards die).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.digest import canonical_json, text_digest
+
+__all__ = ["RendezvousRing", "routing_digest"]
+
+
+def routing_digest(document: Any) -> str:
+    """The front tier's cheap shard key for one submission document.
+
+    SHA-256 over the canonical JSON of the document with the same
+    normalisation :func:`~repro.serve.protocol.parse_submission`
+    applies to the stored job document — ``job_id`` removed (the
+    idempotency key must not move a resubmission to a different
+    shard), ``algorithm`` defaulted, empty ``parameters``/
+    ``allocation`` dropped.  The front tier hashes the *raw* client
+    item and backends hash the *canonicalised* journal document, so
+    without this normalisation the two sides would disagree on the
+    owner for every submission that relies on a default, and each
+    disagreement costs a pointless cache-peer probe.  Non-mapping
+    values (malformed batch items the backend will reject) hash as-is
+    — they still need *some* deterministic home.
+    """
+    if isinstance(document, Mapping):
+        document = {
+            key: value
+            for key, value in document.items()
+            if key != "job_id" and not (
+                key in ("parameters", "allocation") and not value
+            )
+        }
+        document.setdefault("algorithm", "ours")
+    return text_digest(canonical_json(document))
+
+
+class RendezvousRing:
+    """Highest-random-weight hashing over a fixed set of node ids."""
+
+    def __init__(self, nodes: Iterable[str]) -> None:
+        self.nodes: tuple[str, ...] = tuple(nodes)
+        if not self.nodes:
+            raise ValueError("rendezvous ring needs at least one node")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ValueError(f"duplicate node ids: {self.nodes!r}")
+
+    @staticmethod
+    def _score(node: str, key: str) -> int:
+        digest = hashlib.sha256(f"{node}|{key}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def rank(self, key: str) -> list[str]:
+        """Every node, best owner first — the failover walk order.
+
+        Deterministic for a given ``(nodes, key)`` pair across
+        processes and boots (pure SHA-256, no process hash seed).
+        """
+        return sorted(
+            self.nodes,
+            key=lambda node: (self._score(node, key), node),
+            reverse=True,
+        )
+
+    def owner(
+        self, key: str, alive: Sequence[str] | None = None
+    ) -> str | None:
+        """The best-ranked node for *key*, restricted to *alive* nodes
+        when given; ``None`` when no candidate survives."""
+        candidates = self.nodes if alive is None else [
+            node for node in self.rank(key) if node in set(alive)
+        ]
+        if not candidates:
+            return None
+        if alive is not None:
+            return candidates[0]
+        return max(
+            candidates, key=lambda node: (self._score(node, key), node)
+        )

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import hashlib
 import json
 import math
 import queue as queue_module
@@ -118,6 +119,22 @@ class ServeConfig:
     heartbeat_interval: float = 0.25
     #: ``Retry-After`` fallback before any job has finished.
     retry_after: float = 2.0
+    #: Journal line count that triggers snapshot + truncate
+    #: (``None`` = never compact automatically).
+    journal_limit: int | None = None
+    #: Result-cache entry bound; beyond it cold entries are evicted
+    #: LRU-by-mtime (``None`` = unbounded).
+    cache_limit: int | None = None
+    #: Start with the dispatcher paused: jobs are accepted, journaled,
+    #: and queued, but none executes until ``POST /admin/resume``.
+    paused: bool = False
+    #: Shard topology for cache peering: every shard as
+    #: ``(shard_id, "host:port")``, plus this server's own id.  A local
+    #: cache miss asks the digest-owner peer before synthesizing.
+    peers: tuple[tuple[str, str], ...] = ()
+    self_id: str | None = None
+    #: Peer cache-probe timeout (a slow peer must not stall accepts).
+    peer_timeout: float = 5.0
 
 
 class JobEventLog:
@@ -144,11 +161,17 @@ class JobEventLog:
             self._changed.clear()
             await self._changed.wait()
 
-    async def follow(self, start: int = 0) -> AsyncIterator[dict[str, Any]]:
-        index = start
+    async def follow(
+        self, start: int = 0
+    ) -> AsyncIterator[tuple[int, dict[str, Any]]]:
+        """Yield ``(index, event)`` pairs from position *start* onward.
+
+        The index is the SSE resume token: a reconnecting client passes
+        ``?start=<last index + 1>`` and continues without loss."""
+        index = max(0, start)
         while True:
             while index < len(self.events):
-                yield self.events[index]
+                yield index, self.events[index]
                 index += 1
             if self.terminal:
                 return
@@ -181,6 +204,9 @@ class SynthesisServer:
         self._inflight = 0
         self._draining = False
         self._stopping = False
+        self._paused = self.config.paused
+        self._peer_ring: Any = None
+        self._peer_clients: dict[str, Any] = {}
         self._wake: asyncio.Event | None = None
         self._stop_event: asyncio.Event | None = None
         self._dispatcher: asyncio.Task | None = None
@@ -200,9 +226,25 @@ class SynthesisServer:
         self._stop_event = asyncio.Event()
         cfg.state_dir.mkdir(parents=True, exist_ok=True)
         self.queue = JobQueue(
-            cfg.state_dir / "journal.jsonl", limit=cfg.queue_limit
+            cfg.state_dir / "journal.jsonl",
+            limit=cfg.queue_limit,
+            journal_limit=cfg.journal_limit,
+            on_compaction=self._on_compaction,
         )
-        self.cache = ResultCache(cfg.state_dir / "cache")
+        self.cache = ResultCache(
+            cfg.state_dir / "cache",
+            limit=cfg.cache_limit,
+            on_evict=lambda n: self.instr.count("serve.cache_evictions", n),
+        )
+        if cfg.peers and cfg.self_id is not None:
+            from repro.serve.ring import RendezvousRing
+
+            ids = [shard_id for shard_id, _ in cfg.peers]
+            if cfg.self_id not in ids:
+                raise ReproError(
+                    f"self_id {cfg.self_id!r} missing from peers {ids}"
+                )
+            self._peer_ring = RendezvousRing(ids)
         if self.executor is None:
             self.executor = JobExecutor(
                 pool_jobs=cfg.pool_jobs,
@@ -320,6 +362,24 @@ class SynthesisServer:
             log = self._events[job_id] = JobEventLog()
         return log
 
+    def _on_compaction(self, evicted: list[str]) -> None:
+        """Journal-compaction hook (any thread; also boot-time replay)."""
+        self.instr.count("serve.journal_compactions")
+        if not evicted:
+            return
+        loop = self._loop
+        if loop is None:
+            # Boot-time compaction: the event machinery is empty.
+            return
+        try:
+            loop.call_soon_threadsafe(self._prune_events, evicted)
+        except RuntimeError:  # pragma: no cover - loop mid-shutdown
+            pass
+
+    def _prune_events(self, evicted: list[str]) -> None:
+        for job_id in evicted:
+            self._events.pop(job_id, None)
+
     def _gauges(self) -> None:
         assert self.queue is not None
         self.instr.gauge("serve.queue_depth", float(self.queue.depth))
@@ -335,6 +395,7 @@ class SynthesisServer:
             self._wake.clear()
             while (
                 not self._draining
+                and not self._paused
                 and self._inflight < self.config.inflight
             ):
                 job = self.queue.claim()
@@ -344,6 +405,14 @@ class SynthesisServer:
                 self._gauges()
                 asyncio.create_task(self._run_job(job))
             await self._wake.wait()
+
+    def set_paused(self, paused: bool) -> None:
+        """Pause/resume execution: accepted jobs keep queueing and
+        journaling, but no new job starts while paused (in-flight jobs
+        finish).  The operational lever behind ``POST /admin/pause``."""
+        self._paused = paused
+        if not paused:
+            self._kick()
 
     async def _run_job(self, job: Job) -> None:
         assert self._loop is not None and self._threads is not None
@@ -407,6 +476,56 @@ class SynthesisServer:
             self._gauges()
             self._kick()
 
+    # -- cache peering --------------------------------------------------
+    def _peer_client(self, shard_id: str) -> Any:
+        client = self._peer_clients.get(shard_id)
+        if client is None:
+            from repro.serve.aio import AsyncHttpClient
+
+            address = dict(self.config.peers)[shard_id]
+            host, _, port = address.rpartition(":")
+            client = AsyncHttpClient(host or "127.0.0.1", int(port))
+            self._peer_clients[shard_id] = client
+        return client
+
+    async def _peer_lookup(
+        self, route_key: str, cache_key: str
+    ) -> str | None:
+        """Ask the digest-owner peer for a cache entry we miss locally.
+
+        *route_key* is the submission's **routing digest** — the same
+        key the front tier hashes — so under normal front-routed
+        traffic the owner is *us* and no probe is paid; a probe fires
+        exactly when routing and ownership diverge (direct submission
+        to a non-owner shard, or rerouting around a dead peer).
+
+        Returns the owner's stored result text (then cached locally so
+        the next hit is local), or ``None`` on owner-side miss, owner
+        being *us*, or any transport trouble — peering is an
+        optimisation and must never make an accept fail.
+        """
+        if self._peer_ring is None:
+            return None
+        owner = self._peer_ring.owner(route_key)
+        if owner == self.config.self_id:
+            return None
+        from repro.serve.aio import AioHttpError
+
+        try:
+            response = await self._peer_client(owner).request(
+                "GET",
+                f"/cache/{cache_key}",
+                timeout=self.config.peer_timeout,
+            )
+        except AioHttpError:
+            self.instr.count("serve.cache_peer_errors")
+            return None
+        if response.status != 200:
+            self.instr.count("serve.cache_peer_misses")
+            return None
+        self.instr.count("serve.cache_peer_hits")
+        return response.body.decode("utf-8")
+
     def _append_ledger(self, job: Job, record: dict[str, Any]) -> None:
         if self.config.ledger is None:
             return
@@ -415,6 +534,8 @@ class SynthesisServer:
         tagged = dict(record)
         tagged["source"] = "serve"
         tagged["job_id"] = job.job_id
+        if self.config.self_id is not None:
+            tagged["shard"] = self.config.self_id
         try:
             append_record(tagged, self.config.ledger)
         except OSError as error:  # pragma: no cover - disk trouble
@@ -461,63 +582,120 @@ class SynthesisServer:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
+        """Serve requests on one connection until it closes.
+
+        Keep-alive: JSON exchanges loop; SSE streams, protocol errors,
+        and ``Connection: close`` requests end the connection.
+        """
         try:
-            try:
-                request = await read_request(reader)
-                if request is None:
+            while True:
+                try:
+                    request = await read_request(reader)
+                    if request is None:
+                        return
+                    keep = await self._route(request, writer)
+                    if not keep:
+                        return
+                except asyncio.CancelledError:
+                    # Server closing while this keep-alive connection
+                    # idles between requests: end quietly.
                     return
-                await self._route(request, writer)
-            except HttpError as error:
-                await write_json(
-                    writer, error.status, {"error": str(error)}
-                )
-            except ConnectionError:
-                pass
-            except Exception as error:  # pragma: no cover - defensive
-                with contextlib.suppress(Exception):
+                except HttpError as error:
                     await write_json(
-                        writer, 500, {"error": f"internal error: {error!r}"}
+                        writer, error.status, {"error": str(error)}
                     )
+                    return
+                except ConnectionError:
+                    return
+                except Exception as error:  # pragma: no cover - defensive
+                    with contextlib.suppress(Exception):
+                        await write_json(
+                            writer,
+                            500,
+                            {"error": f"internal error: {error!r}"},
+                        )
+                    return
         finally:
-            with contextlib.suppress(Exception):
+            # CancelledError too: the close handshake itself gets
+            # cancelled when the server shuts down mid-connection
+            # (it derives from BaseException, which plain
+            # ``suppress(Exception)`` would let escape to the loop's
+            # exception handler as noise).
+            with contextlib.suppress(Exception, asyncio.CancelledError):
                 writer.close()
                 await writer.wait_closed()
 
     async def _route(
         self, request: Request, writer: asyncio.StreamWriter
-    ) -> None:
+    ) -> bool:
+        """Dispatch one request; returns True to keep the connection."""
+        keep = not request.wants_close
         method, path = request.method, request.path.rstrip("/")
         if path == "/healthz" and method == "GET":
             await write_json(
                 writer,
                 200,
                 {"status": "ok", "draining": self._draining},
+                close=not keep,
             )
-            return
+            return keep
         if path == "/stats" and method == "GET":
-            await write_json(writer, 200, self.stats())
-            return
+            await write_json(writer, 200, self.stats(), close=not keep)
+            return keep
         if path == "/jobs" and method == "POST":
-            await self._handle_submit(request, writer)
-            return
+            await self._handle_submit(request, writer, keep)
+            return keep
         if path == "/jobs/batch" and method == "POST":
-            await self._handle_batch(request, writer)
-            return
+            await self._handle_batch(request, writer, keep)
+            return keep
         if path == "/admin/shutdown" and method == "POST":
             self.request_shutdown()
-            await write_json(writer, 200, {"status": "draining"})
-            return
+            await write_json(writer, 200, {"status": "draining"}, close=True)
+            return False
+        if path == "/admin/pause" and method == "POST":
+            self.set_paused(True)
+            await write_json(
+                writer, 200, {"status": "paused"}, close=not keep
+            )
+            return keep
+        if path == "/admin/resume" and method == "POST":
+            self.set_paused(False)
+            await write_json(
+                writer, 200, {"status": "running"}, close=not keep
+            )
+            return keep
+        if path.startswith("/cache/") and method == "GET":
+            await self._handle_cache(path[len("/cache/"):], writer, keep)
+            return keep
         if path.startswith("/jobs/") and method == "GET":
             rest = path[len("/jobs/"):]
             if rest.endswith("/events"):
-                await self._handle_events(rest[: -len("/events")], writer)
-                return
+                await self._handle_events(
+                    request, rest[: -len("/events")], writer
+                )
+                return False  # SSE bodies are connection-delimited
             if "/" not in rest:
-                await self._handle_status(request, rest, writer)
-                return
+                await self._handle_status(request, rest, writer, keep)
+                return keep
         raise HttpError(
             404 if method in ("GET", "POST") else 405,
             f"no route for {method} {request.path}",
+        )
+
+    async def _handle_cache(
+        self, key: str, writer: asyncio.StreamWriter, keep: bool
+    ) -> None:
+        """``GET /cache/{key}``: raw stored result text, for cache
+        peering (a shard's local miss asks the digest owner here)."""
+        try:
+            text = self.cache.peek(key) if key else None
+        except ValueError as error:
+            raise HttpError(400, str(error))
+        if text is None:
+            raise HttpError(404, f"no cache entry {key!r}")
+        self.instr.count("serve.cache_peer_serves")
+        await write_response(
+            writer, 200, text.encode("utf-8"), close=not keep
         )
 
     def _wait_seconds(self, request: Request) -> float | None:
@@ -530,14 +708,27 @@ class SynthesisServer:
             raise HttpError(400, f"malformed wait={raw!r}")
         return max(0.0, min(value, MAX_WAIT_SECONDS))
 
-    def _retry_after(self) -> int:
+    def _retry_after(self, key: str | None = None) -> int:
         """Measured backpressure hint: mean job time, or the configured
-        fallback while the histogram is empty."""
+        fallback while the histogram is empty.
+
+        With *key* (job id or digest) the hint carries deterministic
+        jitter — a 1.0–1.5× multiplier derived from the key's hash — so
+        a herd of rejected clients retrying on schedule does not
+        stampede back in the same second.  Deterministic, so a client
+        retrying the same job always hears the same number and tests
+        can assert it.
+        """
         histogram = self.instr.histogram("serve.job_seconds")
         if histogram is not None and histogram.count:
             mean = histogram.total / histogram.count
         else:
             mean = self.config.retry_after
+        if key:
+            token = int.from_bytes(
+                hashlib.sha256(key.encode("utf-8")).digest()[:4], "big"
+            )
+            mean *= 1.0 + 0.5 * (token / 2**32)
         return max(1, int(math.ceil(mean)))
 
     def _result_payload(
@@ -552,11 +743,11 @@ class SynthesisServer:
         return payload, None
 
     async def _handle_submit(
-        self, request: Request, writer: asyncio.StreamWriter
+        self, request: Request, writer: asyncio.StreamWriter, keep: bool
     ) -> None:
         if self._draining:
             await write_json(
-                writer, 503, {"error": "server is draining"}
+                writer, 503, {"error": "server is draining"}, close=not keep
             )
             return
         self.instr.count("serve.requests")
@@ -565,18 +756,21 @@ class SynthesisServer:
             submission = parse_submission(request.json())
         except ReproError as error:
             self.instr.count("serve.requests_invalid")
-            await write_json(writer, 400, {"error": str(error)})
+            await write_json(
+                writer, 400, {"error": str(error)}, close=not keep
+            )
             return
         try:
-            status, payload, raw = self._accept(submission)
+            status, payload, raw = await self._accept(submission)
         except QueueFullError as error:
-            retry = self._retry_after()
+            retry = self._retry_after(submission.job_id or submission.digest)
             self.instr.count("serve.jobs_rejected")
             await write_json(
                 writer,
                 429,
                 {"error": str(error), "retry_after": retry},
                 extra_headers={"Retry-After": str(retry)},
+                close=not keep,
             )
             return
         wait = self._wait_seconds(request)
@@ -592,18 +786,28 @@ class SynthesisServer:
         self.instr.observe(
             "serve.request_seconds", time.perf_counter() - started
         )
-        await write_json(writer, status, payload, raw=raw)
+        await write_json(writer, status, payload, raw=raw, close=not keep)
 
-    def _accept(
+    async def _accept(
         self, submission: Submission
     ) -> tuple[int, dict[str, Any], dict[str, str] | None]:
         """Cache-or-queue one parsed submission (429 raises through).
 
         Returns ``(status, payload, raw)``; *raw* carries pre-serialised
         result text for :func:`~repro.serve.http.write_json` to splice
-        in verbatim (the cache-hit fast path).
+        in verbatim (the cache-hit fast path).  With peering configured,
+        a local miss asks the digest-owner shard's cache before paying
+        for a synthesis run.
         """
         text = self.cache.get(submission.cache_key)
+        if text is None and self._peer_ring is not None:
+            from repro.serve.ring import routing_digest
+
+            text = await self._peer_lookup(
+                routing_digest(submission.document), submission.cache_key
+            )
+            if text is not None:
+                self.cache.put(submission.cache_key, text)
         if text is not None:
             self.instr.count("serve.cache_hits")
             payload = {
@@ -639,10 +843,12 @@ class SynthesisServer:
         return (200 if job.status == "done" else 202), payload, raw
 
     async def _handle_batch(
-        self, request: Request, writer: asyncio.StreamWriter
+        self, request: Request, writer: asyncio.StreamWriter, keep: bool
     ) -> None:
         if self._draining:
-            await write_json(writer, 503, {"error": "server is draining"})
+            await write_json(
+                writer, 503, {"error": "server is draining"}, close=not keep
+            )
             return
         self.instr.count("serve.requests")
         data = request.json()
@@ -654,7 +860,7 @@ class SynthesisServer:
         for item in items:
             try:
                 submission = parse_submission(item)
-                status, payload, raw = self._accept(submission)
+                status, payload, raw = await self._accept(submission)
                 if raw is not None:
                     # Batch responses embed results as parsed objects;
                     # write_json's canonical serialisation keeps them
@@ -667,7 +873,9 @@ class SynthesisServer:
                     {
                         "status": "rejected",
                         "error": str(error),
-                        "retry_after": self._retry_after(),
+                        "retry_after": self._retry_after(
+                            submission.job_id or submission.digest
+                        ),
                     }
                 )
                 continue
@@ -691,10 +899,15 @@ class SynthesisServer:
                 "cached": hits,
                 "rejected": rejected,
             },
+            close=not keep,
         )
 
     async def _handle_status(
-        self, request: Request, job_id: str, writer: asyncio.StreamWriter
+        self,
+        request: Request,
+        job_id: str,
+        writer: asyncio.StreamWriter,
+        keep: bool,
     ) -> None:
         job = self.queue.get(job_id)
         if job is None:
@@ -706,14 +919,23 @@ class SynthesisServer:
                 await asyncio.wait_for(log.wait_terminal(), timeout=wait)
             job = self.queue.get(job_id)
         payload, raw = self._result_payload(job)
-        await write_json(writer, 200, payload, raw=raw)
+        await write_json(writer, 200, payload, raw=raw, close=not keep)
 
     async def _handle_events(
-        self, job_id: str, writer: asyncio.StreamWriter
+        self, request: Request, job_id: str, writer: asyncio.StreamWriter
     ) -> None:
         job = self.queue.get(job_id)
         if job is None:
             raise HttpError(404, f"unknown job {job_id!r}")
+        raw_start = request.query.get("start")
+        start = 0
+        if raw_start is not None:
+            try:
+                start = int(raw_start)
+            except ValueError:
+                raise HttpError(400, f"malformed start={raw_start!r}")
+            if start < 0:
+                raise HttpError(400, "start must be >= 0")
         await write_response(
             writer,
             200,
@@ -723,10 +945,19 @@ class SynthesisServer:
             head_only=True,
         )
         log = self._event_log(job_id)
-        async for event in log.follow():
-            writer.write(sse_event(event, event.get("event")))
+        async for index, event in log.follow(start):
+            # Each frame carries its stream position (``id:`` line and
+            # an ``i`` field): a dropped client reconnects with
+            # ``?start=i+1`` and resumes without replay or loss.
+            data = dict(event)
+            data["i"] = index
+            writer.write(sse_event(data, event.get("event"), event_id=index))
             await writer.drain()
-        writer.write(sse_event({"event": "end"}, "end"))
+        end_index = len(log.events)
+        writer.write(
+            sse_event({"event": "end", "i": end_index}, "end",
+                      event_id=end_index)
+        )
         await writer.drain()
 
     # ------------------------------------------------------------------
@@ -736,6 +967,8 @@ class SynthesisServer:
         return {
             "uptime_s": round(time.time() - self._started_at, 3),
             "draining": self._draining,
+            "paused": self._paused,
+            "shard": self.config.self_id,
             "queue": {
                 "depth": self.queue.depth,
                 "limit": self.queue.limit,
@@ -743,6 +976,11 @@ class SynthesisServer:
                 "inflight_limit": self.config.inflight,
                 "recovered": self.queue.recovered,
                 "counts": self.queue.counts(),
+            },
+            "journal": {
+                "lines": self.queue.journal_lines,
+                "limit": self.queue.journal_limit,
+                "compactions": self.queue.compactions,
             },
             "cache": self.cache.stats(),
             "pool": {
@@ -807,9 +1045,45 @@ def run_serve(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-heartbeats", action="store_true",
                         help="disable worker progress heartbeats (SSE "
                              "streams then carry lifecycle events only)")
+    parser.add_argument("--journal-limit", type=int, default=None,
+                        metavar="LINES",
+                        help="journal line count that triggers snapshot + "
+                             "truncate compaction (default: never)")
+    parser.add_argument("--cache-limit", type=int, default=None,
+                        metavar="ENTRIES",
+                        help="result-cache entry bound; oldest entries are "
+                             "evicted LRU-by-mtime (default: unbounded)")
+    parser.add_argument("--peers", default=None, metavar="ID=HOST:PORT,…",
+                        help="shard topology for cache peering: "
+                             "comma-separated id=host:port pairs including "
+                             "this server (see --self-id)")
+    parser.add_argument("--self-id", default=None, metavar="ID",
+                        help="this server's shard id within --peers")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="supervise N sharded backends behind a "
+                             "digest-routing front tier on --port "
+                             "(delegates to 'python -m repro shard')")
     args = parser.parse_args(argv)
 
+    if args.shards is not None:
+        from repro.serve.shard import run_shard_supervisor
+
+        return run_shard_supervisor(args)
+
     from repro.obs.ledger import DEFAULT_LEDGER_PATH
+
+    peers: tuple[tuple[str, str], ...] = ()
+    if args.peers:
+        try:
+            peers = tuple(
+                (pair.split("=", 1)[0], pair.split("=", 1)[1])
+                for pair in args.peers.split(",")
+                if pair
+            )
+        except IndexError:
+            parser.error("--peers must be id=host:port[,id=host:port…]")
+        if args.self_id is None:
+            parser.error("--peers requires --self-id")
 
     ledger = None if args.no_ledger else (args.ledger or DEFAULT_LEDGER_PATH)
     config = ServeConfig(
@@ -823,6 +1097,10 @@ def run_serve(argv: list[str] | None = None) -> int:
         state_dir=args.state_dir,
         ledger=ledger,
         heartbeats=not args.no_heartbeats,
+        journal_limit=args.journal_limit,
+        cache_limit=args.cache_limit,
+        peers=peers,
+        self_id=args.self_id,
     )
     server = SynthesisServer(config)
 

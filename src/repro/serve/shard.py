@@ -1,0 +1,985 @@
+"""Horizontal scale-out: a digest-routing front tier over N shards.
+
+``python -m repro serve --shards N`` turns the single-node service
+into a small cluster on one listening port:
+
+* N backend :class:`~repro.serve.server.SynthesisServer` processes,
+  each with its own journal, result cache, and synthesis pool under
+  ``<state-dir>/shard-k``;
+* one :class:`ShardFrontTier` (this module) that speaks the *same*
+  HTTP/JSON protocol and proxies every request to the right backend.
+
+Routing is rendezvous hashing (:mod:`repro.serve.ring`) of the
+submission's routing digest over stable shard ids: one problem, one
+home shard, so identical submissions always meet their own cached
+result and their own journal entry.  Batch submissions fan out
+per-item to each item's home shard and the verdicts merge back in
+submission order — the response is byte-identical to what a single
+server would have answered, which is the scale-out contract: shard
+count is a deployment knob, not an API change.
+
+Failure handling:
+
+* a background prober marks backends dead/alive (``/healthz`` every
+  ``probe_interval``); the request path marks a backend dead the
+  moment a proxied call fails at transport level;
+* submissions for a dead shard fail over to the next node in the
+  key's rendezvous rank — only the dead shard's keys move (the
+  rendezvous property), and the moved keys find warm results via
+  cache peering (backends ask the digest owner on a local miss);
+* with every backend down the front answers 503, never hangs;
+* backpressure passes through: a backend's 429 (with its
+  deterministic ``Retry-After``) reaches the client unchanged.
+
+The front tier holds no job state beyond a bounded job-id -> shard
+map (an optimisation for ``GET /jobs/{id}``; unknown ids fan out),
+so it can restart freely — durability lives in the backends'
+journals.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+from urllib.parse import urlencode
+
+from repro.errors import ReproError
+from repro.obs.instrument import Instrumentation
+from repro.serve.aio import AioHttpError, AsyncHttpClient, HttpResponse
+from repro.serve.http import (
+    HttpError,
+    Request,
+    read_request,
+    write_json,
+    write_response,
+)
+from repro.serve.ring import RendezvousRing, routing_digest
+
+__all__ = [
+    "DEFAULT_SHARD_PORT",
+    "ShardConfig",
+    "ShardFrontTier",
+    "backend_configs",
+    "run_shard",
+    "run_shard_supervisor",
+    "spawn_backend",
+    "wait_for_http",
+]
+
+DEFAULT_SHARD_PORT = 8076
+
+#: Cap on the job-id -> home-shard map (pure optimisation; evicted
+#: ids fall back to the fan-out lookup).
+MAX_JOB_HOMES = 65536
+
+#: Base timeout for one proxied exchange (a ``?wait=`` long-poll adds
+#: its wait on top).
+REQUEST_TIMEOUT = 300.0
+
+
+@dataclass
+class ShardConfig:
+    """Everything ``python -m repro shard`` lets you turn."""
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_SHARD_PORT
+    #: The backend fleet: ``(shard_id, "host:port")`` per shard.
+    backends: tuple[tuple[str, str], ...] = ()
+    #: Seconds between background health probes.
+    probe_interval: float = 1.0
+    #: Per-probe timeout (a wedged backend must not stall the prober).
+    probe_timeout: float = 2.0
+    #: Base timeout for proxied requests.
+    request_timeout: float = REQUEST_TIMEOUT
+
+
+class ShardFrontTier:
+    """The routing proxy: one listening port over N shard backends."""
+
+    def __init__(
+        self,
+        config: ShardConfig,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
+        if not config.backends:
+            raise ReproError("shard front tier needs at least one backend")
+        ids = [shard_id for shard_id, _ in config.backends]
+        if len(set(ids)) != len(ids):
+            raise ReproError(f"duplicate shard ids: {ids}")
+        self.config = config
+        self.instr = instrumentation or Instrumentation()
+        self.ring = RendezvousRing(ids)
+        self._addresses = dict(config.backends)
+        self._clients: dict[str, AsyncHttpClient] = {}
+        #: Optimistic at boot — the prober corrects within one cycle,
+        #: and the request path demotes on the first failed proxy.
+        self._alive: dict[str, bool] = {shard_id: True for shard_id in ids}
+        self._job_homes: dict[str, str] = {}
+        self._job_order: deque[str] = deque()
+        self.bound_port: int | None = None
+        self.ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._prober: asyncio.Task | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._draining = False
+        self._stopping = False
+        self._started_at = time.time()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        cfg = self.config
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        for shard_id, address in cfg.backends:
+            host, _, port = address.rpartition(":")
+            self._clients[shard_id] = AsyncHttpClient(
+                host or "127.0.0.1", int(port)
+            )
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=cfg.host, port=cfg.port
+        )
+        self.bound_port = self._server.sockets[0].getsockname()[1]
+        self._prober = asyncio.create_task(self._probe_loop())
+        self._started_at = time.time()
+        self.ready.set()
+
+    async def run(self, install_signal_handlers: bool = True) -> None:
+        await self.start()
+        if install_signal_handlers:
+            import signal
+
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                with contextlib.suppress(NotImplementedError, ValueError):
+                    self._loop.add_signal_handler(
+                        signum, self.request_shutdown
+                    )
+        assert self._stop_event is not None
+        await self._stop_event.wait()
+        await self.shutdown()
+
+    def request_shutdown(self) -> None:
+        loop, event = self._loop, self._stop_event
+        if loop is None or event is None:
+            return
+        loop.call_soon_threadsafe(event.set)
+
+    async def shutdown(self) -> None:
+        if self._stopping:
+            return
+        self._stopping = True
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._prober is not None:
+            self._prober.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._prober
+        for client in self._clients.values():
+            client.close()
+        self.ready.clear()
+
+    # ------------------------------------------------------------------
+    # Backend health
+    # ------------------------------------------------------------------
+    def alive_ids(self) -> list[str]:
+        return [
+            shard_id for shard_id, up in self._alive.items() if up
+        ]
+
+    def _mark_dead(self, shard_id: str) -> None:
+        if self._alive.get(shard_id):
+            self._alive[shard_id] = False
+            self.instr.count("shard.backend_deaths")
+            self._clients[shard_id].close()
+
+    def _mark_alive(self, shard_id: str) -> None:
+        if not self._alive.get(shard_id):
+            self._alive[shard_id] = True
+            self.instr.count("shard.backend_revivals")
+
+    async def _probe_one(self, shard_id: str) -> None:
+        try:
+            response = await self._clients[shard_id].request(
+                "GET", "/healthz", timeout=self.config.probe_timeout
+            )
+        except AioHttpError:
+            self._mark_dead(shard_id)
+            return
+        if response.status == 200:
+            self._mark_alive(shard_id)
+        else:  # pragma: no cover - a backend answering non-200
+            self._mark_dead(shard_id)
+
+    async def _probe_loop(self) -> None:
+        while True:
+            await asyncio.gather(
+                *(self._probe_one(shard_id) for shard_id in self._alive)
+            )
+            self.instr.gauge(
+                "shard.backends_alive", float(len(self.alive_ids()))
+            )
+            await asyncio.sleep(self.config.probe_interval)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _remember_home(self, job_id: str, shard_id: str) -> None:
+        if job_id in self._job_homes:
+            self._job_homes[job_id] = shard_id
+            return
+        self._job_homes[job_id] = shard_id
+        self._job_order.append(job_id)
+        while len(self._job_order) > MAX_JOB_HOMES:
+            self._job_homes.pop(self._job_order.popleft(), None)
+
+    def _owner_walk(self, key: str) -> list[str]:
+        """The key's rendezvous rank restricted to live backends."""
+        alive = set(self.alive_ids())
+        return [
+            shard_id for shard_id in self.ring.rank(key)
+            if shard_id in alive
+        ]
+
+    async def _proxy(
+        self,
+        shard_id: str,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        timeout: float | None = None,
+    ) -> HttpResponse:
+        """One proxied exchange; transport failure demotes the backend
+        and re-raises for the caller's failover walk."""
+        try:
+            return await self._clients[shard_id].request(
+                method,
+                path,
+                body=body,
+                timeout=timeout or self.config.request_timeout,
+            )
+        except AioHttpError:
+            self._mark_dead(shard_id)
+            raise
+
+    async def _proxy_with_failover(
+        self,
+        key: str,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        timeout: float | None = None,
+    ) -> tuple[str, HttpResponse] | None:
+        """Walk the key's rendezvous rank until a backend answers.
+
+        ``None`` means every live candidate failed (or none was live):
+        the caller answers 503.  Retrying a submission on the next
+        ranked shard is safe — synthesis is deterministic and content
+        addressed, so the worst case of an ambiguous first attempt is
+        a duplicate execution of the same result.
+        """
+        for shard_id in self._owner_walk(key):
+            try:
+                response = await self._proxy(
+                    shard_id, method, path, body, timeout
+                )
+            except AioHttpError:
+                self.instr.count("shard.failovers")
+                continue
+            return shard_id, response
+        return None
+
+    @staticmethod
+    def _forward_path(path: str, query: dict[str, str]) -> str:
+        return f"{path}?{urlencode(query)}" if query else path
+
+    def _wait_margin(self, request: Request) -> float:
+        raw = request.query.get("wait")
+        try:
+            return max(0.0, float(raw)) if raw is not None else 0.0
+        except ValueError:
+            return 0.0
+
+    @staticmethod
+    def _passthrough_headers(response: HttpResponse) -> dict[str, str]:
+        extra = {}
+        if "retry-after" in response.headers:
+            extra["Retry-After"] = response.headers["retry-after"]
+        return extra
+
+    async def _relay(
+        self,
+        writer: asyncio.StreamWriter,
+        response: HttpResponse,
+        keep: bool,
+    ) -> None:
+        """Pass a buffered backend response through byte for byte."""
+        await write_response(
+            writer,
+            response.status,
+            response.body,
+            content_type=response.headers.get(
+                "content-type", "application/json"
+            ),
+            extra_headers=self._passthrough_headers(response),
+            close=not keep,
+        )
+
+    # ------------------------------------------------------------------
+    # HTTP front
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                    if request is None:
+                        return
+                    keep = await self._route(request, writer)
+                    if not keep:
+                        return
+                except asyncio.CancelledError:
+                    # Server closing while this keep-alive connection
+                    # idles between requests: end quietly.
+                    return
+                except HttpError as error:
+                    await write_json(
+                        writer, error.status, {"error": str(error)}
+                    )
+                    return
+                except ConnectionError:
+                    return
+                except Exception as error:  # pragma: no cover - defensive
+                    with contextlib.suppress(Exception):
+                        await write_json(
+                            writer,
+                            500,
+                            {"error": f"internal error: {error!r}"},
+                        )
+                    return
+        finally:
+            # CancelledError too (a BaseException): the close
+            # handshake itself gets cancelled at front-tier shutdown.
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _route(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> bool:
+        keep = not request.wants_close
+        method, path = request.method, request.path.rstrip("/")
+        self.instr.count("shard.requests")
+        if path == "/healthz" and method == "GET":
+            await self._handle_healthz(writer, keep)
+            return keep
+        if path == "/stats" and method == "GET":
+            await self._handle_stats(writer, keep)
+            return keep
+        if path == "/jobs" and method == "POST":
+            await self._handle_submit(request, writer, keep)
+            return keep
+        if path == "/jobs/batch" and method == "POST":
+            await self._handle_batch(request, writer, keep)
+            return keep
+        if path == "/admin/shutdown" and method == "POST":
+            await self._handle_shutdown(writer)
+            return False
+        if path in ("/admin/pause", "/admin/resume") and method == "POST":
+            await self._handle_pause(path.endswith("pause"), writer, keep)
+            return keep
+        if path.startswith("/jobs/") and method == "GET":
+            rest = path[len("/jobs/"):]
+            if rest.endswith("/events"):
+                await self._handle_events(
+                    request, rest[: -len("/events")], writer
+                )
+                return False
+            if "/" not in rest:
+                await self._handle_status(request, rest, writer, keep)
+                return keep
+        raise HttpError(
+            404 if method in ("GET", "POST") else 405,
+            f"no route for {method} {request.path}",
+        )
+
+    async def _handle_submit(
+        self, request: Request, writer: asyncio.StreamWriter, keep: bool
+    ) -> None:
+        if self._draining:
+            await write_json(
+                writer, 503, {"error": "server is draining"}, close=not keep
+            )
+            return
+        document = request.json()  # same 400 text a backend would send
+        key = routing_digest(document)
+        forward = self._forward_path("/jobs", request.query)
+        routed = await self._proxy_with_failover(
+            key,
+            "POST",
+            forward,
+            request.body,
+            timeout=self.config.request_timeout + self._wait_margin(request),
+        )
+        if routed is None:
+            self.instr.count("shard.unrouted")
+            await write_json(
+                writer, 503, {"error": "no backend available"},
+                close=not keep,
+            )
+            return
+        shard_id, response = routed
+        self.instr.count("shard.jobs_routed")
+        payload = response.json()
+        if isinstance(payload, dict) and payload.get("job_id"):
+            self._remember_home(str(payload["job_id"]), shard_id)
+        await self._relay(writer, response, keep)
+
+    async def _handle_batch(
+        self, request: Request, writer: asyncio.StreamWriter, keep: bool
+    ) -> None:
+        if self._draining:
+            await write_json(
+                writer, 503, {"error": "server is draining"}, close=not keep
+            )
+            return
+        data = request.json()
+        items = data.get("jobs") if isinstance(data, dict) else None
+        if not isinstance(items, list) or not items:
+            raise HttpError(400, "body must be {'jobs': [submission, …]}")
+        entries: list[dict[str, Any] | None] = [None] * len(items)
+        pending = list(enumerate(items))
+        # Group per home shard, forward the groups concurrently, and
+        # re-group whatever a dying backend dropped — each item is
+        # answered or explicitly unavailable, never lost or hung.
+        for _ in range(len(self.config.backends) + 1):
+            if not pending:
+                break
+            groups: dict[str, list[tuple[int, Any]]] = {}
+            unroutable: list[tuple[int, Any]] = []
+            for index, item in pending:
+                walk = self._owner_walk(routing_digest(item))
+                if not walk:
+                    unroutable.append((index, item))
+                else:
+                    groups.setdefault(walk[0], []).append((index, item))
+            for index, _ in unroutable:
+                self.instr.count("shard.unrouted")
+                entries[index] = {
+                    "status": "unavailable",
+                    "error": "no backend available",
+                }
+            pending = []
+            if not groups:
+                break
+            results = await asyncio.gather(
+                *(
+                    self._forward_batch(shard_id, group)
+                    for shard_id, group in groups.items()
+                )
+            )
+            for group, verdicts in zip(groups.values(), results):
+                if verdicts is None:  # backend died: re-route the group
+                    pending.extend(group)
+                    continue
+                for (index, _), verdict in zip(group, verdicts):
+                    entries[index] = verdict
+        accepted = rejected = hits = 0
+        for entry in entries:
+            assert entry is not None
+            if entry.get("status") in ("rejected", "invalid", "unavailable"):
+                rejected += 1
+            elif entry.get("cached"):
+                hits += 1
+            else:
+                accepted += 1
+        await write_json(
+            writer,
+            200,
+            {
+                "jobs": entries,
+                "accepted": accepted,
+                "cached": hits,
+                "rejected": rejected,
+            },
+            close=not keep,
+        )
+
+    async def _forward_batch(
+        self, shard_id: str, group: list[tuple[int, Any]]
+    ) -> list[dict[str, Any]] | None:
+        """One shard's slice of a batch; ``None`` = backend died."""
+        body = json.dumps(
+            {"jobs": [item for _, item in group]},
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        try:
+            response = await self._proxy(
+                shard_id, "POST", "/jobs/batch", body
+            )
+        except AioHttpError:
+            self.instr.count("shard.failovers")
+            return None
+        payload = response.json()
+        verdicts = (
+            payload.get("jobs") if isinstance(payload, dict) else None
+        )
+        if response.status != 200 or not isinstance(verdicts, list):
+            # A whole-batch error (e.g. draining backend): every item
+            # in the group re-routes.
+            return None
+        self.instr.count("shard.batch_items", len(verdicts))
+        for (_, _), verdict in zip(group, verdicts):
+            if isinstance(verdict, dict) and verdict.get("job_id"):
+                self._remember_home(str(verdict["job_id"]), shard_id)
+        return verdicts
+
+    async def _locate(self, job_id: str) -> str | None:
+        """The shard that knows *job_id*: the remembered home when
+        live, else a fan-out probe of every live backend."""
+        home = self._job_homes.get(job_id)
+        if home is not None and self._alive.get(home):
+            return home
+        for shard_id in self.alive_ids():
+            try:
+                response = await self._proxy(
+                    shard_id, "GET", f"/jobs/{job_id}"
+                )
+            except AioHttpError:
+                continue
+            if response.status == 200:
+                self._remember_home(job_id, shard_id)
+                return shard_id
+        return None
+
+    async def _handle_status(
+        self,
+        request: Request,
+        job_id: str,
+        writer: asyncio.StreamWriter,
+        keep: bool,
+    ) -> None:
+        if not self.alive_ids():
+            await write_json(
+                writer, 503, {"error": "no backend available"},
+                close=not keep,
+            )
+            return
+        shard_id = await self._locate(job_id)
+        if shard_id is None:
+            raise HttpError(404, f"unknown job {job_id!r}")
+        forward = self._forward_path(f"/jobs/{job_id}", request.query)
+        try:
+            response = await self._proxy(
+                shard_id,
+                "GET",
+                forward,
+                timeout=self.config.request_timeout
+                + self._wait_margin(request),
+            )
+        except AioHttpError:
+            await write_json(
+                writer,
+                503,
+                {"error": f"backend for job {job_id!r} is unavailable"},
+                close=not keep,
+            )
+            return
+        await self._relay(writer, response, keep)
+
+    async def _handle_events(
+        self, request: Request, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        shard_id = await self._locate(job_id)
+        if shard_id is None:
+            raise HttpError(404, f"unknown job {job_id!r}")
+        forward = self._forward_path(f"/jobs/{job_id}/events", request.query)
+        try:
+            upstream = await self._clients[shard_id].stream(
+                "GET", forward, timeout=self.config.request_timeout
+            )
+        except AioHttpError:
+            self._mark_dead(shard_id)
+            raise HttpError(
+                503, f"backend for job {job_id!r} is unavailable"
+            )
+        try:
+            if upstream.status != 200:
+                # Backend refused the stream (e.g. compaction evicted
+                # the job): buffer the small error body and relay it.
+                chunks = [chunk async for chunk in upstream.iter_chunks()]
+                await write_response(
+                    writer,
+                    upstream.status,
+                    b"".join(chunks),
+                    content_type=upstream.headers.get(
+                        "content-type", "application/json"
+                    ),
+                )
+                return
+            await write_response(
+                writer,
+                200,
+                b"",
+                content_type="text/event-stream",
+                extra_headers={"Cache-Control": "no-cache"},
+                head_only=True,
+            )
+            self.instr.count("shard.sse_streams")
+            async for chunk in upstream.iter_chunks():
+                writer.write(chunk)
+                await writer.drain()
+        finally:
+            upstream.close()
+
+    async def _handle_healthz(
+        self, writer: asyncio.StreamWriter, keep: bool
+    ) -> None:
+        alive = {
+            shard_id: bool(up) for shard_id, up in sorted(self._alive.items())
+        }
+        up_count = sum(alive.values())
+        status = (
+            "ok" if up_count == len(alive)
+            else ("degraded" if up_count else "down")
+        )
+        await write_json(
+            writer,
+            200 if up_count else 503,
+            {
+                "status": status,
+                "role": "front",
+                "draining": self._draining,
+                "backends": alive,
+            },
+            close=not keep,
+        )
+
+    async def _handle_stats(
+        self, writer: asyncio.StreamWriter, keep: bool
+    ) -> None:
+        async def fetch(shard_id: str) -> Any:
+            try:
+                response = await self._proxy(shard_id, "GET", "/stats")
+            except AioHttpError:
+                return None
+            return response.json() if response.status == 200 else None
+
+        ids = sorted(self._alive)
+        shard_stats = await asyncio.gather(*(fetch(s) for s in ids))
+        await write_json(
+            writer,
+            200,
+            {
+                "role": "front",
+                "uptime_s": round(time.time() - self._started_at, 3),
+                "draining": self._draining,
+                "backends": {
+                    shard_id: {
+                        "address": self._addresses[shard_id],
+                        "alive": bool(self._alive[shard_id]),
+                    }
+                    for shard_id in ids
+                },
+                "shards": dict(zip(ids, shard_stats)),
+                "counters": self.instr.counters,
+                "gauges": self.instr.gauges,
+            },
+            close=not keep,
+        )
+
+    async def _handle_pause(
+        self, pause: bool, writer: asyncio.StreamWriter, keep: bool
+    ) -> None:
+        verb = "pause" if pause else "resume"
+
+        async def one(shard_id: str) -> str | None:
+            try:
+                response = await self._proxy(
+                    shard_id, "POST", f"/admin/{verb}"
+                )
+            except AioHttpError:
+                return None
+            return shard_id if response.status == 200 else None
+
+        done = await asyncio.gather(*(one(s) for s in self.alive_ids()))
+        await write_json(
+            writer,
+            200,
+            {
+                "status": "paused" if pause else "running",
+                "shards": sorted(filter(None, done)),
+            },
+            close=not keep,
+        )
+
+    async def _handle_shutdown(self, writer: asyncio.StreamWriter) -> None:
+        """Drain-aware shutdown: refuse new work, tell every live
+        backend to drain, then stop the front tier itself."""
+        self._draining = True
+
+        async def one(shard_id: str) -> None:
+            with contextlib.suppress(AioHttpError):
+                await self._proxy(shard_id, "POST", "/admin/shutdown")
+
+        await asyncio.gather(*(one(s) for s in self.alive_ids()))
+        await write_json(writer, 200, {"status": "draining"}, close=True)
+        self.request_shutdown()
+
+
+# ----------------------------------------------------------------------
+# Supervisor: backends as child processes + the front tier
+# ----------------------------------------------------------------------
+def backend_configs(
+    count: int,
+    host: str,
+    base_port: int,
+    state_dir: Path,
+    *,
+    pool_jobs: int = 1,
+    inflight: int = 2,
+    queue_limit: int | None = None,
+    deadline: float | None = None,
+    retries: int = 3,
+    ledger: Path | None = None,
+    heartbeats: bool = True,
+    journal_limit: int | None = None,
+    cache_limit: int | None = None,
+    ports: list[int] | None = None,
+) -> list[Any]:
+    """The N backend :class:`~repro.serve.server.ServeConfig` objects
+    for one sharded deployment: fixed ports (``base_port + 1 + k`` by
+    default), per-shard state dirs, and the full peer table on every
+    shard so cache peering works."""
+    from repro.serve.jobs import DEFAULT_QUEUE_LIMIT
+    from repro.serve.server import ServeConfig
+
+    if ports is None:
+        ports = [base_port + 1 + k for k in range(count)]
+    peers = tuple(
+        (f"shard-{k}", f"{host}:{ports[k]}") for k in range(count)
+    )
+    return [
+        ServeConfig(
+            host=host,
+            port=ports[k],
+            pool_jobs=pool_jobs,
+            inflight=inflight,
+            queue_limit=(
+                queue_limit if queue_limit is not None
+                else DEFAULT_QUEUE_LIMIT
+            ),
+            deadline=deadline,
+            retries=retries,
+            state_dir=state_dir / f"shard-{k}",
+            ledger=ledger,
+            heartbeats=heartbeats,
+            journal_limit=journal_limit,
+            cache_limit=cache_limit,
+            peers=peers,
+            self_id=f"shard-{k}",
+        )
+        for k in range(count)
+    ]
+
+
+def _backend_main(config: Any) -> None:  # pragma: no cover - child process
+    """Child-process entry point: run one shard backend to drain."""
+    from repro.serve.server import SynthesisServer
+
+    server = SynthesisServer(config)
+    asyncio.run(server.run())
+
+
+def spawn_backend(config: Any) -> Any:
+    """Start one shard backend as a child process (returns it)."""
+    import multiprocessing
+
+    process = multiprocessing.Process(
+        target=_backend_main, args=(config,), daemon=False
+    )
+    process.start()
+    return process
+
+
+def wait_for_http(
+    host: str, port: int, timeout: float = 30.0
+) -> bool:
+    """Block until ``GET /healthz`` on ``host:port`` answers 200."""
+    import http.client
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        connection = http.client.HTTPConnection(host, port, timeout=2.0)
+        try:
+            connection.request("GET", "/healthz")
+            if connection.getresponse().status == 200:
+                return True
+        except OSError:
+            time.sleep(0.05)
+        finally:
+            connection.close()
+    return False
+
+
+def run_shard_supervisor(args: Any) -> int:
+    """``python -m repro serve --shards N``: spawn N backends, then
+    run the front tier on the requested port until drained."""
+    import sys
+
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    from repro.obs.ledger import DEFAULT_LEDGER_PATH
+
+    ledger = None if args.no_ledger else (args.ledger or DEFAULT_LEDGER_PATH)
+    configs = backend_configs(
+        args.shards,
+        args.host,
+        args.port,
+        args.state_dir,
+        pool_jobs=args.jobs,
+        inflight=args.inflight,
+        queue_limit=args.queue_limit,
+        deadline=args.deadline,
+        retries=args.retries,
+        ledger=ledger,
+        heartbeats=not args.no_heartbeats,
+        journal_limit=args.journal_limit,
+        cache_limit=args.cache_limit,
+    )
+    processes = [spawn_backend(config) for config in configs]
+    try:
+        for config in configs:
+            if not wait_for_http(config.host, config.port):
+                print(
+                    f"error: shard on port {config.port} never came up",
+                    file=sys.stderr,
+                )
+                return 3
+        front = ShardFrontTier(
+            ShardConfig(
+                host=args.host,
+                port=args.port,
+                backends=tuple(
+                    (config.self_id, f"{config.host}:{config.port}")
+                    for config in configs
+                ),
+            )
+        )
+        print(
+            f"repro-shard: front tier on http://{args.host}:{args.port} "
+            f"over {args.shards} shards "
+            f"(ports {configs[0].port}..{configs[-1].port})",
+            file=sys.stderr,
+        )
+        try:
+            asyncio.run(front.run())
+        except KeyboardInterrupt:  # pragma: no cover - double ^C
+            pass
+    finally:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()  # SIGTERM -> backend drains
+        for process in processes:
+            process.join(timeout=30.0)
+            if process.is_alive():  # pragma: no cover - wedged child
+                process.kill()
+                process.join(timeout=5.0)
+    print("repro-shard: front tier and shards stopped", file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# The ``python -m repro shard`` command (front tier over existing
+# backends — the supervisor spelling is ``repro serve --shards N``)
+# ----------------------------------------------------------------------
+def run_shard(argv: list[str] | None = None) -> int:
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="repro shard",
+        description=(
+            "Digest-routing front tier over running repro-serve "
+            "backends (docs/SERVICE.md: Scaling out)."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_SHARD_PORT,
+                        help=f"front-tier TCP port (default: "
+                             f"{DEFAULT_SHARD_PORT}; 0 picks a free port)")
+    parser.add_argument("--backends", required=True,
+                        metavar="HOST:PORT,… | ID=HOST:PORT,…",
+                        help="the shard fleet; bare addresses get ids "
+                             "shard-0, shard-1, … in order (ids must "
+                             "match the backends' --self-id for cache "
+                             "peering to agree with routing)")
+    parser.add_argument("--probe-interval", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="backend health-probe period (default: 1.0)")
+    args = parser.parse_args(argv)
+
+    backends: list[tuple[str, str]] = []
+    for index, pair in enumerate(args.backends.split(",")):
+        pair = pair.strip()
+        if not pair:
+            continue
+        if "=" in pair:
+            shard_id, _, address = pair.partition("=")
+        else:
+            shard_id, address = f"shard-{index}", pair
+        backends.append((shard_id, address))
+    if not backends:
+        parser.error("--backends needs at least one host:port")
+
+    front = ShardFrontTier(
+        ShardConfig(
+            host=args.host,
+            port=args.port,
+            backends=tuple(backends),
+            probe_interval=args.probe_interval,
+        )
+    )
+
+    async def _main() -> None:
+        started = asyncio.create_task(front.run())
+        while not front.ready.is_set() and not started.done():
+            await asyncio.sleep(0.01)
+        if front.ready.is_set():
+            print(
+                f"repro-shard: routing http://{args.host}:"
+                f"{front.bound_port} across "
+                f"{len(backends)} backends",
+                file=sys.stderr,
+            )
+        await started
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - double ^C
+        pass
+    except OSError as error:
+        print(f"error: cannot serve: {error}", file=sys.stderr)
+        return 3
+    print("repro-shard: stopped", file=sys.stderr)
+    return 0
+
+
+def shard_main(argv: list[str] | None = None) -> None:  # pragma: no cover
+    raise SystemExit(run_shard(argv))

@@ -19,6 +19,7 @@ class TestResultCache:
         assert cache.get(KEY) == TEXT
         assert cache.stats() == {
             "hits": 1, "misses": 1, "entries": 1, "warm": 1,
+            "evictions": 0, "limit": None,
         }
 
     def test_survives_restart_byte_identical(self, tmp_path):
@@ -69,4 +70,74 @@ class TestResultCache:
         cache = ResultCache(tmp_path / "never-created")
         assert cache.stats() == {
             "hits": 0, "misses": 0, "entries": 0, "warm": 0,
+            "evictions": 0, "limit": None,
         }
+
+
+def _age(cache: ResultCache, key: str, mtime: float) -> None:
+    """Pin an entry's mtime so LRU ordering is deterministic in tests
+    (real clocks tick too coarsely for back-to-back puts)."""
+    import os
+
+    os.utime(cache._path(key), (mtime, mtime))
+
+
+class TestEviction:
+    def test_limit_validates(self, tmp_path):
+        with pytest.raises(ValueError, match="cache limit"):
+            ResultCache(tmp_path, limit=0)
+
+    def test_oldest_entries_evicted(self, tmp_path):
+        evicted_batches: list[int] = []
+        cache = ResultCache(
+            tmp_path, limit=2, on_evict=evicted_batches.append
+        )
+        cache.put("aa" * 32, '{"n":1}')
+        _age(cache, "aa" * 32, 1000.0)
+        cache.put("bb" * 32, '{"n":2}')
+        _age(cache, "bb" * 32, 2000.0)
+        cache.put("cc" * 32, '{"n":3}')  # over limit: evicts aa
+        assert not cache.contains("aa" * 32)
+        assert cache.contains("bb" * 32)
+        assert cache.contains("cc" * 32)
+        assert cache.stats()["evictions"] == 1
+        assert cache.stats()["limit"] == 2
+        assert evicted_batches == [1]
+
+    def test_recent_hit_protects_entry(self, tmp_path):
+        cache = ResultCache(tmp_path, limit=2)
+        cache.put("aa" * 32, '{"n":1}')
+        _age(cache, "aa" * 32, 1000.0)
+        cache.put("bb" * 32, '{"n":2}')
+        _age(cache, "bb" * 32, 2000.0)
+        assert cache.get("aa" * 32) == '{"n":1}'  # touch: aa now newest
+        cache.put("cc" * 32, '{"n":3}')
+        assert cache.contains("aa" * 32)
+        assert not cache.contains("bb" * 32)
+
+    def test_just_written_key_never_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path, limit=1)
+        cache.put("aa" * 32, '{"n":1}')
+        _age(cache, "aa" * 32, 9999999999.0)  # far future mtime
+        cache.put("bb" * 32, '{"n":2}')
+        # bb sorts oldest but is the entry being written: aa goes.
+        assert cache.contains("bb" * 32)
+        assert not cache.contains("aa" * 32)
+
+    def test_reput_after_eviction_is_byte_identical(self, tmp_path):
+        cache = ResultCache(tmp_path, limit=1)
+        cache.put(KEY, TEXT)
+        _age(cache, KEY, 1000.0)
+        cache.put("cd" * 32, '{"other":1}')
+        assert cache.get(KEY) is None  # evicted
+        # Deterministic flow: a re-request re-synthesizes the same
+        # text; the cache must hand it back byte for byte.
+        cache.put(KEY, TEXT)
+        assert cache.get(KEY) == TEXT
+
+    def test_unlimited_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for index in range(20):
+            cache.put(f"{index:02d}" * 32, f'{{"n":{index}}}')
+        assert cache.entries() == 20
+        assert cache.stats()["evictions"] == 0

@@ -1,0 +1,224 @@
+"""Journal snapshot + compaction: crash safety and boundedness.
+
+The journal's append path is covered by ``test_journal``; this module
+covers the compaction half of the contract: a long-lived shard's
+journal stays bounded under sustained traffic, a crash at *any* moment
+relative to a compaction replays to correct state, and evicted job ids
+are never reissued.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.jobs import JobQueue, read_journal
+
+
+DOC = {"benchmark": "PCR", "parameters": {"seed": 1}}
+
+
+def submit_n(queue: JobQueue, n: int, prefix: str = "d") -> list[str]:
+    ids = []
+    for i in range(n):
+        job, _ = queue.submit(dict(DOC), f"{prefix}{i:04d}", f"{prefix}{i:04d}")
+        ids.append(job.job_id)
+    return ids
+
+
+def run_to_done(queue: JobQueue, n: int) -> list[str]:
+    ids = submit_n(queue, n)
+    for _ in range(n):
+        job = queue.claim()
+        queue.finish(job.job_id)
+    return ids
+
+
+class TestManualCompaction:
+    def test_snapshot_preserves_state(self, tmp_path):
+        journal = tmp_path / "jobs.jsonl"
+        queue = JobQueue(journal, limit=64)
+        done_ids = run_to_done(queue, 3)
+        pending_ids = submit_n(queue, 2, prefix="p")
+        lines_before = queue.journal_lines
+
+        evicted = queue.compact()
+        assert evicted == []  # keep_terminal unset: nothing evicted
+        # Nothing to evict: the snapshot is the same state plus the
+        # meta (sequence-carrying) record.
+        assert queue.journal_lines == lines_before + 1
+
+        replayed = JobQueue(journal, limit=64)
+        for job_id in done_ids:
+            assert replayed.get(job_id).status == "done"
+        for job_id in pending_ids:
+            assert replayed.get(job_id).status == "queued"
+        # FIFO order of the pending jobs survives the snapshot.
+        assert replayed.claim().job_id == pending_ids[0]
+
+    def test_old_terminal_jobs_evicted(self, tmp_path):
+        queue = JobQueue(
+            tmp_path / "jobs.jsonl", limit=64, keep_terminal=2
+        )
+        done_ids = run_to_done(queue, 5)
+        evicted = queue.compact()
+        assert evicted == sorted(done_ids[:3])
+        for job_id in done_ids[:3]:
+            assert queue.get(job_id) is None
+        for job_id in done_ids[3:]:
+            assert queue.get(job_id).status == "done"
+
+    def test_on_compaction_callback_gets_evicted_ids(self, tmp_path):
+        seen: list[list[str]] = []
+        queue = JobQueue(
+            tmp_path / "jobs.jsonl", limit=64, keep_terminal=0,
+            on_compaction=seen.append,
+        )
+        done_ids = run_to_done(queue, 2)
+        queue.compact()
+        assert seen == [sorted(done_ids)]
+
+    def test_failed_jobs_survive_with_error(self, tmp_path):
+        journal = tmp_path / "jobs.jsonl"
+        queue = JobQueue(journal, limit=64)
+        submit_n(queue, 1)
+        job = queue.claim()
+        queue.fail(job.job_id, "boom")
+        queue.compact()
+        replayed = JobQueue(journal, limit=64)
+        assert replayed.get(job.job_id).status == "failed"
+        assert replayed.get(job.job_id).error == "boom"
+
+
+class TestCrashWindows:
+    def test_crash_before_snapshot_replays_old_journal(self, tmp_path):
+        """A stray temp file from a crash just before the atomic
+        replace must be ignored by replay."""
+        journal = tmp_path / "jobs.jsonl"
+        queue = JobQueue(journal, limit=64)
+        ids = submit_n(queue, 3)
+        # Crash artifact: a half-written snapshot that never landed.
+        (tmp_path / "jobs.jsonl.compact").write_text(
+            '{"kind": "meta", "seq": 999\n', encoding="utf-8"
+        )
+        replayed = JobQueue(journal, limit=64)
+        assert [j.job_id for j in replayed.jobs()] == ids
+        assert replayed.depth == 3
+        # The stale temp file never leaks ids into the sequence.
+        job, _ = replayed.submit(dict(DOC), "dnew", "dnew")
+        assert job.job_id.startswith("j000004")
+
+    def test_crash_during_snapshot_keeps_journal_intact(self, tmp_path):
+        """Before ``os.replace`` the journal is untouched: truncating
+        the temp file at any byte changes nothing for replay."""
+        journal = tmp_path / "jobs.jsonl"
+        queue = JobQueue(journal, limit=64)
+        ids = submit_n(queue, 4)
+        original = journal.read_bytes()
+        for cut in (0, 10, 50):
+            (tmp_path / "jobs.jsonl.compact").write_bytes(original[:cut])
+            replayed = JobQueue(journal, limit=64)
+            assert [j.job_id for j in replayed.jobs()] == ids
+
+    def test_crash_after_snapshot_replays_compacted(self, tmp_path):
+        journal = tmp_path / "jobs.jsonl"
+        queue = JobQueue(journal, limit=64)
+        run_to_done(queue, 3)
+        pending = submit_n(queue, 2, prefix="p")
+        queue.compact()
+        # "Crash" now: no further writes; a fresh instance replays the
+        # compacted journal alone.
+        replayed = JobQueue(journal, limit=64)
+        assert replayed.depth == 2
+        assert replayed.claim().job_id == pending[0]
+
+    def test_truncated_append_after_compaction_is_skipped(self, tmp_path):
+        journal = tmp_path / "jobs.jsonl"
+        queue = JobQueue(journal, limit=64)
+        submit_n(queue, 2)
+        queue.compact()
+        with open(journal, "a", encoding="utf-8") as stream:
+            stream.write('{"kind": "job", "id": "torn')  # no newline
+        replayed = JobQueue(journal, limit=64)
+        assert replayed.depth == 2
+
+
+class TestAutomaticCompaction:
+    def test_journal_stays_bounded_under_sustained_submit(self, tmp_path):
+        """The tentpole bound: submit/finish forever, the journal never
+        grows past the compaction threshold's reach."""
+        journal = tmp_path / "jobs.jsonl"
+        queue = JobQueue(
+            journal, limit=64, journal_limit=32, keep_terminal=4
+        )
+        for round_ in range(20):
+            run_to_done(queue, 5)
+            assert queue.journal_lines <= 64, (
+                f"journal unbounded at round {round_}: "
+                f"{queue.journal_lines} lines"
+            )
+        assert queue.compactions > 0
+        # On-disk line count agrees with the accounting.
+        raw_lines = [
+            line for line in journal.read_text().splitlines() if line
+        ]
+        assert len(raw_lines) == queue.journal_lines
+
+    def test_compaction_triggers_on_replay_too(self, tmp_path):
+        journal = tmp_path / "jobs.jsonl"
+        queue = JobQueue(journal, limit=64)
+        run_to_done(queue, 20)  # 60 lines, no limit -> no compaction
+        assert queue.compactions == 0
+        replayed = JobQueue(
+            journal, limit=64, journal_limit=16, keep_terminal=2
+        )
+        assert replayed.compactions == 1
+        assert replayed.journal_lines < 60
+
+    def test_all_live_queue_backs_off_instead_of_thrashing(self, tmp_path):
+        """When every journaled job is pending, compaction cannot
+        shrink the journal; the trigger threshold must double instead
+        of rewriting the whole journal on every append."""
+        queue = JobQueue(
+            tmp_path / "jobs.jsonl", limit=1000, journal_limit=8,
+            keep_terminal=0,
+        )
+        submit_n(queue, 40)
+        # Compactions happened, but far fewer than submissions — the
+        # doubling threshold keeps the amortised cost O(log n), and
+        # every job survives.
+        assert 0 < queue.compactions < 10
+        assert queue.depth == 40
+
+    def test_journal_limit_validates(self, tmp_path):
+        with pytest.raises(ReproError):
+            JobQueue(tmp_path / "jobs.jsonl", journal_limit=4)
+
+    def test_evicted_ids_are_never_reissued(self, tmp_path):
+        """The meta record carries the id sequence across evictions: a
+        restart after compaction must not mint an id an evicted job
+        already used (the ledger and event logs key on ids)."""
+        journal = tmp_path / "jobs.jsonl"
+        queue = JobQueue(journal, limit=64, keep_terminal=0)
+        first_ids = set(run_to_done(queue, 6))
+        queue.compact()  # evicts all six
+        meta = [
+            r for r in read_journal(journal) if r.get("kind") == "meta"
+        ]
+        assert meta and meta[0]["seq"] >= 6
+
+        replayed = JobQueue(journal, limit=64, keep_terminal=0)
+        new_ids = set(run_to_done(replayed, 6))
+        assert not (first_ids & new_ids)
+
+    def test_compacted_journal_is_valid_jsonl(self, tmp_path):
+        journal = tmp_path / "jobs.jsonl"
+        queue = JobQueue(journal, limit=64, keep_terminal=1)
+        run_to_done(queue, 4)
+        submit_n(queue, 1, prefix="p")
+        queue.compact()
+        for line in journal.read_text().splitlines():
+            record = json.loads(line)
+            assert record["kind"] in ("meta", "job", "start", "done", "fail")

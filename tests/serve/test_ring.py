@@ -1,0 +1,163 @@
+"""Rendezvous ring and routing-digest unit tests.
+
+The ring's contracts — determinism across processes, minimal
+disruption on node loss — are what make front-tier routing, cache
+peering, and failover rehashing agree without any coordination.  The
+routing digest's contract is that the *front tier* (hashing raw client
+items) and the *backends* (hashing canonicalised journal documents)
+compute the same key, so a front-routed job always lands on its own
+cache owner.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.protocol import parse_submission
+from repro.serve.ring import RendezvousRing, routing_digest
+
+
+NODES = ("shard-0", "shard-1", "shard-2", "shard-3")
+
+
+def keys(n: int = 200) -> list[str]:
+    return [f"digest-{i:04d}" for i in range(n)]
+
+
+class TestRendezvousRing:
+    def test_needs_nodes(self):
+        with pytest.raises(ValueError):
+            RendezvousRing([])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            RendezvousRing(["a", "a"])
+
+    def test_owner_is_deterministic_across_instances(self):
+        first = RendezvousRing(NODES)
+        second = RendezvousRing(NODES)
+        for key in keys():
+            assert first.owner(key) == second.owner(key)
+            assert first.rank(key) == second.rank(key)
+
+    def test_node_order_does_not_matter(self):
+        forward = RendezvousRing(NODES)
+        backward = RendezvousRing(tuple(reversed(NODES)))
+        for key in keys():
+            assert forward.owner(key) == backward.owner(key)
+
+    def test_every_node_owns_some_keys(self):
+        ring = RendezvousRing(NODES)
+        owners = {ring.owner(key) for key in keys()}
+        assert owners == set(NODES)
+
+    def test_rank_is_a_permutation(self):
+        ring = RendezvousRing(NODES)
+        for key in keys(20):
+            assert sorted(ring.rank(key)) == sorted(NODES)
+            assert ring.rank(key)[0] == ring.owner(key)
+
+    def test_minimal_disruption_on_node_loss(self):
+        """Removing one node only remaps the keys it owned."""
+        full = RendezvousRing(NODES)
+        survivors = tuple(n for n in NODES if n != "shard-2")
+        shrunk = RendezvousRing(survivors)
+        for key in keys():
+            before = full.owner(key)
+            after = shrunk.owner(key)
+            if before != "shard-2":
+                assert after == before
+            else:
+                assert after in survivors
+
+    def test_alive_subset_matches_shrunk_ring(self):
+        """``owner(key, alive=...)`` is the failover rehash: it must
+        agree with a ring built from only the surviving nodes."""
+        full = RendezvousRing(NODES)
+        survivors = ("shard-0", "shard-3")
+        shrunk = RendezvousRing(survivors)
+        for key in keys():
+            assert full.owner(key, alive=survivors) == shrunk.owner(key)
+
+    def test_no_alive_candidate_is_none(self):
+        ring = RendezvousRing(NODES)
+        assert ring.owner("k", alive=()) is None
+
+
+class TestRoutingDigest:
+    def test_deterministic(self):
+        doc = {"benchmark": "PCR", "parameters": {"seed": 3}}
+        assert routing_digest(doc) == routing_digest(dict(doc))
+
+    def test_job_id_is_excluded(self):
+        base = {"benchmark": "PCR", "parameters": {"seed": 3}}
+        tagged = {**base, "job_id": "mine-1"}
+        assert routing_digest(base) == routing_digest(tagged)
+
+    def test_algorithm_defaults_to_ours(self):
+        implicit = {"benchmark": "PCR"}
+        explicit = {"benchmark": "PCR", "algorithm": "ours"}
+        assert routing_digest(implicit) == routing_digest(explicit)
+
+    def test_baseline_routes_separately(self):
+        ours = {"benchmark": "PCR"}
+        baseline = {"benchmark": "PCR", "algorithm": "baseline"}
+        assert routing_digest(ours) != routing_digest(baseline)
+
+    def test_empty_parameters_equal_absent(self):
+        bare = {"benchmark": "PCR"}
+        empty = {"benchmark": "PCR", "parameters": {}}
+        assert routing_digest(bare) == routing_digest(empty)
+
+    def test_front_and_backend_agree(self):
+        """The load-bearing invariant: the raw client item and the
+        canonicalised journal document hash to the same shard key, so
+        front-routed jobs never pay a cache-peer probe."""
+        for raw in (
+            {"benchmark": "PCR"},
+            {"benchmark": "PCR", "parameters": {"seed": 7}},
+            {"benchmark": "PCR", "parameters": {}, "job_id": "j-1"},
+            {"benchmark": "IVD", "algorithm": "baseline"},
+        ):
+            canonical = parse_submission(raw).document
+            assert routing_digest(raw) == routing_digest(canonical), raw
+
+    def test_non_mapping_values_still_hash(self):
+        assert routing_digest([1, 2, 3]) == routing_digest([1, 2, 3])
+        assert routing_digest("x") != routing_digest("y")
+
+
+class TestRingRoutingIntegration:
+    def test_identical_submissions_share_a_shard(self):
+        ring = RendezvousRing(("shard-0", "shard-1"))
+        a = {"benchmark": "PCR", "parameters": {"seed": 1}}
+        b = {"benchmark": "PCR", "parameters": {"seed": 1}, "job_id": "x"}
+        assert ring.owner(routing_digest(a)) == ring.owner(routing_digest(b))
+
+    def test_seeds_spread_across_shards(self):
+        ring = RendezvousRing(("shard-0", "shard-1"))
+        owners = {
+            ring.owner(routing_digest(
+                {"benchmark": "PCR", "parameters": {"seed": seed}}
+            ))
+            for seed in range(40)
+        }
+        assert owners == {"shard-0", "shard-1"}
+
+
+def test_reexported_from_serve_package():
+    from repro.serve import RendezvousRing as exported_ring
+    from repro.serve import routing_digest as exported_digest
+
+    assert exported_ring is RendezvousRing
+    assert exported_digest is routing_digest
+
+
+def test_repro_error_is_not_raised_for_valid_ring():
+    # Guard: ring construction errors are ValueError (config bugs),
+    # not ReproError (user input) — the supervisor distinguishes them.
+    try:
+        RendezvousRing(("a", "b"))
+    except ReproError:  # pragma: no cover - regression guard
+        pytest.fail("valid ring raised ReproError")

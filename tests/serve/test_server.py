@@ -337,3 +337,205 @@ class TestOperational:
         assert response == {"status": "draining"}
         harness.thread.join(timeout=30.0)
         assert not harness.thread.is_alive()
+
+
+class TestRetryAfterJitter:
+    """Unit tests against an idle (never started) server so the hint's
+    base is the configured fallback, not a live histogram mean."""
+
+    @pytest.fixture()
+    def idle_server(self, tmp_path):
+        return SynthesisServer(
+            ServeConfig(
+                port=0,
+                state_dir=tmp_path / "serve",
+                retry_after=40.0,
+            )
+        )
+
+    def test_deterministic_per_key(self, idle_server):
+        first = idle_server._retry_after("job-abc")
+        assert first == idle_server._retry_after("job-abc")
+        assert first >= 1
+
+    def test_jitter_stays_within_half_of_base(self, idle_server):
+        import math
+
+        base = idle_server.config.retry_after
+        for key in (f"k{i}" for i in range(32)):
+            value = idle_server._retry_after(key)
+            assert base <= value <= math.ceil(base * 1.5)
+
+    def test_keys_spread_the_herd(self, idle_server):
+        values = {
+            idle_server._retry_after(f"key-{i}") for i in range(32)
+        }
+        assert len(values) > 4, "jitter never separated the herd"
+
+    def test_keyless_hint_is_the_plain_mean(self, idle_server):
+        assert idle_server._retry_after() == idle_server.config.retry_after
+
+
+class TestKeepAlive:
+    def test_client_reuses_the_connection(self, harness):
+        client = harness.client
+        client.healthz()
+        first = client._connection
+        assert first is not None
+        client.stats()
+        assert client._connection is first
+
+    def test_close_then_reconnect(self, harness):
+        client = harness.client
+        client.healthz()
+        client.close()
+        assert client._connection is None
+        assert client.healthz()["status"] == "ok"
+
+
+class TestCacheEndpoint:
+    def test_raw_entry_matches_result_bytes(self, harness):
+        body = harness.client.submit(PCR, wait=120)[2]
+        digest = body["digest"]
+        status, _, raw = harness.raw("GET", f"/cache/{digest}")
+        assert status == 200
+        expected = json.dumps(
+            body["result"], sort_keys=True, separators=(",", ":")
+        ).encode()
+        assert raw == expected
+
+    def test_unknown_key_is_404(self, harness):
+        assert harness.raw("GET", "/cache/" + "0" * 64)[0] == 404
+
+    def test_hostile_key_is_400(self, harness):
+        assert harness.raw("GET", "/cache/..%2Fescape")[0] == 400
+
+
+class TestPauseResume:
+    def test_paused_accepts_but_does_not_execute(self, tmp_path):
+        import time as _time
+
+        harness = _Harness(tmp_path).start()
+        try:
+            assert harness.raw("POST", "/admin/pause")[0] == 200
+            status, _, body = harness.raw("POST", "/jobs", PCR)
+            assert status == 202
+            job_id = json.loads(body)["job_id"]
+            _time.sleep(0.4)
+            assert harness.client.job(job_id)["status"] == "queued"
+            assert harness.client.stats()["paused"] is True
+
+            assert harness.raw("POST", "/admin/resume")[0] == 200
+            final = harness.client.wait_for(job_id, timeout=120)
+            assert final["status"] == "done"
+        finally:
+            harness.stop()
+
+
+class TestSseResume:
+    def test_start_resumes_at_exact_index(self, harness):
+        status, _, body = harness.raw("POST", "/jobs", PCR)
+        job_id = json.loads(body)["job_id"]
+        harness.client.wait_for(job_id, timeout=120)
+        full = list(harness.client.events(job_id))
+        assert [e["i"] for e in full] == list(range(len(full)))
+        resume_at = full[1]["i"]
+        resumed = list(harness.client.events(job_id, start=resume_at))
+        assert [e["i"] for e in resumed] == [
+            e["i"] for e in full[1:]
+        ]
+        # Resuming past the end still delivers the terminal frame.
+        tail = list(harness.client.events(job_id, start=full[-1]["i"]))
+        assert tail[-1]["event"] == "end"
+
+    def test_malformed_start_is_400(self, harness):
+        status, _, body = harness.raw("POST", "/jobs", PCR)
+        job_id = json.loads(body)["job_id"]
+        harness.client.wait_for(job_id, timeout=120)
+        assert harness.raw("GET", f"/jobs/{job_id}/events?start=x")[0] == 400
+        assert harness.raw(
+            "GET", f"/jobs/{job_id}/events?start=-1"
+        )[0] == 400
+
+    def test_follow_events_survives_dropped_connections(self, harness):
+        """The reconnect loop resumes mid-stream without losing or
+        repeating a frame — in particular the terminal ``done``."""
+        from repro.serve.client import ServeUnavailableError
+
+        status, _, body = harness.raw("POST", "/jobs", PCR)
+        job_id = json.loads(body)["job_id"]
+        harness.client.wait_for(job_id, timeout=120)
+
+        client = harness.client
+        real_events = client.events
+        calls = []
+
+        def flaky_events(job_id, start=0):
+            calls.append(start)
+            frames = list(real_events(job_id, start=start))
+            if len(calls) == 1:
+                # First connection dies after two frames.
+                yield from frames[:2]
+                raise ServeUnavailableError("injected drop")
+            yield from frames
+
+        client.events = flaky_events
+        try:
+            followed = list(client.follow_events(job_id))
+        finally:
+            del client.events
+        full = list(real_events(job_id))
+        assert [e["i"] for e in followed] == [e["i"] for e in full]
+        assert followed[-1]["event"] == "end"
+        # The reconnect resumed exactly after the last seen frame.
+        assert calls == [0, 2]
+
+
+class TestEvictionEndToEnd:
+    def test_evicted_entry_resynthesises_byte_identical(self, tmp_path):
+        """--cache-limit satellite: after LRU eviction the service
+        re-synthesises the evicted submission and serves byte-identical
+        result text (determinism makes eviction safe)."""
+        harness = _Harness(tmp_path, cache_limit=1).start()
+        try:
+            first = harness.raw("POST", "/jobs?wait=120", PCR)[2]
+            other = {"benchmark": "PCR", "parameters": {"seed": 9}}
+            harness.raw("POST", "/jobs?wait=120", other)
+            stats = harness.client.stats()
+            assert stats["cache"]["evictions"] >= 1
+            assert stats["counters"]["serve.cache_evictions"] >= 1
+            assert stats["cache"]["entries"] == 1
+
+            # PCR seed=1 was evicted: this is a fresh synthesis …
+            status, _, again = harness.raw("POST", "/jobs?wait=120", PCR)
+            assert status == 200
+            assert json.loads(again)["cached"] is False
+
+            # … but the result object is byte-for-byte the original.
+            def result_bytes(raw: bytes) -> bytes:
+                text = raw.decode("utf-8")
+                start = text.index('"result":') + len('"result":')
+                depth = 0
+                for i in range(start, len(text)):
+                    if text[i] == "{":
+                        depth += 1
+                    elif text[i] == "}":
+                        depth -= 1
+                        if depth == 0:
+                            return text[start: i + 1].encode()
+                raise AssertionError("unbalanced result object")
+
+            first_result = json.loads(result_bytes(first))
+            again_result = json.loads(result_bytes(again))
+            assert (
+                first_result["solution_digest"]
+                == again_result["solution_digest"]
+            )
+            assert first_result["metrics"].keys() == (
+                again_result["metrics"].keys()
+            )
+            for key, value in first_result["metrics"].items():
+                if key != "cpu_time_s":
+                    assert again_result["metrics"][key] == value, key
+        finally:
+            harness.stop()

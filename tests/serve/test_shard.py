@@ -1,0 +1,427 @@
+"""Sharded tier end-to-end: real backends behind a real front tier.
+
+Each tier boots N backend processes (the same
+:func:`~repro.serve.shard.spawn_backend` path the supervisor CLI uses)
+plus an in-process :class:`~repro.serve.shard.ShardFrontTier`, and
+talks to the front over real TCP.  Covers digest routing, batch
+fan-out and merge, cache peering byte-identity, SSE pass-through with
+resume, pause/resume fan-out, backpressure propagation, failover
+rehashing on a killed backend, and drain-aware shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import socket
+import threading
+import time
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.ring import routing_digest
+from repro.serve.shard import (
+    ShardConfig,
+    ShardFrontTier,
+    backend_configs,
+    spawn_backend,
+    wait_for_http,
+)
+
+
+def _free_port() -> int:
+    probe = socket.socket()
+    try:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+    finally:
+        probe.close()
+
+
+class _Tier:
+    """N spawned backends + a front tier thread, torn down in stop()."""
+
+    def __init__(self, root, shards, *, paused=False, queue_limit=1000):
+        ports = [_free_port() for _ in range(shards)]
+        configs = backend_configs(
+            shards, "127.0.0.1", 0, root,
+            pool_jobs=1, inflight=1, queue_limit=queue_limit,
+            ledger=None, heartbeats=False, ports=ports,
+        )
+        if paused:
+            configs = [
+                dataclasses.replace(config, paused=True)
+                for config in configs
+            ]
+        self.configs = configs
+        self.processes = [spawn_backend(config) for config in configs]
+        for config in configs:
+            assert wait_for_http(config.host, config.port), (
+                f"backend {config.self_id} failed to start"
+            )
+        self.front = ShardFrontTier(ShardConfig(
+            host="127.0.0.1",
+            port=0,
+            backends=tuple(
+                (config.self_id, f"{config.host}:{config.port}")
+                for config in configs
+            ),
+            probe_interval=0.2,
+        ))
+        self.front_thread = threading.Thread(
+            target=lambda: asyncio.run(
+                self.front.run(install_signal_handlers=False)
+            ),
+            daemon=True,
+        )
+        self.front_thread.start()
+        assert self.front.ready.wait(30.0), "front tier failed to start"
+        self.client = ServeClient(
+            f"http://127.0.0.1:{self.front.bound_port}"
+        )
+
+    def backend_client(self, k: int) -> ServeClient:
+        config = self.configs[k]
+        return ServeClient(f"http://{config.host}:{config.port}")
+
+    def backend_by_id(self, shard_id: str):
+        return next(
+            c for c in self.configs if c.self_id == shard_id
+        )
+
+    def raw(self, method: str, path: str, body=None):
+        connection = HTTPConnection(
+            "127.0.0.1", self.front.bound_port, timeout=120
+        )
+        try:
+            payload = None if body is None else json.dumps(body).encode()
+            connection.request(
+                method, path, body=payload,
+                headers={"Content-Type": "application/json"}
+                if payload else {},
+            )
+            response = connection.getresponse()
+            return (
+                response.status,
+                {k.lower(): v for k, v in response.getheaders()},
+                response.read(),
+            )
+        finally:
+            connection.close()
+
+    def stop(self) -> None:
+        self.client.close()
+        for k in range(len(self.configs)):
+            if not self.processes[k].is_alive():
+                continue
+            try:
+                self.backend_client(k).shutdown()
+            except Exception:
+                self.processes[k].terminate()
+        for process in self.processes:
+            process.join(timeout=30.0)
+            if process.is_alive():  # pragma: no cover - hung backend
+                process.kill()
+                process.join(timeout=5.0)
+        self.front.request_shutdown()
+        self.front_thread.join(timeout=30.0)
+        assert not self.front_thread.is_alive(), "front failed to stop"
+
+
+def _result_bytes(raw: bytes) -> bytes:
+    """The balanced ``"result"`` object sliced out of an envelope."""
+    text = raw.decode("utf-8")
+    start = text.index('"result":') + len('"result":')
+    depth = 0
+    for i in range(start, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return text[start: i + 1].encode()
+    raise AssertionError("unbalanced result object")
+
+
+@pytest.fixture(scope="module")
+def tier(tmp_path_factory):
+    instance = _Tier(tmp_path_factory.mktemp("shard-live"), shards=2)
+    yield instance
+    instance.stop()
+
+
+PCR11 = {"benchmark": "PCR", "parameters": {"seed": 11}}
+
+
+class TestOperational:
+    def test_healthz_aggregates_backends(self, tier):
+        health = tier.client.healthz()
+        assert health["status"] == "ok"
+        assert health["role"] == "front"
+        assert health["backends"] == {"shard-0": True, "shard-1": True}
+
+    def test_stats_aggregates_shards(self, tier):
+        stats = tier.client.stats()
+        assert stats["role"] == "front"
+        assert set(stats["shards"]) == {"shard-0", "shard-1"}
+        for shard_id, shard_stats in stats["shards"].items():
+            assert shard_stats["shard"] == shard_id
+        assert set(stats["backends"]) == {"shard-0", "shard-1"}
+
+    def test_unknown_route_is_404(self, tier):
+        assert tier.raw("GET", "/nope")[0] == 404
+
+
+class TestJobsThroughFront:
+    def test_cold_then_cached_byte_identical(self, tier):
+        status, _, first = tier.raw("POST", "/jobs?wait=120", PCR11)
+        assert status == 200
+        assert json.loads(first)["status"] == "done"
+
+        status, _, second = tier.raw("POST", "/jobs", PCR11)
+        assert status == 200
+        assert json.loads(second)["cached"] is True
+        assert _result_bytes(first) == _result_bytes(second)
+
+    def test_status_via_front(self, tier):
+        body = json.loads(tier.raw(
+            "POST", "/jobs",
+            {"benchmark": "PCR", "parameters": {"seed": 14}},
+        )[2])
+        final = tier.client.wait_for(body["job_id"], timeout=120)
+        assert final["status"] == "done"
+
+    def test_peer_serving_is_byte_identical(self, tier):
+        """POSTing the job to the shard that does NOT own its digest
+        serves the owner's bytes via cache peering."""
+        front_bytes = _result_bytes(tier.raw("POST", "/jobs", PCR11)[2])
+        owner = tier.front.ring.owner(routing_digest(PCR11))
+        non_owner = next(
+            c.self_id for c in tier.configs if c.self_id != owner
+        )
+        k = next(
+            i for i, c in enumerate(tier.configs)
+            if c.self_id == non_owner
+        )
+        peer_client = tier.backend_client(k)
+        status, _, body = peer_client.submit(PCR11)
+        assert status == 200 and body["cached"] is True
+        direct = json.dumps(
+            body["result"], sort_keys=True, separators=(",", ":")
+        ).encode()
+        assert direct == front_bytes
+        counters = peer_client.stats()["counters"]
+        assert counters.get("serve.cache_peer_hits", 0) >= 1
+        peer_client.close()
+
+    def test_sse_stream_through_front(self, tier):
+        body = json.loads(tier.raw(
+            "POST", "/jobs",
+            {"benchmark": "PCR", "parameters": {"seed": 12}},
+        )[2])
+        events = list(tier.client.events(body["job_id"]))
+        kinds = [event.get("event") for event in events]
+        assert kinds[0] == "queued"
+        assert kinds[-1] == "end"
+        assert "done" in kinds
+
+    def test_sse_resume_through_front(self, tier):
+        """Reconnecting with ``?start=`` through the proxy resumes at
+        the exact index, terminal frames included (satellite: the SSE
+        reconnect path works across the shard hop too)."""
+        body = json.loads(tier.raw(
+            "POST", "/jobs",
+            {"benchmark": "PCR", "parameters": {"seed": 15}},
+        )[2])
+        job_id = body["job_id"]
+        tier.client.wait_for(job_id, timeout=120)
+        full = list(tier.client.events(job_id))
+        assert len(full) >= 2
+        resumed = list(tier.client.events(job_id, start=full[1]["i"]))
+        assert [e["i"] for e in resumed] == [
+            e["i"] for e in full[1:]
+        ]
+        assert resumed[-1]["event"] == "end"
+
+    def test_follow_events_through_front(self, tier):
+        body = json.loads(tier.raw(
+            "POST", "/jobs",
+            {"benchmark": "PCR", "parameters": {"seed": 16}},
+        )[2])
+        kinds = [
+            event.get("event")
+            for event in tier.client.follow_events(body["job_id"])
+        ]
+        assert kinds[-1] == "end"
+
+    def test_pause_and_resume_fan_out(self, tier):
+        paused = tier.client._request("POST", "/admin/pause")[2]
+        assert paused["status"] == "paused"
+        assert paused["shards"] == ["shard-0", "shard-1"]
+        try:
+            body = json.loads(tier.raw(
+                "POST", "/jobs",
+                {"benchmark": "PCR", "parameters": {"seed": 13}},
+            )[2])
+            time.sleep(0.4)
+            assert tier.client.job(body["job_id"])["status"] == "queued"
+        finally:
+            resumed = tier.client._request("POST", "/admin/resume")[2]
+        assert resumed["status"] == "running"
+        final = tier.client.wait_for(body["job_id"], timeout=120)
+        assert final["status"] == "done"
+
+
+@pytest.fixture(scope="module")
+def paused_tier(tmp_path_factory):
+    instance = _Tier(
+        tmp_path_factory.mktemp("shard-paused"), shards=2,
+        paused=True, queue_limit=3,
+    )
+    yield instance
+    instance.stop()
+
+
+class TestRoutingAndBackpressure:
+    def test_batch_fans_out_to_both_shards(self, paused_tier):
+        batch = [
+            {"benchmark": "PCR", "parameters": {"seed": 100 + i}}
+            for i in range(6)
+        ]
+        response = paused_tier.client.submit_batch(batch)
+        assert len(response["jobs"]) == 6
+        assert (
+            response["accepted"] + response["cached"]
+            + response["rejected"] == 6
+        )
+        depths = [
+            paused_tier.backend_client(k).stats()["queue"]["depth"]
+            for k in range(2)
+        ]
+        # queue_limit=3 per shard: both shards took part of the batch.
+        assert all(depth > 0 for depth in depths)
+        assert sum(depths) == response["accepted"]
+
+    def test_queue_full_propagates_429_with_retry_after(self, paused_tier):
+        saw_429 = False
+        for seed in range(200, 220):
+            status, headers, body = paused_tier.raw(
+                "POST", "/jobs",
+                {"benchmark": "PCR", "parameters": {"seed": seed}},
+            )
+            assert status in (202, 429)
+            if status == 429:
+                saw_429 = True
+                assert int(headers["retry-after"]) >= 1
+                assert json.loads(body)["retry_after"] >= 1
+        assert saw_429, "full shard queues never propagated a 429"
+
+    def test_batch_rejections_carry_retry_hint(self, paused_tier):
+        batch = [
+            {"benchmark": "PCR", "parameters": {"seed": 300 + i}}
+            for i in range(8)
+        ]
+        response = paused_tier.client.submit_batch(batch)
+        rejected = [
+            e for e in response["jobs"] if e["status"] == "rejected"
+        ]
+        assert rejected, "both queues full but nothing was rejected"
+        for entry in rejected:
+            assert entry["retry_after"] >= 1
+
+
+class TestFailover:
+    def test_killed_backend_rehashes_to_survivor(self, tmp_path):
+        tier = _Tier(
+            tmp_path / "failover", shards=2, paused=True,
+            queue_limit=1000,
+        )
+        try:
+            first = tier.client.submit_batch([
+                {"benchmark": "PCR", "parameters": {"seed": 400 + i}}
+                for i in range(8)
+            ])
+            assert first["accepted"] == 8
+            # A job that lives on shard-0 (for the post-kill probe).
+            dead_homed = next(
+                job_id
+                for job_id, home in tier.front._job_homes.items()
+                if home == "shard-0"
+            )
+
+            victim = next(
+                i for i, c in enumerate(tier.configs)
+                if c.self_id == "shard-0"
+            )
+            tier.processes[victim].kill()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if tier.front.alive_ids() == ["shard-1"]:
+                    break
+                time.sleep(0.05)
+            assert tier.front.alive_ids() == ["shard-1"]
+
+            health = tier.client.healthz()
+            assert health["status"] == "degraded"
+            assert health["backends"]["shard-0"] is False
+
+            # Mid-load submissions rehash to the survivor — accepted,
+            # never hung, never silently dropped.
+            survivor_before = tier.backend_client(1 - victim).stats()
+            second = tier.client.submit_batch([
+                {"benchmark": "PCR", "parameters": {"seed": 500 + i}}
+                for i in range(8)
+            ])
+            assert second["accepted"] == 8
+            assert all(
+                e["status"] == "queued" for e in second["jobs"]
+            )
+            survivor_after = tier.backend_client(1 - victim).stats()
+            assert (
+                survivor_after["queue"]["depth"]
+                - survivor_before["queue"]["depth"] == 8
+            )
+
+            # The dead shard's jobs answer with a clean error — a 503
+            # (known home, unreachable) or 404 (home forgotten) — and
+            # promptly, not a hang.
+            status, _, _ = tier.raw("GET", f"/jobs/{dead_homed}")
+            assert status in (404, 503)
+
+            # Kill the survivor too: submissions now answer 503.
+            tier.processes[1 - victim].kill()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if not tier.front.alive_ids():
+                    break
+                time.sleep(0.05)
+            status, _, body = tier.raw("POST", "/jobs", PCR11)
+            assert status == 503
+            assert "error" in json.loads(body)
+            batch = tier.client.submit_batch(
+                [{"benchmark": "PCR", "parameters": {"seed": 1}}]
+            )
+            assert batch["jobs"][0]["status"] == "unavailable"
+        finally:
+            tier.stop()
+
+
+class TestDrain:
+    def test_front_shutdown_drains_backends(self, tmp_path):
+        tier = _Tier(tmp_path / "drain", shards=2)
+        stopped = False
+        try:
+            response = tier.client.shutdown()
+            assert response == {"status": "draining"}
+            for process in tier.processes:
+                process.join(timeout=30.0)
+                assert not process.is_alive(), "backend failed to drain"
+            tier.front_thread.join(timeout=30.0)
+            assert not tier.front_thread.is_alive()
+            stopped = True
+        finally:
+            if not stopped:
+                tier.stop()
